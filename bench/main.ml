@@ -1,0 +1,329 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (sections fig7 / table1 / table2 / fig8 / yield / ablation)
+   and times one Bechamel kernel per experiment plus the substrate
+   hot paths.
+
+   Workload: the fast bench scale by default; HIEROPT_FULL=1 switches to
+   the paper's §4 settings (100x30 circuit GA, 100 MC samples per Pareto
+   point, 500-sample yield check). *)
+
+module H = Hieropt
+module V = Repro_spice.Vco_measure
+module T = Repro_circuit.Topologies
+
+let section title =
+  let bar = String.make 74 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n%!" bar title bar
+
+(* ------------------------------------------------------------------ *)
+(* experiment harness: one full flow run drives every artefact         *)
+(* ------------------------------------------------------------------ *)
+
+(* Leave-one-out cross-validation of the scattered (kvco, ivco) -> jvco
+   table over the real Pareto data: which interpolation scheme would the
+   Verilog-A model be best served by? *)
+let interp_ablation (result : H.Hierarchy.result) =
+  let entries = result.H.Hierarchy.entries in
+  let n = Array.length entries in
+  let buf = Buffer.create 512 in
+  if n < 4 then begin
+    Buffer.add_string buf "(front too small for cross-validation)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let perf e = e.H.Variation_model.design.H.Vco_problem.perf in
+    let loo scheme =
+      let errs =
+        Array.init n (fun leave ->
+            let keep = Array.of_list
+                (List.filteri (fun i _ -> i <> leave) (Array.to_list entries))
+            in
+            let pts =
+              Array.map (fun e -> [| (perf e).V.kvco; (perf e).V.ivco |]) keep
+            in
+            let vals = Array.map (fun e -> (perf e).V.jvco) keep in
+            let table = Repro_interp.Table_nd.build ~scheme pts vals in
+            let p = perf entries.(leave) in
+            let predicted =
+              Repro_interp.Table_nd.eval table [| p.V.kvco; p.V.ivco |]
+            in
+            Float.abs (predicted -. p.V.jvco) /. p.V.jvco)
+      in
+      100.0 *. Repro_util.Stats.mean errs
+    in
+    Printf.ksprintf (Buffer.add_string buf)
+      "leave-one-out relative error of the jvco(kvco, ivco) table (%d points):\n"
+      n;
+    List.iter
+      (fun (name, scheme) ->
+        Printf.ksprintf (Buffer.add_string buf) "  %-24s %6.1f %%\n" name
+          (loo scheme))
+      [ ("nearest neighbour", Repro_interp.Table_nd.Nearest);
+        ("IDW (paper-equivalent)", Repro_interp.Table_nd.Idw { power = 2.0; neighbours = 4 });
+        ("RBF thin-plate", Repro_interp.Table_nd.Rbf Repro_interp.Table_nd.Thin_plate) ];
+    Buffer.contents buf
+  end
+
+(* NSGA-II vs SPEA2 vs random search on the (cheap) system-level PLL
+   problem at an identical evaluation budget, scored by Monte-Carlo
+   hypervolume of the feasible front. *)
+let optimiser_ablation (result : H.Hierarchy.result) =
+  let buf = Buffer.create 512 in
+  let problem = H.Pll_problem.problem result.H.Hierarchy.pll_config in
+  let pop = 24 and gens = 8 in
+  let budget = pop * (gens + 1) in
+  let reference = [| 2e-6; 5e-12; 20e-3 |] in
+  let ideal = [| 0.0; 0.0; 0.0 |] in
+  let hv front =
+    Repro_moo.Pareto.hypervolume_mc ~samples:20000
+      ~prng:(Repro_util.Prng.create 55)
+      ~reference ~ideal
+      (Repro_moo.Nsga2.evaluations front)
+  in
+  let score name front =
+    Printf.ksprintf (Buffer.add_string buf)
+      "  %-14s %2d feasible Pareto designs, hypervolume %.3e\n" name
+      (Array.length front) (hv front)
+  in
+  let nsga =
+    Repro_moo.Nsga2.optimise
+      ~options:{ Repro_moo.Nsga2.default_options with population = pop; generations = gens }
+      problem (Repro_util.Prng.create 41)
+  in
+  score "NSGA-II" (Repro_moo.Nsga2.pareto_front nsga);
+  let spea =
+    Repro_moo.Spea2.optimise
+      ~options:
+        { Repro_moo.Spea2.default_options with population = pop; archive = pop; generations = gens }
+      problem (Repro_util.Prng.create 42)
+  in
+  score "SPEA2" (Repro_moo.Nsga2.pareto_front spea);
+  let rs =
+    Repro_moo.Baselines.random_search ~evaluations:budget problem
+      (Repro_util.Prng.create 43)
+  in
+  score "random" (Repro_moo.Nsga2.pareto_front rs);
+  Printf.ksprintf (Buffer.add_string buf) "  (budget: %d evaluations each)\n"
+    budget;
+  Buffer.contents buf
+
+let run_experiments () =
+  let scale = H.Hierarchy.scale_of_env () in
+  let full = scale = H.Hierarchy.paper_scale in
+  let cfg =
+    {
+      (H.Hierarchy.default_config ~scale ()) with
+      H.Hierarchy.model_dir = Some "hieropt_model";
+    }
+  in
+  section
+    (Printf.sprintf "hierarchical flow — %s scale (seed %d); spec: %s"
+       (if full then "paper" else "bench")
+       cfg.H.Hierarchy.seed
+       (Format.asprintf "%a" H.Spec.pp cfg.H.Hierarchy.spec));
+  let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let progress s =
+    Printf.printf "[%6.1fs] %s\n%!" (Unix.gettimeofday () -. wall0) s
+  in
+  let result = H.Hierarchy.run ~progress cfg in
+  ignore t0;
+  section "Figure 7 — circuit-level Pareto front";
+  print_string (H.Experiments.fig7_front result.H.Hierarchy.front);
+  section "Table 1 — performance and variation values";
+  print_string (H.Experiments.table1 result.H.Hierarchy.entries);
+  section "Table 2 — PLL system-level solution samples";
+  print_string
+    (H.Experiments.table2 ?selected:result.H.Hierarchy.selected
+       result.H.Hierarchy.rows);
+  section "Figure 8 — PLL locking transient";
+  (match result.H.Hierarchy.selected with
+  | Some row ->
+    print_string (H.Experiments.fig8_locking result.H.Hierarchy.pll_config row)
+  | None -> print_endline "(no selected design)");
+  section "Yield verification (§4.5)";
+  (match result.H.Hierarchy.yield with
+  | Some y ->
+    print_string
+      (H.Experiments.yield_report y
+         ~verification:result.H.Hierarchy.verification)
+  | None -> print_endline "(no selected design)");
+  section "Ablation — variation-aware vs nominal-only system optimisation";
+  let ablation_cfg = { cfg with H.Hierarchy.use_variation = false } in
+  let without =
+    H.Hierarchy.run_system_level ~progress ablation_cfg
+      ~model:result.H.Hierarchy.model
+  in
+  print_string
+    (H.Experiments.ablation_report ~with_variation:result
+       ~without_variation:without
+       ~prng:(Repro_util.Prng.create 123));
+  section "Ablation — table-model interpolation scheme (DESIGN.md §5)";
+  print_string (interp_ablation result);
+  section "Ablation — optimiser choice at the system level (equal budget)";
+  print_string (optimiser_ablation result);
+  Printf.printf "\n[experiments complete in %.1f s wall]\n%!"
+    (Unix.gettimeofday () -. wall0);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing kernels: one per experiment + substrate hot paths   *)
+(* ------------------------------------------------------------------ *)
+
+let timing_tests (result : H.Hierarchy.result) =
+  let open Bechamel in
+  let model = result.H.Hierarchy.model in
+  let pll_cfg = result.H.Hierarchy.pll_config in
+  let design =
+    match Array.length result.H.Hierarchy.front with
+    | 0 -> T.vco_default
+    | _ -> result.H.Hierarchy.front.(0).H.Vco_problem.params
+  in
+  let klo, khi = H.Perf_table.kvco_range model in
+  let ilo, ihi = H.Perf_table.ivco_range model in
+  let kvco = 0.5 *. (klo +. khi) and ivco = 0.5 *. (ilo +. ihi) in
+  (* fig7 kernel: one transistor-level evaluation (the unit of GA cost) *)
+  let fig7 =
+    Test.make ~name:"fig7/vco-characterise"
+      (Staged.stage (fun () -> ignore (V.characterise design)))
+  in
+  (* table1 kernel: one Monte-Carlo sample (perturb + re-characterise) *)
+  let mc_prng = Repro_util.Prng.create 5 in
+  let nominal_net = T.ring_vco ~vctl:0.5 design in
+  let table1 =
+    Test.make ~name:"table1/mc-sample"
+      (Staged.stage (fun () ->
+           let net =
+             Repro_circuit.Process.sample Repro_circuit.Process.default
+               (Repro_util.Prng.split mc_prng) nominal_net
+           in
+           ignore (V.characterise_netlist net)))
+  in
+  (* table2 kernel: one system-level candidate evaluation (3 PLL variants) *)
+  let table2 =
+    Test.make ~name:"table2/pll-evaluate-point"
+      (Staged.stage (fun () ->
+           ignore
+             (H.Pll_problem.evaluate_point pll_cfg ~kvco ~ivco ~c1:10e-12
+                ~c2:0.6e-12 ~r1:8e3)))
+  in
+  (* fig8 kernel: one behavioural PLL locking transient *)
+  let pll_sim_cfg, _, _, _ =
+    H.Pll_problem.variant_config pll_cfg ~kvco ~ivco ~c1:10e-12 ~c2:0.6e-12
+      ~r1:8e3
+  in
+  let fig8 =
+    Test.make ~name:"fig8/pll-transient"
+      (Staged.stage (fun () ->
+           ignore
+             (Repro_behave.Pll.simulate pll_sim_cfg
+                (Repro_behave.Pll.default_sim_options pll_sim_cfg))))
+  in
+  (* yield kernel: one behavioural MC sample *)
+  let yield_prng = Repro_util.Prng.create 11 in
+  let yield_test =
+    Test.make ~name:"yield/mc-sample"
+      (Staged.stage (fun () ->
+           let dk = H.Perf_table.kvco_delta model kvco in
+           let k =
+             Repro_util.Prng.gaussian yield_prng ~mean:kvco ~sigma:(dk *. kvco)
+           in
+           ignore
+             (H.Yield.check_sample pll_cfg ~kvco:k ~ivco ~c1:10e-12
+                ~c2:0.6e-12 ~r1:8e3)))
+  in
+  (* substrate hot paths *)
+  let cm = Repro_spice.Mna.compile nominal_net in
+  let n = Repro_spice.Mna.size cm in
+  let jac = Repro_linalg.Matrix.create n n in
+  let res_vec = Array.make n 0.0 in
+  let x = Array.make n 0.5 in
+  let geq = Array.make (Repro_spice.Mna.cap_count cm) 1e-3 in
+  let ieq = Array.make (Repro_spice.Mna.cap_count cm) 0.0 in
+  let assemble =
+    Test.make ~name:"substrate/mna-assemble"
+      (Staged.stage (fun () ->
+           Repro_spice.Mna.assemble cm ~x ~time:0.0 ~gmin:1e-12
+             ~source_scale:1.0
+             ~cap_mode:(Repro_spice.Mna.Companion { geq; ieq })
+             ~jacobian:jac ~residual:res_vec))
+  in
+  Repro_spice.Mna.assemble cm ~x ~time:0.0 ~gmin:1e-12 ~source_scale:1.0
+    ~cap_mode:(Repro_spice.Mna.Companion { geq; ieq })
+    ~jacobian:jac ~residual:res_vec;
+  let lu =
+    Test.make ~name:"substrate/lu-solve"
+      (Staged.stage (fun () ->
+           try ignore (Repro_linalg.Lu.solve jac res_vec)
+           with Repro_linalg.Lu.Singular _ -> ()))
+  in
+  let xs = Repro_util.Floatx.linspace 0.0 10.0 32 in
+  let spline = Repro_interp.Spline.build xs (Array.map sin xs) in
+  let spline_test =
+    Test.make ~name:"substrate/cubic-spline-eval"
+      (Staged.stage (fun () -> ignore (Repro_interp.Spline.eval spline 4.321)))
+  in
+  let zdt1 =
+    Repro_moo.Problem.create ~name:"zdt1"
+      ~bounds:(Array.make 10 (0.0, 1.0))
+      ~objective_names:[| "f1"; "f2" |]
+      (fun v ->
+        let f1 = v.(0) in
+        let s = ref 0.0 in
+        for i = 1 to 9 do
+          s := !s +. v.(i)
+        done;
+        let g = 1.0 +. !s in
+        {
+          Repro_moo.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
+          constraint_violation = 0.0;
+        })
+  in
+  let nsga_prng = Repro_util.Prng.create 9 in
+  let nsga =
+    Test.make ~name:"substrate/nsga2-40x5-zdt1"
+      (Staged.stage (fun () ->
+           ignore
+             (Repro_moo.Nsga2.optimise
+                ~options:
+                  {
+                    Repro_moo.Nsga2.default_options with
+                    population = 40;
+                    generations = 5;
+                  }
+                zdt1
+                (Repro_util.Prng.split nsga_prng))))
+  in
+  [ fig7; table1; table2; fig8; yield_test; assemble; lu; spline_test; nsga ]
+
+let run_timings result =
+  let open Bechamel in
+  section "Bechamel timings — one kernel per experiment + substrate paths";
+  let tests = timing_tests result in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-32s %s\n%!" name
+              (if est > 1e9 then Printf.sprintf "%8.3f s/run" (est /. 1e9)
+               else if est > 1e6 then Printf.sprintf "%8.3f ms/run" (est /. 1e6)
+               else Printf.sprintf "%8.3f us/run" (est /. 1e3))
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        analysed)
+    tests
+
+let () =
+  let result = run_experiments () in
+  run_timings result;
+  print_newline ()

@@ -1,0 +1,284 @@
+(* hieropt — command-line driver for the hierarchical performance and
+   variation flow.
+
+   Sub-commands:
+     simulate      parse a SPICE-like deck, run DC + transient, report
+     characterise  measure a ring-VCO sizing (the paper's testbench)
+     flow          run the full hierarchical flow (Figure 4)
+     system        re-run the system level over a saved table model
+     yield         Monte-Carlo a design point from a saved table model *)
+
+open Cmdliner
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Chattier progress output.")
+
+let seed_t =
+  Arg.(
+    value
+    & opt int 2009
+    & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (flows are deterministic).")
+
+let full_t =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:
+          "Use the paper-scale workload (100x30 circuit GA, 100 MC \
+           samples/point, 500 yield samples) instead of the fast bench \
+           scale.  Equivalent to HIEROPT_FULL=1.")
+
+let scale_of_flag full =
+  if full then Hieropt.Hierarchy.paper_scale else Hieropt.Hierarchy.scale_of_env ()
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let deck_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"DECK" ~doc:"SPICE-like netlist file.")
+  in
+  let tstop_t =
+    Arg.(
+      value
+      & opt string "10n"
+      & info [ "t-stop" ] ~docv:"TIME" ~doc:"Transient length (SPICE units).")
+  in
+  let dt_t =
+    Arg.(
+      value
+      & opt string "10p"
+      & info [ "dt" ] ~docv:"TIME" ~doc:"Transient step (SPICE units).")
+  in
+  let node_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "probe" ] ~docv:"NODE" ~doc:"Node(s) to report (repeatable).")
+  in
+  let run deck tstop dt probes verbose =
+    setup_logging verbose;
+    let net = Repro_circuit.Parser.parse_file deck in
+    let cm = Repro_spice.Mna.compile net in
+    let dc = Repro_spice.Dcop.solve cm in
+    Fmt.pr "DC operating point (%s, %d iterations)@." dc.Repro_spice.Dcop.strategy
+      dc.Repro_spice.Dcop.iterations;
+    let t_stop = Repro_util.Si.parse tstop and dt = Repro_util.Si.parse dt in
+    let res =
+      Repro_spice.Transient.run cm
+        (Repro_spice.Transient.default_options ~t_stop ~dt)
+    in
+    let probes =
+      if probes <> [] then probes
+      else
+        (* default: every named non-ground node *)
+        List.init (Repro_circuit.Netlist.node_count net - 1) (fun i ->
+            Repro_circuit.Netlist.node_name net (i + 1))
+    in
+    List.iter
+      (fun node ->
+        let w = Repro_spice.Transient.node_wave res node in
+        Fmt.pr "v(%s): dc=%.4f V, mean=%.4f V, ptp=%.4f V%a@." node
+          (Repro_spice.Dcop.node_voltage cm dc node)
+          (Repro_spice.Waveform.mean w)
+          (Repro_spice.Waveform.peak_to_peak w)
+          (fun ppf w ->
+            match Repro_spice.Waveform.frequency w ~level:(Repro_spice.Waveform.mean w) with
+            | Some f -> Fmt.pf ppf ", f=%s" (Repro_util.Si.format_unit f "Hz")
+            | None -> ())
+          w)
+      probes
+  in
+  let info =
+    Cmd.info "simulate" ~doc:"Simulate a SPICE-like deck (DC + transient)."
+  in
+  Cmd.v info Term.(const run $ deck_t $ tstop_t $ dt_t $ node_t $ verbose_t)
+
+(* ---- characterise ---- *)
+
+let characterise_cmd =
+  let params_t =
+    let doc =
+      "The 7 designable parameters wn,ln,wp,lp,wcn,wcp,lc with SPICE \
+       suffixes, e.g. '20u,0.2u,40u,0.2u,30u,60u,0.24u'."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sizing" ] ~docv:"W/L LIST" ~doc)
+  in
+  let run sizing verbose =
+    setup_logging verbose;
+    let params =
+      match sizing with
+      | None -> Repro_circuit.Topologies.vco_default
+      | Some s ->
+        let fields = String.split_on_char ',' s in
+        if List.length fields <> 7 then
+          failwith "need exactly 7 comma-separated values";
+        Repro_circuit.Topologies.vco_params_of_vector
+          (Array.of_list (List.map Repro_util.Si.parse fields))
+    in
+    match Repro_spice.Vco_measure.characterise params with
+    | Ok perf -> Fmt.pr "%a@." Repro_spice.Vco_measure.pp_performance perf
+    | Error f ->
+      Fmt.epr "characterisation failed: %s@."
+        (Repro_spice.Vco_measure.failure_to_string f);
+      exit 1
+  in
+  let info =
+    Cmd.info "characterise"
+      ~doc:"Measure a ring-VCO sizing at transistor level (kvco, ivco, jvco, fmin, fmax)."
+  in
+  Cmd.v info Term.(const run $ params_t $ verbose_t)
+
+(* ---- flow ---- *)
+
+let model_dir_t =
+  Arg.(
+    value
+    & opt string "hieropt_model"
+    & info [ "model-dir" ] ~docv:"DIR" ~doc:"Where the .tbl table model lives.")
+
+let flow_cmd =
+  let ablation_t =
+    Arg.(
+      value & flag
+      & info [ "nominal-only" ]
+          ~doc:
+            "Ignore the variation model during system-level optimisation \
+             (the method of the paper's reference [10]); for the ablation \
+             comparison.")
+  in
+  let run seed full nominal_only model_dir verbose =
+    setup_logging verbose;
+    let cfg =
+      {
+        (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
+        Hieropt.Hierarchy.seed;
+        use_variation = not nominal_only;
+        model_dir = Some model_dir;
+      }
+    in
+    let result =
+      Hieropt.Hierarchy.run ~progress:(fun s -> Fmt.pr "[flow] %s@." s) cfg
+    in
+    Fmt.pr "@.%s@." (Hieropt.Experiments.fig7_front result.Hieropt.Hierarchy.front);
+    Fmt.pr "%s@." (Hieropt.Experiments.table1 result.Hieropt.Hierarchy.entries);
+    Fmt.pr "%s@."
+      (Hieropt.Experiments.table2 ?selected:result.Hieropt.Hierarchy.selected
+         result.Hieropt.Hierarchy.rows);
+    (match result.Hieropt.Hierarchy.selected with
+    | Some row ->
+      Fmt.pr "%s@."
+        (Hieropt.Experiments.fig8_locking result.Hieropt.Hierarchy.pll_config row)
+    | None -> Fmt.pr "no design met the specification@.");
+    match result.Hieropt.Hierarchy.yield with
+    | Some y ->
+      Fmt.pr "%s@."
+        (Hieropt.Experiments.yield_report y
+           ~verification:result.Hieropt.Hierarchy.verification)
+    | None -> ()
+  in
+  let info =
+    Cmd.info "flow"
+      ~doc:"Run the complete hierarchical flow (Figure 4 of the paper)."
+  in
+  Cmd.v info
+    Term.(const run $ seed_t $ full_t $ ablation_t $ model_dir_t $ verbose_t)
+
+(* ---- system ---- *)
+
+let system_cmd =
+  let run seed full model_dir verbose =
+    setup_logging verbose;
+    let model = Hieropt.Perf_table.load ~dir:model_dir in
+    let cfg =
+      {
+        (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
+        Hieropt.Hierarchy.seed;
+      }
+    in
+    let result =
+      Hieropt.Hierarchy.run_system_level
+        ~progress:(fun s -> Fmt.pr "[system] %s@." s)
+        cfg ~model
+    in
+    Fmt.pr "%s@."
+      (Hieropt.Experiments.table2 ?selected:result.Hieropt.Hierarchy.selected
+         result.Hieropt.Hierarchy.rows)
+  in
+  let info =
+    Cmd.info "system"
+      ~doc:"Re-run the system-level optimisation over a saved table model."
+  in
+  Cmd.v info Term.(const run $ seed_t $ full_t $ model_dir_t $ verbose_t)
+
+(* ---- yield ---- *)
+
+let yield_cmd =
+  let kvco_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "kvco" ] ~docv:"HZ_PER_V" ~doc:"VCO gain, e.g. 400meg.")
+  in
+  let ivco_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ivco" ] ~docv:"A" ~doc:"VCO current, e.g. 8m.")
+  in
+  let filt_t name ~doc ~default =
+    Arg.(value & opt string default & info [ name ] ~doc)
+  in
+  let samples_t =
+    Arg.(value & opt int 500 & info [ "samples" ] ~doc:"MC sample count.")
+  in
+  let run model_dir kvco ivco c1 c2 r1 samples seed verbose =
+    setup_logging verbose;
+    let model = Hieropt.Perf_table.load ~dir:model_dir in
+    let cfg = Hieropt.Pll_problem.default_config ~model in
+    let p = Repro_util.Si.parse in
+    match
+      Hieropt.Pll_problem.evaluate_point cfg ~kvco:(p kvco) ~ivco:(p ivco)
+        ~c1:(p c1) ~c2:(p c2) ~r1:(p r1)
+    with
+    | Error e ->
+      Fmt.epr "design point failed: %s@." e;
+      exit 1
+    | Ok row ->
+      Fmt.pr "%a@." Hieropt.Pll_problem.pp_row row;
+      let y =
+        Hieropt.Yield.behavioural ~n:samples
+          ~prng:(Repro_util.Prng.create seed)
+          cfg row
+      in
+      Fmt.pr "yield: %a@." Repro_util.Stats.pp_yield y
+  in
+  let info =
+    Cmd.info "yield" ~doc:"Monte-Carlo yield of a system design point."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_dir_t $ kvco_t $ ivco_t
+      $ filt_t "c1" ~doc:"Loop filter C1." ~default:"10p"
+      $ filt_t "c2" ~doc:"Loop filter C2." ~default:"0.6p"
+      $ filt_t "r1" ~doc:"Loop filter R1." ~default:"6k"
+      $ samples_t $ seed_t $ verbose_t)
+
+let main_cmd =
+  let doc =
+    "hierarchical performance-and-variation optimisation of analogue \
+     circuits (DATE 2009 reproduction)"
+  in
+  Cmd.group (Cmd.info "hieropt" ~version:"1.0.0" ~doc)
+    [ simulate_cmd; characterise_cmd; flow_cmd; system_cmd; yield_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,63 @@
+(* Quickstart: size a ring VCO, measure it at transistor level, wrap it in
+   a behavioural PLL and check the lock — the library's three layers in
+   thirty lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module T = Repro_circuit.Topologies
+module V = Repro_spice.Vco_measure
+module B = Repro_behave
+
+let () =
+  (* 1. transistor level: build the paper's 5-stage current-starved ring
+     oscillator at a mid-range sizing and characterise it *)
+  let sizing = T.vco_default in
+  Format.printf "characterising the 5-stage ring VCO (22 transistors)...@.";
+  let perf =
+    match V.characterise sizing with
+    | Ok p -> p
+    | Error f -> failwith (V.failure_to_string f)
+  in
+  Format.printf "  %a@." V.pp_performance perf;
+  (* 2. behavioural level: wrap the measured VCO in a charge-pump PLL *)
+  let pll =
+    {
+      B.Pll.fref = 100e6;
+      n_div = 8;
+      cp = B.Charge_pump.ideal 200e-6;
+      filter = { B.Loop_filter.c1 = 10e-12; c2 = 0.6e-12; r1 = 6e3 };
+      vco =
+        {
+          B.Vco_model.f0 = 0.5 *. (perf.V.fmin +. perf.V.fmax);
+          v0 = 0.85;
+          kvco = perf.V.kvco;
+          fmin = perf.V.fmin;
+          fmax = perf.V.fmax;
+          jitter = perf.V.jvco;
+        };
+      ivco = perf.V.ivco;
+      overhead_current = 8e-3;
+      vctl_init = 0.2;
+    }
+  in
+  Format.printf "locking an 800 MHz PLL around it...@.";
+  (match B.Pll.evaluate pll with
+  | Ok p -> Format.printf "  %a@." B.Pll.pp_performance p
+  | Error e -> Format.printf "  did not lock: %s@." e);
+  (* 3. statistical level: how much does this design spread over process? *)
+  let net = T.ring_vco ~vctl:0.5 sizing in
+  let prng = Repro_util.Prng.create 42 in
+  Format.printf "10-sample Monte-Carlo over process + mismatch...@.";
+  let mc =
+    Repro_spice.Monte_carlo.run ~n:10 ~prng net (fun perturbed ->
+        Result.map_error V.failure_to_string (V.characterise_netlist perturbed))
+  in
+  let samples = mc.Repro_spice.Monte_carlo.samples in
+  let spread get =
+    Repro_spice.Monte_carlo.spread_of_samples ~nominal:(get perf)
+      (Array.map get samples)
+  in
+  Format.printf "  jitter  %a@." Repro_spice.Monte_carlo.pp_spread
+    (spread (fun p -> p.V.jvco));
+  Format.printf "  current %a@." Repro_spice.Monte_carlo.pp_spread
+    (spread (fun p -> p.V.ivco))

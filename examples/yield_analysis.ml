@@ -1,0 +1,102 @@
+(* Yield exploration around a fixed design: how the paper's §4.5 spec
+   margins translate into parametric yield, and why optimising on nominal
+   values only (the paper's reference [10]) over-promises.
+
+   Uses a saved table model when ./hieropt_model exists (run
+   examples/pll_hierarchical.exe first); otherwise builds a small
+   synthetic model so the example is always runnable.
+
+   Run with: dune exec examples/yield_analysis.exe *)
+
+module H = Hieropt
+module V = Repro_spice.Vco_measure
+module T = Repro_circuit.Topologies
+module Stats = Repro_util.Stats
+
+let synthetic_model () =
+  let entries =
+    Array.init 8 (fun i ->
+        let kvco = 300e6 +. (float_of_int i *. 60e6) in
+        let ivco = 6e-3 +. (float_of_int i *. 0.6e-3) in
+        {
+          H.Variation_model.design =
+            {
+              H.Vco_problem.params =
+                { T.vco_default with T.wn = 12e-6 +. (float_of_int i *. 4e-6) };
+              perf =
+                {
+                  V.kvco;
+                  ivco;
+                  jvco = 0.45e-12 -. (float_of_int i *. 0.02e-12);
+                  fmin = 330e6 +. (float_of_int i *. 20e6);
+                  fmax = 1.25e9 +. (float_of_int i *. 40e6);
+                };
+            };
+          d_kvco = 0.025;
+          d_jvco = 0.18;
+          d_ivco = 0.02;
+          d_fmin = 0.04;
+          d_fmax = 0.02;
+          mc_samples = 20;
+          mc_failures = 0;
+        })
+  in
+  H.Perf_table.build entries
+
+let () =
+  let model =
+    if Sys.file_exists "hieropt_model/pareto.tbl" then begin
+      Format.printf "loading the saved table model from ./hieropt_model@.";
+      H.Perf_table.load ~dir:"hieropt_model"
+    end
+    else begin
+      Format.printf "no saved model found - using a synthetic one@.";
+      synthetic_model ()
+    end
+  in
+  let cfg = H.Pll_problem.default_config ~model in
+  let klo, khi = H.Perf_table.kvco_range model in
+  let ilo, ihi = H.Perf_table.ivco_range model in
+  let kvco = 0.5 *. (klo +. khi) and ivco = 0.5 *. (ilo +. ihi) in
+  Format.printf "operating point: Kvco = %.0f MHz/V, Ivco = %.2f mA@."
+    (kvco /. 1e6) (ivco *. 1e3);
+  (* find a stable filter by scanning R1 at C1 = 10 pF *)
+  let c1 = 10e-12 and c2 = 0.6e-12 in
+  let candidates = [ 3e3; 4e3; 6e3; 8e3; 10e3; 14e3 ] in
+  let rows =
+    List.filter_map
+      (fun r1 ->
+        match H.Pll_problem.evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 with
+        | Ok row -> Some (r1, row)
+        | Error _ -> None)
+      candidates
+  in
+  if rows = [] then failwith "no stable loop found in the scan";
+  Format.printf "@.%-8s %-10s %-10s %-10s %-22s@." "R1" "lock/us" "jit/ps"
+    "curr/mA" "yield (500 samples)";
+  let prng = Repro_util.Prng.create 99 in
+  List.iter
+    (fun (r1, (row : H.Pll_problem.table2_row)) ->
+      let y = H.Yield.behavioural ~n:500 ~prng:(Repro_util.Prng.split prng) cfg row in
+      Format.printf "%-8s %-10.3f %-10.2f %-10.1f %a@."
+        (Repro_util.Si.format r1)
+        (row.H.Pll_problem.lock *. 1e6)
+        (row.H.Pll_problem.jit *. 1e12)
+        (row.H.Pll_problem.curr *. 1e3)
+        Stats.pp_yield y)
+    rows;
+  (* sensitivity: tighten the lock-time spec and watch yield collapse *)
+  Format.printf "@.lock-time spec sensitivity at R1 = %s:@."
+    (Repro_util.Si.format (fst (List.hd rows)));
+  let r1, row = List.hd rows in
+  ignore r1;
+  List.iter
+    (fun lock_max ->
+      let cfg' =
+        { cfg with H.Pll_problem.spec = { cfg.H.Pll_problem.spec with H.Spec.lock_time_max = lock_max } }
+      in
+      let y = H.Yield.behavioural ~n:300 ~prng:(Repro_util.Prng.split prng) cfg' row in
+      Format.printf "  t_lock < %-6s : yield %a@."
+        (Repro_util.Si.format_unit lock_max "s")
+        Stats.pp_yield y)
+    [ 1e-6; 0.8e-6; 0.6e-6; 0.45e-6; 0.35e-6 ]

@@ -1,0 +1,21 @@
+type t = { i_up : float; i_down : float; leakage : float }
+
+let ideal icp =
+  if icp <= 0.0 then invalid_arg "Charge_pump.ideal: icp must be positive";
+  { i_up = icp; i_down = icp; leakage = 0.0 }
+
+let with_mismatch ~icp ~mismatch =
+  if icp <= 0.0 then invalid_arg "Charge_pump.with_mismatch: icp must be positive";
+  {
+    i_up = icp *. (1.0 +. (mismatch /. 2.0));
+    i_down = icp *. (1.0 -. (mismatch /. 2.0));
+    leakage = 0.0;
+  }
+
+let current t = function
+  | Pfd.Up -> t.i_up -. t.leakage
+  | Pfd.Neutral -> -.t.leakage
+  | Pfd.Down -> -.t.i_down -. t.leakage
+
+let average_current t ~duty =
+  (duty *. 0.5 *. (t.i_up +. t.i_down)) +. Float.abs t.leakage

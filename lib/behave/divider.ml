@@ -1,0 +1,17 @@
+type t = { n : int; mutable count : int }
+
+let create n =
+  if n < 1 then invalid_arg "Divider.create: N must be >= 1";
+  { n; count = 0 }
+
+let modulus t = t.n
+
+let clock_edge t =
+  t.count <- t.count + 1;
+  if t.count >= t.n then begin
+    t.count <- 0;
+    true
+  end
+  else false
+
+let reset t = t.count <- 0

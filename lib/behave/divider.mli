@@ -1,0 +1,14 @@
+(** Integer frequency divider (÷N) driven by VCO output edges. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument unless N >= 1. *)
+
+val modulus : t -> int
+
+val clock_edge : t -> bool
+(** Feed one rising edge of the VCO output; returns [true] when the
+    divider output produces its own rising edge (every N input edges). *)
+
+val reset : t -> unit

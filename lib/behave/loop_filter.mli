@@ -1,0 +1,33 @@
+(** Passive second-order charge-pump loop filter: series R1–C1 branch in
+    parallel with C2 (the paper's system-level designables C1, C2, R1).
+
+    Time-domain stepping uses backward Euler on the exact two-state ODE;
+    {!impedance} feeds the s-domain loop analysis. *)
+
+type params = {
+  c1 : float;  (** F *)
+  c2 : float;  (** F *)
+  r1 : float;  (** ohm *)
+}
+
+val validate : params -> unit
+(** @raise Invalid_argument on non-positive component values. *)
+
+type state = {
+  vctl : float;  (** control-node voltage (across C2) *)
+  vc1 : float;   (** voltage across C1 *)
+}
+
+val initial : float -> state
+(** Both capacitors precharged to the given voltage. *)
+
+val step : params -> state -> i_in:float -> dt:float -> state
+(** Advance by [dt] with charge-pump current [i_in] flowing into the
+    control node. *)
+
+val impedance : params -> float -> Complex.t
+(** Filter impedance Z(jω) at angular frequency [w] (rad/s). *)
+
+val pole_zero : params -> float * float * float
+(** [(w_zero, w_pole3, c_total)]: the stabilising zero 1/(R1 C1), the
+    third pole 1/(R1 C1C2/(C1+C2)) and the total capacitance. *)

@@ -1,0 +1,60 @@
+type loop = {
+  kvco : float;
+  icp : float;
+  n_div : int;
+  filter : Loop_filter.params;
+}
+
+let open_loop_gain loop f =
+  let open Complex in
+  let w = 2.0 *. Float.pi *. f in
+  let z = Loop_filter.impedance loop.filter w in
+  let s = { re = 0.0; im = w } in
+  let k = loop.icp *. loop.kvco /. float_of_int loop.n_div in
+  div (mul { re = k; im = 0.0 } z) s
+
+type analysis = {
+  unity_freq : float;
+  phase_margin_deg : float;
+  zero_freq : float;
+  pole3_freq : float;
+  stable : bool;
+}
+
+(* |G| decreases monotonically for this loop shape; bisect log-frequency *)
+let analyse loop =
+  let mag f = Complex.norm (open_loop_gain loop f) in
+  let f_lo = 1.0 and f_hi = 1e11 in
+  if mag f_lo < 1.0 || mag f_hi > 1.0 then None
+  else begin
+    let lo = ref (log f_lo) and hi = ref (log f_hi) in
+    for _ = 1 to 80 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if mag (exp mid) > 1.0 then lo := mid else hi := mid
+    done;
+    let fc = exp (0.5 *. (!lo +. !hi)) in
+    let g = open_loop_gain loop fc in
+    let phase_deg = Complex.arg g *. 180.0 /. Float.pi in
+    let pm = 180.0 +. phase_deg in
+    let wz, wp3, _ = Loop_filter.pole_zero loop.filter in
+    let fz = wz /. (2.0 *. Float.pi) and fp3 = wp3 /. (2.0 *. Float.pi) in
+    Some
+      {
+        unity_freq = fc;
+        phase_margin_deg = pm;
+        zero_freq = fz;
+        pole3_freq = fp3;
+        stable = pm > 5.0 && fz < fc;
+      }
+  end
+
+let settling_estimate loop ~tolerance =
+  if tolerance <= 0.0 || tolerance >= 1.0 then
+    invalid_arg "Pll_linear.settling_estimate: tolerance in (0,1)";
+  match analyse loop with
+  | None -> None
+  | Some a ->
+    (* dominant closed-loop time constant ~ 1/(2 pi fc * min(1, pm/60)) *)
+    let damping = Float.min 1.0 (Float.max 0.2 (a.phase_margin_deg /. 60.0)) in
+    let tau = 1.0 /. (2.0 *. Float.pi *. a.unity_freq *. damping) in
+    Some (tau *. log (1.0 /. tolerance))

@@ -1,0 +1,32 @@
+(** s-domain analysis of the charge-pump PLL loop: open-loop gain,
+    unity-gain bandwidth and phase margin.
+
+    Open loop (type-II, third order):
+    G(s) = Icp · Kvco · Z(s) / (N · s), with Kvco in Hz/V — the 2π of the
+    phase-detector gain Icp/2π and of the VCO gain 2π·Kvco cancel. *)
+
+type loop = {
+  kvco : float;   (** Hz/V *)
+  icp : float;    (** A *)
+  n_div : int;
+  filter : Loop_filter.params;
+}
+
+val open_loop_gain : loop -> float -> Complex.t
+(** Gain at frequency [f] (Hz). *)
+
+type analysis = {
+  unity_freq : float;        (** Hz; loop bandwidth fc *)
+  phase_margin_deg : float;
+  zero_freq : float;         (** Hz, stabilising zero *)
+  pole3_freq : float;        (** Hz, third pole from C2 *)
+  stable : bool;             (** phase margin > 0 and zero below fc *)
+}
+
+val analyse : loop -> analysis option
+(** [None] when no unity-gain crossing exists in [1 Hz, 100 GHz]. *)
+
+val settling_estimate : loop -> tolerance:float -> float option
+(** Linear lock-time estimate: ln(1/tolerance) time constants of the
+    closed-loop dominant pole (≈ 1 / (2π · fc · damping-ish)); used as a
+    cross-check against the behavioural simulation. *)

@@ -1,0 +1,52 @@
+type params = {
+  f0 : float;
+  v0 : float;
+  kvco : float;
+  fmin : float;
+  fmax : float;
+  jitter : float;
+}
+
+let validate p =
+  if p.fmin <= 0.0 || p.fmax < p.fmin then
+    invalid_arg "Vco_model: need 0 < fmin <= fmax";
+  if p.jitter < 0.0 then invalid_arg "Vco_model: negative jitter";
+  if p.f0 <= 0.0 then invalid_arg "Vco_model: f0 must be positive"
+
+let frequency p vctl =
+  let f = p.f0 +. (p.kvco *. (vctl -. p.v0)) in
+  Repro_util.Floatx.clamp ~lo:p.fmin ~hi:p.fmax f
+
+type t = {
+  params : params;
+  prng : Repro_util.Prng.t option;
+  mutable phi : float; (* cycles *)
+}
+
+let create ?prng params =
+  validate params;
+  { params; prng; phi = 0.0 }
+
+let phase t = t.phi
+
+(* Period jitter sigma per cycle means phase diffusion: over an interval
+   containing n = f dt cycles the accumulated time error has variance
+   n sigma^2, i.e. a phase error (in cycles) of sqrt(n) * sigma * f. *)
+let advance t ~vctl ~dt =
+  let f = frequency t.params vctl in
+  let dphi = f *. dt in
+  let noise =
+    match t.prng with
+    | None -> 0.0
+    | Some prng ->
+      if t.params.jitter <= 0.0 then 0.0
+      else begin
+        let sigma_cycles = sqrt (Float.max dphi 0.0) *. t.params.jitter *. f in
+        Repro_util.Prng.gaussian prng ~mean:0.0 ~sigma:sigma_cycles
+      end
+  in
+  let before = t.phi in
+  t.phi <- t.phi +. Float.max 0.0 (dphi +. noise);
+  int_of_float (Float.floor t.phi) - int_of_float (Float.floor before)
+
+let reset t = t.phi <- 0.0

@@ -1,0 +1,36 @@
+(** Behavioural VCO: phase accumulation with linear tuning, frequency
+    clamping at the measured band edges and per-edge jitter injection —
+    the OCaml equivalent of the paper's Listing 2 Verilog-A model
+    ([$rdist_normal] per output transition). *)
+
+type params = {
+  f0 : float;       (** free-running frequency at [v0], Hz *)
+  v0 : float;       (** control voltage at which f = f0 *)
+  kvco : float;     (** Hz/V *)
+  fmin : float;     (** lower clamp, Hz *)
+  fmax : float;     (** upper clamp, Hz *)
+  jitter : float;   (** RMS period jitter injected per cycle, s *)
+}
+
+val validate : params -> unit
+(** @raise Invalid_argument on inverted clamps or negative jitter. *)
+
+val frequency : params -> float -> float
+(** Instantaneous (clamped) frequency at a control voltage. *)
+
+type t
+
+val create : ?prng:Repro_util.Prng.t -> params -> t
+(** Jitter injection needs a [prng]; without one the model is
+    noiseless. *)
+
+val phase : t -> float
+(** Accumulated phase in cycles. *)
+
+val advance : t -> vctl:float -> dt:float -> int
+(** Advance the oscillator by [dt] under control voltage [vctl]; returns
+    the number of rising output edges produced during the interval
+    (0 or more).  Jitter perturbs the phase increment as a random walk
+    with the configured per-cycle RMS. *)
+
+val reset : t -> unit

@@ -1,0 +1,101 @@
+type polarity = Nmos | Pmos
+
+type model = {
+  name : string;
+  polarity : polarity;
+  vth0 : float;
+  kp : float;
+  theta : float;
+  n_slope : float;
+  clm : float;
+  cox : float;
+  cov : float;
+  cj : float;
+  avt : float;
+  akp : float;
+}
+
+let nmos_012 =
+  {
+    name = "nmos_012";
+    polarity = Nmos;
+    vth0 = 0.35;
+    kp = 350e-6;
+    theta = 0.6;
+    n_slope = 1.4;
+    clm = 0.02e-6;
+    cox = 13.0e-3; (* F/m^2, ~2.65 nm oxide *)
+    cov = 0.35e-9; (* F/m *)
+    cj = 0.8e-9; (* F/m *)
+    avt = 3.5e-9; (* V*m : 3.5 mV*um *)
+    akp = 1.0e-8; (* m   : 1 %*um *)
+  }
+
+let pmos_012 =
+  {
+    nmos_012 with
+    name = "pmos_012";
+    polarity = Pmos;
+    vth0 = 0.32;
+    kp = 120e-6;
+    theta = 0.4;
+  }
+
+type eval_result = { ids : float; gm : float; gds : float }
+
+let thermal_voltage = 0.02585 (* kT/q at 300 K *)
+
+(* softplus overdrive: vov = 2 n vt ln(1 + exp u), u = (vgs - vth)/(2 n vt).
+   sigma = d vov / d vgs is the logistic function of u. *)
+let smooth_overdrive n_slope vgs vth =
+  let s = 2.0 *. n_slope *. thermal_voltage in
+  let u = (vgs -. vth) /. s in
+  if u > 30.0 then (s *. u, 1.0)
+  else if u < -30.0 then
+    let e = exp u in
+    (s *. e, e /. (1.0 +. e))
+  else
+    let e = exp u in
+    (s *. log (1.0 +. e), e /. (1.0 +. e))
+
+let eval model ~w ~l ~vth_shift ~kp_scale ~vgs ~vds =
+  assert (vds >= 0.0);
+  assert (w > 0.0 && l > 0.0);
+  let vth = model.vth0 +. vth_shift in
+  let vov, sigma = smooth_overdrive model.n_slope vgs vth in
+  let vov = Float.max vov 1e-12 in
+  let lambda = model.clm /. l in
+  (* mobility reduction: kp_eff = kp / (1 + theta vov) *)
+  let mob = 1.0 +. (model.theta *. vov) in
+  let kp_eff = model.kp *. kp_scale /. mob in
+  let dkp_dvgs = -.kp_eff *. model.theta *. sigma /. mob in
+  let beta = kp_eff *. w /. l in
+  let dbeta_dvgs = dkp_dvgs *. w /. l in
+  (* C1 triode/saturation blend: g(x) = x(2-x) below vdsat, 1 above *)
+  let x = vds /. vov in
+  let g, g' = if x < 1.0 then ((x *. (2.0 -. x)), 2.0 -. (2.0 *. x)) else (1.0, 0.0) in
+  let clm_f = 1.0 +. (lambda *. vds) in
+  let half_bv2 = 0.5 *. beta *. vov *. vov in
+  let ids = half_bv2 *. g *. clm_f in
+  let gds =
+    (half_bv2 *. g' /. vov *. clm_f) +. (half_bv2 *. g *. lambda)
+  in
+  (* dx/dvgs = -vds sigma / vov^2 *)
+  let gm =
+    clm_f
+    *. ((0.5 *. dbeta_dvgs *. vov *. vov *. g)
+       +. (beta *. vov *. sigma *. g)
+       -. (0.5 *. beta *. g' *. vds *. sigma))
+  in
+  { ids; gm; gds }
+
+type caps = { cgs : float; cgd : float; cdb : float; csb : float }
+
+let capacitances model ~w ~l =
+  let cgate = 0.5 *. model.cox *. w *. l in
+  let cover = model.cov *. w in
+  let cjunc = model.cj *. w in
+  { cgs = cgate +. cover; cgd = cgate +. cover; cdb = cjunc; csb = cjunc }
+
+let sigma_vth model ~w ~l = model.avt /. sqrt (w *. l)
+let sigma_kp_rel model ~w ~l = model.akp /. sqrt (w *. l)

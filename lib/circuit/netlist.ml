@@ -1,0 +1,170 @@
+type node = int
+
+let ground = 0
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; value : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; value : float }
+  | Vsource of { name : string; npos : node; nneg : node; source : Source.t }
+  | Isource of { name : string; npos : node; nneg : node; source : Source.t }
+  | Mos of {
+      name : string;
+      drain : node;
+      gate : node;
+      source : node;
+      model : Mosfet.model;
+      w : float;
+      l : float;
+      vth_shift : float;
+      kp_scale : float;
+    }
+
+let element_name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ }
+  | Mos { name; _ } -> name
+
+let element_nodes = function
+  | Resistor { n1; n2; _ } | Capacitor { n1; n2; _ } -> [ n1; n2 ]
+  | Vsource { npos; nneg; _ } | Isource { npos; nneg; _ } -> [ npos; nneg ]
+  | Mos { drain; gate; source; _ } -> [ drain; gate; source ]
+
+type t = {
+  mutable rev_elements : element list;
+  mutable names : (string, unit) Hashtbl.t;
+  node_ids : (string, int) Hashtbl.t;
+  mutable node_names : string list; (* reversed; index = count - 1 - pos *)
+  mutable next_node : int;
+}
+
+let create () =
+  let t =
+    {
+      rev_elements = [];
+      names = Hashtbl.create 16;
+      node_ids = Hashtbl.create 16;
+      node_names = [ "0" ];
+      next_node = 1;
+    }
+  in
+  Hashtbl.replace t.node_ids "0" 0;
+  t
+
+let normalise_node_name s =
+  let s = String.trim s in
+  match String.lowercase_ascii s with "gnd" | "0" -> "0" | _ -> s
+
+let node t name =
+  let name = normalise_node_name name in
+  match Hashtbl.find_opt t.node_ids name with
+  | Some id -> id
+  | None ->
+    let id = t.next_node in
+    t.next_node <- id + 1;
+    Hashtbl.replace t.node_ids name id;
+    t.node_names <- name :: t.node_names;
+    id
+
+let node_count t = t.next_node
+
+let node_name t id =
+  if id < 0 || id >= t.next_node then invalid_arg "Netlist.node_name";
+  List.nth t.node_names (t.next_node - 1 - id)
+
+let find_node t name = Hashtbl.find_opt t.node_ids (normalise_node_name name)
+
+let add t el =
+  let name = element_name el in
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Netlist.add: duplicate element %S" name);
+  List.iter
+    (fun n ->
+      if n < 0 || n >= t.next_node then
+        invalid_arg (Printf.sprintf "Netlist.add: dangling node %d in %S" n name))
+    (element_nodes el);
+  Hashtbl.replace t.names name ();
+  t.rev_elements <- el :: t.rev_elements
+
+let resistor t name a b value =
+  let n1 = node t a and n2 = node t b in
+  add t (Resistor { name; n1; n2; value })
+
+let capacitor t name a b value =
+  let n1 = node t a and n2 = node t b in
+  add t (Capacitor { name; n1; n2; value })
+
+let vsource t name a b source =
+  let npos = node t a and nneg = node t b in
+  add t (Vsource { name; npos; nneg; source })
+
+let isource t name a b source =
+  let npos = node t a and nneg = node t b in
+  add t (Isource { name; npos; nneg; source })
+
+let mosfet t name ~drain ~gate ~source ~model ~w ~l =
+  let d = node t drain and g = node t gate and s = node t source in
+  add t
+    (Mos
+       {
+         name;
+         drain = d;
+         gate = g;
+         source = s;
+         model;
+         w;
+         l;
+         vth_shift = 0.0;
+         kp_scale = 1.0;
+       })
+
+let elements t = List.rev t.rev_elements
+
+let copy t =
+  {
+    rev_elements = t.rev_elements;
+    names = Hashtbl.copy t.names;
+    node_ids = Hashtbl.copy t.node_ids;
+    node_names = t.node_names;
+    next_node = t.next_node;
+  }
+
+let map_elements f t =
+  let t' = copy t in
+  t'.rev_elements <- List.rev_map f (elements t);
+  t'
+
+let mos_count t =
+  List.fold_left
+    (fun acc el ->
+      match el with
+      | Mos _ -> acc + 1
+      | Resistor _ | Capacitor _ | Vsource _ | Isource _ -> acc)
+    0 (elements t)
+
+let to_spice t =
+  let buf = Buffer.create 512 in
+  let n = node_name t in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "* netlist (%d nodes, %d elements)" (node_count t)
+    (List.length (elements t));
+  List.iter
+    (fun el ->
+      match el with
+      | Resistor { name; n1; n2; value } ->
+        line "%s %s %s %s" name (n n1) (n n2) (Repro_util.Si.format value)
+      | Capacitor { name; n1; n2; value } ->
+        line "%s %s %s %s" name (n n1) (n n2) (Repro_util.Si.format value)
+      | Vsource { name; npos; nneg; source } ->
+        line "%s %s %s %s" name (n npos) (n nneg)
+          (Format.asprintf "%a" Source.pp source)
+      | Isource { name; npos; nneg; source } ->
+        line "%s %s %s %s" name (n npos) (n nneg)
+          (Format.asprintf "%a" Source.pp source)
+      | Mos { name; drain; gate; source; model; w; l; _ } ->
+        line "%s %s %s %s %s W=%s L=%s" name (n drain) (n gate) (n source)
+          model.Mosfet.name (Repro_util.Si.format w) (Repro_util.Si.format l))
+    (elements t);
+  line ".end";
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+(** Flat transistor-level netlists.
+
+    Nodes are small integers with node 0 reserved for ground; named nodes
+    are interned on first use.  Elements carry their sampled process
+    perturbations ([vth_shift], [kp_scale]) so a Monte-Carlo trial is just
+    a mapped copy of the nominal netlist (see {!Process}). *)
+
+type node = int
+
+val ground : node
+
+type element =
+  | Resistor of { name : string; n1 : node; n2 : node; value : float }
+  | Capacitor of { name : string; n1 : node; n2 : node; value : float }
+  | Vsource of { name : string; npos : node; nneg : node; source : Source.t }
+  | Isource of { name : string; npos : node; nneg : node; source : Source.t }
+      (** current [value] flows from [npos] through the source to [nneg] *)
+  | Mos of {
+      name : string;
+      drain : node;
+      gate : node;
+      source : node;
+      model : Mosfet.model;
+      w : float;
+      l : float;
+      vth_shift : float;
+      kp_scale : float;
+    }
+
+val element_name : element -> string
+
+type t
+
+val create : unit -> t
+
+val node : t -> string -> node
+(** Intern a node name ("0", "gnd" and "GND" all mean ground). *)
+
+val node_count : t -> int
+(** Number of nodes including ground; node ids are [0 .. node_count - 1]. *)
+
+val node_name : t -> node -> string
+val find_node : t -> string -> node option
+
+val add : t -> element -> unit
+(** @raise Invalid_argument on a duplicate element name or a dangling
+    node id. *)
+
+(* Convenience builders; node arguments are names. *)
+val resistor : t -> string -> string -> string -> float -> unit
+val capacitor : t -> string -> string -> string -> float -> unit
+val vsource : t -> string -> string -> string -> Source.t -> unit
+val isource : t -> string -> string -> string -> Source.t -> unit
+
+val mosfet :
+  t ->
+  string ->
+  drain:string ->
+  gate:string ->
+  source:string ->
+  model:Mosfet.model ->
+  w:float ->
+  l:float ->
+  unit
+
+val elements : t -> element list
+(** In insertion order. *)
+
+val map_elements : (element -> element) -> t -> t
+(** Structural copy with each element rewritten (names and node ids must
+    be preserved by [f]); this is how process sampling perturbs devices. *)
+
+val mos_count : t -> int
+
+val copy : t -> t
+
+val to_spice : t -> string
+(** Render as a SPICE-like deck (inverse of {!Parser.parse}). *)

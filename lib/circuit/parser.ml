@@ -1,0 +1,302 @@
+exception Parse_error of int * string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt
+
+(* join '+' continuation lines, strip comments, keep line numbers *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let cleaned =
+    List.mapi
+      (fun i line ->
+        let line =
+          match String.index_opt line ';' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        (i + 1, line))
+      raw
+  in
+  let is_comment line =
+    let t = String.trim line in
+    String.length t = 0 || t.[0] = '*'
+  in
+  let rec fold acc = function
+    | [] -> List.rev acc
+    | (no, line) :: rest ->
+      if is_comment line then fold acc rest
+      else begin
+        let t = String.trim line in
+        if String.length t > 0 && t.[0] = '+' then
+          match acc with
+          | (no0, prev) :: acc' ->
+            fold ((no0, prev ^ " " ^ String.sub t 1 (String.length t - 1)) :: acc') rest
+          | [] -> fail no "continuation line with no preceding card"
+        else fold ((no, t) :: acc) rest
+      end
+  in
+  fold [] cleaned
+
+(* tokenise, treating parentheses and '=' as separators kept out of tokens *)
+let tokens line =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '(' | ')' | ',' -> flush ()
+      | '=' ->
+        flush ();
+        out := "=" :: !out
+      | c -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !out
+
+let parse_value lineno s =
+  match Repro_util.Si.parse_opt s with
+  | Some v -> v
+  | None -> fail lineno "bad numeric value %S" s
+
+(* split ["w"; "="; "1u"; "l"; "="; "2u"] into assoc pairs *)
+let rec parse_params lineno = function
+  | [] -> []
+  | key :: "=" :: value :: rest ->
+    (String.lowercase_ascii key, parse_value lineno value)
+    :: parse_params lineno rest
+  | tok :: _ -> fail lineno "expected param=value, got %S" tok
+
+let parse_source lineno toks =
+  match toks with
+  | [] -> fail lineno "missing source value"
+  | [ v ] -> Source.Dc (parse_value lineno v)
+  | kind :: args when String.lowercase_ascii kind = "dc" -> begin
+    match args with
+    | [ v ] -> Source.Dc (parse_value lineno v)
+    | _ -> fail lineno "DC source takes exactly one value"
+  end
+  | kind :: args -> begin
+    let vals = List.map (parse_value lineno) args in
+    match (String.lowercase_ascii kind, vals) with
+    | "pulse", [ v1; v2; delay; rise; fall; width; period ] ->
+      Source.Pulse { v1; v2; delay; rise; fall; width; period }
+    | "pulse", [ v1; v2; delay; rise; fall; width ] ->
+      Source.Pulse { v1; v2; delay; rise; fall; width; period = 0.0 }
+    | "sin", [ offset; ampl; freq ] ->
+      Source.Sin { offset; ampl; freq; phase_deg = 0.0 }
+    | "sin", [ offset; ampl; freq; _delay; _damp; phase_deg ] ->
+      Source.Sin { offset; ampl; freq; phase_deg }
+    | "pwl", vals ->
+      let rec pairs = function
+        | [] -> []
+        | t :: v :: rest -> (t, v) :: pairs rest
+        | [ _ ] -> fail lineno "PWL needs an even number of values"
+      in
+      Source.Pwl (Array.of_list (pairs vals))
+    | k, _ -> fail lineno "unsupported source %S or wrong argument count" k
+  end
+
+let builtin_models =
+  [ ("nmos", Mosfet.nmos_012); ("pmos", Mosfet.pmos_012);
+    ("nmos_012", Mosfet.nmos_012); ("pmos_012", Mosfet.pmos_012) ]
+
+let apply_model_params lineno base params =
+  List.fold_left
+    (fun (m : Mosfet.model) (k, v) ->
+      match k with
+      | "vth0" -> { m with Mosfet.vth0 = v }
+      | "kp" -> { m with Mosfet.kp = v }
+      | "theta" -> { m with Mosfet.theta = v }
+      | "n" -> { m with Mosfet.n_slope = v }
+      | "clm" -> { m with Mosfet.clm = v }
+      | "cox" -> { m with Mosfet.cox = v }
+      | "cov" -> { m with Mosfet.cov = v }
+      | "cj" -> { m with Mosfet.cj = v }
+      | "avt" -> { m with Mosfet.avt = v }
+      | "akp" -> { m with Mosfet.akp = v }
+      | k -> fail lineno "unknown model parameter %S" k)
+    base params
+
+type subckt = { ports : string list; cards : (int * string) list }
+
+(* split the card stream into top-level cards and .subckt bodies
+   (one level of syntactic nesting is rejected explicitly: SPICE decks
+   in the wild rarely nest definitions, and flattening stays simple) *)
+let split_subckts lines =
+  let subckts = Hashtbl.create 4 in
+  let rec scan top = function
+    | [] -> List.rev top
+    | (lineno, line) :: rest -> begin
+      match tokens line with
+      | head :: args when String.lowercase_ascii head = ".subckt" -> begin
+        match args with
+        | [] -> fail lineno ".subckt needs a name"
+        | name :: ports ->
+          let rec body acc = function
+            | [] -> fail lineno ".subckt %s has no matching .ends" name
+            | (no, l) :: rest' -> begin
+              match tokens l with
+              | h :: _ when String.lowercase_ascii h = ".ends" ->
+                (List.rev acc, rest')
+              | h :: _ when String.lowercase_ascii h = ".subckt" ->
+                fail no "nested .subckt definitions are not supported"
+              | _ -> body ((no, l) :: acc) rest'
+            end
+          in
+          let cards, rest' = body [] rest in
+          Hashtbl.replace subckts (String.lowercase_ascii name) { ports; cards };
+          scan top rest'
+      end
+      | _ -> scan ((lineno, line) :: top) rest
+    end
+  in
+  let top = scan [] lines in
+  (top, subckts)
+
+let parse text =
+  let net = Netlist.create () in
+  let models = Hashtbl.create 8 in
+  List.iter (fun (k, m) -> Hashtbl.replace models k m) builtin_models;
+  let lookup_model lineno name =
+    match Hashtbl.find_opt models (String.lowercase_ascii name) with
+    | Some m -> m
+    | None -> fail lineno "unknown MOS model %S" name
+  in
+  let top_lines, subckts = split_subckts (logical_lines text) in
+  (* [ctx] carries the flattening state of the enclosing X instances:
+     element names gain an "xinst." prefix, port nodes map to the outer
+     connections and internal nodes gain the same prefix *)
+  let rec handle ~prefix ~port_map (lineno, line) =
+    let ctx_name name = prefix ^ name in
+    let ctx_node node =
+      let key = String.lowercase_ascii (String.trim node) in
+      if key = "0" || key = "gnd" then node
+      else
+        match List.assoc_opt key port_map with
+        | Some outer -> outer
+        | None -> prefix ^ node
+    in
+    match tokens line with
+    | [] -> ()
+    | card :: rest -> begin
+      let lc = String.lowercase_ascii card in
+      match lc.[0] with
+      | 'x' -> begin
+        (* Xname n1 n2 ... subname *)
+        match List.rev rest with
+        | [] | [ _ ] -> fail lineno "X card needs nodes and a subcircuit name"
+        | sub_name :: rev_nodes ->
+          let outer_nodes = List.rev_map ctx_node rev_nodes in
+          let sub =
+            match Hashtbl.find_opt subckts (String.lowercase_ascii sub_name) with
+            | Some s -> s
+            | None -> fail lineno "unknown subcircuit %S" sub_name
+          in
+          if List.length sub.ports <> List.length outer_nodes then
+            fail lineno "subcircuit %S expects %d ports, got %d" sub_name
+              (List.length sub.ports) (List.length outer_nodes);
+          let inner_map =
+            List.map2
+              (fun port outer -> (String.lowercase_ascii port, outer))
+              sub.ports outer_nodes
+          in
+          List.iter
+            (handle ~prefix:(ctx_name card ^ ".") ~port_map:inner_map)
+            sub.cards
+      end
+      | '.' -> begin
+        match (lc, rest) with
+        | ".end", _ -> ()
+        | ".model", name :: kind :: params ->
+          let base =
+            match String.lowercase_ascii kind with
+            | "nmos" -> Mosfet.nmos_012
+            | "pmos" -> Mosfet.pmos_012
+            | k -> fail lineno "unknown model kind %S" k
+          in
+          let m = apply_model_params lineno base (parse_params lineno params) in
+          Hashtbl.replace models
+            (String.lowercase_ascii name)
+            { m with Mosfet.name }
+        | ".model", _ -> fail lineno ".model needs a name and a kind"
+        | d, _ -> fail lineno "unsupported directive %S" d
+      end
+      | 'r' -> begin
+        match rest with
+        | [ n1; n2; v ] ->
+          Netlist.resistor net (ctx_name card) (ctx_node n1) (ctx_node n2)
+            (parse_value lineno v)
+        | _ -> fail lineno "R card needs: name n1 n2 value"
+      end
+      | 'c' -> begin
+        match rest with
+        | [ n1; n2; v ] ->
+          Netlist.capacitor net (ctx_name card) (ctx_node n1) (ctx_node n2)
+            (parse_value lineno v)
+        | _ -> fail lineno "C card needs: name n1 n2 value"
+      end
+      | 'v' -> begin
+        match rest with
+        | np :: nn :: src ->
+          Netlist.vsource net (ctx_name card) (ctx_node np) (ctx_node nn)
+            (parse_source lineno src)
+        | _ -> fail lineno "V card needs: name n+ n- source"
+      end
+      | 'i' -> begin
+        match rest with
+        | np :: nn :: src ->
+          Netlist.isource net (ctx_name card) (ctx_node np) (ctx_node nn)
+            (parse_source lineno src)
+        | _ -> fail lineno "I card needs: name n+ n- source"
+      end
+      | 'm' -> begin
+        (* d g s [b] model W= L= — detect the optional bulk by checking
+           whether the 4th positional token is a known model name *)
+        let positional, params =
+          let rec split acc = function
+            | key :: "=" :: _ as rest' ->
+              ignore key;
+              (List.rev acc, rest')
+            | tok :: rest' -> split (tok :: acc) rest'
+            | [] -> (List.rev acc, [])
+          in
+          split [] rest
+        in
+        let params = parse_params lineno params in
+        let d, g, s, model_name =
+          match positional with
+          | [ d; g; s; m ] -> (d, g, s, m)
+          | [ d; g; s; _b; m ] -> (d, g, s, m)
+          | _ -> fail lineno "M card needs: name d g s [b] model W= L="
+        in
+        let model = lookup_model lineno model_name in
+        let w =
+          match List.assoc_opt "w" params with
+          | Some w -> w
+          | None -> fail lineno "M card missing W="
+        in
+        let l =
+          match List.assoc_opt "l" params with
+          | Some l -> l
+          | None -> fail lineno "M card missing L="
+        in
+        Netlist.mosfet net (ctx_name card) ~drain:(ctx_node d)
+          ~gate:(ctx_node g) ~source:(ctx_node s) ~model ~w ~l
+      end
+      | _ -> fail lineno "unknown card %S" card
+    end
+  in
+  List.iter (handle ~prefix:"" ~port_map:[]) top_lines;
+  net
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))

@@ -1,0 +1,31 @@
+(** SPICE-like netlist deck parser.
+
+    Supported cards (case-insensitive, [+] continuation lines, [*]/[;]
+    comments, SPICE value suffixes):
+
+    - [Rxxx n1 n2 value]
+    - [Cxxx n1 n2 value]
+    - [Vxxx n+ n- value] or [Vxxx n+ n- PULSE(v1 v2 td tr tf pw per)] or
+      [SIN(off ampl freq)] or [PWL(t1 v1 t2 v2 ...)]
+    - [Ixxx n+ n- value] (same source syntax as V)
+    - [Mxxx d g s \[b\] model W=value L=value] (an optional bulk node is
+      accepted and ignored — bulks are tied to the rails in this model)
+    - [.model name NMOS|PMOS \[vth0=... kp=... theta=... clm=... ...\]]
+      (parameters default to the built-in 0.12 µm-like models)
+    - [.subckt name port1 port2 ...] ... [.ends] definitions with
+      [Xinst n1 n2 ... name] instantiation (flattened; internal nodes and
+      element names gain an ["xinst."] prefix; nesting instantiations is
+      fine, nesting {e definitions} is rejected)
+    - [.end] (optional)
+
+    The paper's flow generates netlists programmatically
+    ({!Topologies}); the parser exists so test benches and examples can
+    also be written as decks. *)
+
+exception Parse_error of int * string
+(** [(line_number, message)] *)
+
+val parse : string -> Netlist.t
+(** Parse a full deck. @raise Parse_error. *)
+
+val parse_file : string -> Netlist.t

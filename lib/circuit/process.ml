@@ -1,0 +1,95 @@
+type spec = {
+  sigma_vth_global : float;
+  sigma_kp_global : float;
+  mismatch : bool;
+  global_variation : bool;
+}
+
+let default =
+  {
+    sigma_vth_global = 6e-3;
+    sigma_kp_global = 0.02;
+    mismatch = true;
+    global_variation = true;
+  }
+
+let mismatch_only = { default with global_variation = false }
+
+let perturb_mos spec ~dvth_global ~dkp_global prng el =
+  match el with
+  | Netlist.Mos m ->
+    let model = m.model in
+    let polarity_idx =
+      match model.Mosfet.polarity with Mosfet.Nmos -> 0 | Mosfet.Pmos -> 1
+    in
+    let g_vth = if spec.global_variation then dvth_global.(polarity_idx) else 0.0 in
+    let g_kp = if spec.global_variation then dkp_global.(polarity_idx) else 0.0 in
+    let l_vth, l_kp =
+      if spec.mismatch then
+        ( Repro_util.Prng.gaussian prng ~mean:0.0
+            ~sigma:(Mosfet.sigma_vth model ~w:m.w ~l:m.l),
+          Repro_util.Prng.gaussian prng ~mean:0.0
+            ~sigma:(Mosfet.sigma_kp_rel model ~w:m.w ~l:m.l) )
+      else (0.0, 0.0)
+    in
+    (* threshold magnitude shifts add; PMOS Vth is stored as a magnitude,
+       so a positive shift always means a slower device *)
+    Netlist.Mos
+      {
+        m with
+        vth_shift = m.vth_shift +. g_vth +. l_vth;
+        kp_scale = m.kp_scale *. (1.0 +. g_kp) *. (1.0 +. l_kp);
+      }
+  | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Vsource _
+  | Netlist.Isource _ -> el
+
+let sample spec prng net =
+  let g () = Repro_util.Prng.gaussian prng ~mean:0.0 ~sigma:1.0 in
+  let dvth_global =
+    [| spec.sigma_vth_global *. g (); spec.sigma_vth_global *. g () |]
+  in
+  let dkp_global =
+    [| spec.sigma_kp_global *. g (); spec.sigma_kp_global *. g () |]
+  in
+  Netlist.map_elements (perturb_mos spec ~dvth_global ~dkp_global prng) net
+
+type corner = Tt | Ss | Ff | Sf | Fs
+
+let corner_name = function
+  | Tt -> "TT"
+  | Ss -> "SS"
+  | Ff -> "FF"
+  | Sf -> "SF"
+  | Fs -> "FS"
+
+(* S = slow = +3 sigma Vth, -3 sigma Kp; F = fast = the opposite *)
+let corner_shifts c =
+  let slow = (3.0, -3.0) and fast = (-3.0, 3.0) and typ = (0.0, 0.0) in
+  match c with
+  | Tt -> (typ, typ)
+  | Ss -> (slow, slow)
+  | Ff -> (fast, fast)
+  | Sf -> (slow, fast) (* slow NMOS, fast PMOS *)
+  | Fs -> (fast, slow)
+
+let corner c net =
+  let (nv, nk), (pv, pk) = corner_shifts c in
+  let s = default in
+  let shift el =
+    match el with
+    | Netlist.Mos m ->
+      let v_sig, k_sig =
+        match m.model.Mosfet.polarity with
+        | Mosfet.Nmos -> (nv, nk)
+        | Mosfet.Pmos -> (pv, pk)
+      in
+      Netlist.Mos
+        {
+          m with
+          vth_shift = m.vth_shift +. (v_sig *. s.sigma_vth_global);
+          kp_scale = m.kp_scale *. (1.0 +. (k_sig *. s.sigma_kp_global));
+        }
+    | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Vsource _
+    | Netlist.Isource _ -> el
+  in
+  Netlist.map_elements shift net

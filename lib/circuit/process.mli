@@ -1,0 +1,37 @@
+(** Process variation and mismatch sampling — the substitute for the
+    foundry's statistical model files (DESIGN.md §2).
+
+    Two variation layers are applied to every MOS instance:
+
+    - {b global} (inter-die) variation: one Vth shift and one relative Kp
+      shift per polarity, shared by all devices of that polarity;
+    - {b local} (intra-die) mismatch: independent per-device shifts with
+      Pelgrom scaling (σ ∝ 1/√(WL)), computed from each instance's
+      geometry via {!Mosfet.sigma_vth} / {!Mosfet.sigma_kp_rel}.
+
+    Sampling never mutates the nominal netlist; it returns a perturbed
+    copy, so Monte-Carlo trials are trivially independent. *)
+
+type spec = {
+  sigma_vth_global : float;  (** V; per-polarity global Vth sigma *)
+  sigma_kp_global : float;   (** relative; per-polarity global Kp sigma *)
+  mismatch : bool;           (** enable Pelgrom per-device mismatch *)
+  global_variation : bool;   (** enable the inter-die layer *)
+}
+
+val default : spec
+(** 6 mV global Vth sigma, 2% global Kp sigma, both layers enabled. *)
+
+val mismatch_only : spec
+(** Local mismatch only — isolates the Pelgrom contribution. *)
+
+val sample : spec -> Repro_util.Prng.t -> Netlist.t -> Netlist.t
+(** Draw one process instance of the netlist. *)
+
+type corner = Tt | Ss | Ff | Sf | Fs
+
+val corner : corner -> Netlist.t -> Netlist.t
+(** Deterministic corner: S/F shift Vth by ±3 global sigmas and Kp by
+    ∓3 sigmas for the (NMOS, PMOS) pair named by the corner. *)
+
+val corner_name : corner -> string

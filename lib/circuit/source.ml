@@ -1,0 +1,72 @@
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Pwl of (float * float) array
+  | Sin of { offset : float; ampl : float; freq : float; phase_deg : float }
+
+let pulse_value p t =
+  match p with
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+    if t < delay then v1
+    else begin
+      let t = t -. delay in
+      let t = if period > 0.0 then Float.rem t period else t in
+      if t < rise then v1 +. ((v2 -. v1) *. t /. Float.max rise 1e-18)
+      else if t < rise +. width then v2
+      else if t < rise +. width +. fall then
+        v2 +. ((v1 -. v2) *. (t -. rise -. width) /. Float.max fall 1e-18)
+      else v1
+    end
+  | Dc _ | Pwl _ | Sin _ -> assert false
+
+let pwl_value points t =
+  let n = Array.length points in
+  if n = 0 then 0.0
+  else begin
+    let t0, v0 = points.(0) in
+    let tn, vn = points.(n - 1) in
+    if t <= t0 then v0
+    else if t >= tn then vn
+    else begin
+      (* largest i with time <= t *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fst points.(mid) <= t then lo := mid else hi := mid
+      done;
+      let ta, va = points.(!lo) and tb, vb = points.(!hi) in
+      va +. ((vb -. va) *. (t -. ta) /. (tb -. ta))
+    end
+  end
+
+let value src t =
+  match src with
+  | Dc v -> v
+  | Pulse _ -> pulse_value src t
+  | Pwl points -> pwl_value points t
+  | Sin { offset; ampl; freq; phase_deg } ->
+    offset
+    +. (ampl
+       *. sin ((2.0 *. Float.pi *. freq *. t) +. (phase_deg *. Float.pi /. 180.0)))
+
+let dc_value src = value src 0.0
+
+let pp ppf = function
+  | Dc v -> Format.fprintf ppf "DC %g" v
+  | Pulse { v1; v2; delay; rise; fall; width; period } ->
+    Format.fprintf ppf "PULSE(%g %g %g %g %g %g %g)" v1 v2 delay rise fall
+      width period
+  | Pwl points ->
+    Format.fprintf ppf "PWL(";
+    Array.iter (fun (t, v) -> Format.fprintf ppf "%g %g " t v) points;
+    Format.fprintf ppf ")"
+  | Sin { offset; ampl; freq; phase_deg } ->
+    Format.fprintf ppf "SIN(%g %g %g 0 0 %g)" offset ampl freq phase_deg

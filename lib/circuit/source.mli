@@ -1,0 +1,25 @@
+(** Independent source waveforms (the SPICE DC/PULSE/PWL/SIN cards). *)
+
+type t =
+  | Dc of float
+  | Pulse of {
+      v1 : float;
+      v2 : float;
+      delay : float;
+      rise : float;
+      fall : float;
+      width : float;
+      period : float;
+    }
+  | Pwl of (float * float) array
+      (** piecewise-linear [(time, value)] points, strictly increasing
+          times; constant before the first and after the last point *)
+  | Sin of { offset : float; ampl : float; freq : float; phase_deg : float }
+
+val value : t -> float -> float
+(** Instantaneous value at time [t] (>= 0). *)
+
+val dc_value : t -> float
+(** Value used during DC analysis (time-0 value for transient sources). *)
+
+val pp : Format.formatter -> t -> unit

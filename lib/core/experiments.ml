@@ -1,0 +1,225 @@
+module V = Repro_spice.Vco_measure
+module B = Repro_behave
+
+let buf_printf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let ascii_plot ?(width = 72) ?(height = 18) ~title ?(y_label = "") points =
+  let buf = Buffer.create 2048 in
+  if Array.length points < 2 then begin
+    buf_printf buf "%s: (not enough points to plot)\n" title;
+    Buffer.contents buf
+  end
+  else begin
+    let xs = Array.map fst points and ys = Array.map snd points in
+    let x0, x1 = Repro_util.Stats.min_max xs in
+    let y0, y1 = Repro_util.Stats.min_max ys in
+    let y0, y1 = if y1 > y0 then (y0, y1) else (y0 -. 1.0, y1 +. 1.0) in
+    let x0, x1 = if x1 > x0 then (x0, x1) else (x0 -. 1.0, x1 +. 1.0) in
+    let grid = Array.make_matrix height width ' ' in
+    Array.iter
+      (fun (x, y) ->
+        let cx =
+          int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+        in
+        let cy =
+          int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+        in
+        let cx = max 0 (min (width - 1) cx)
+        and cy = max 0 (min (height - 1) cy) in
+        grid.(height - 1 - cy).(cx) <- '*')
+      points;
+    buf_printf buf "%s\n" title;
+    for r = 0 to height - 1 do
+      let label =
+        if r = 0 then Printf.sprintf "%10.3g" y1
+        else if r = height - 1 then Printf.sprintf "%10.3g" y0
+        else if r = height / 2 && y_label <> "" then
+          Printf.sprintf "%10s" y_label
+        else String.make 10 ' '
+      in
+      buf_printf buf "%s |%s\n" label (String.init width (fun c -> grid.(r).(c)))
+    done;
+    buf_printf buf "%10s +%s\n" "" (String.make width '-');
+    buf_printf buf "%10s  %-10.3g%*s%10.3g\n" "" x0 (width - 20) "" x1;
+    Buffer.contents buf
+  end
+
+let fig7_front designs =
+  let buf = Buffer.create 4096 in
+  buf_printf buf
+    "Figure 7 — circuit-level Pareto front (3 of the 5 objectives shown: jitter, current, gain)\n";
+  buf_printf buf "%-4s %10s %10s %12s %10s %10s\n" "#" "jitter/ps" "curr/mA"
+    "gain MHz/V" "fmin/MHz" "fmax/MHz";
+  let sorted = Array.copy designs in
+  Array.sort
+    (fun a b ->
+      compare a.Vco_problem.perf.V.jvco b.Vco_problem.perf.V.jvco)
+    sorted;
+  Array.iteri
+    (fun i d ->
+      let p = d.Vco_problem.perf in
+      buf_printf buf "%-4d %10.3f %10.2f %12.0f %10.0f %10.0f\n" (i + 1)
+        (p.V.jvco *. 1e12) (p.V.ivco *. 1e3) (p.V.kvco /. 1e6)
+        (p.V.fmin /. 1e6) (p.V.fmax /. 1e6))
+    sorted;
+  let jitter_vs_current =
+    Array.map
+      (fun d ->
+        (d.Vco_problem.perf.V.ivco *. 1e3, d.Vco_problem.perf.V.jvco *. 1e12))
+      sorted
+  in
+  Buffer.add_string buf
+    (ascii_plot ~title:"jitter/ps (y) vs current/mA (x) projection"
+       jitter_vs_current);
+  Buffer.contents buf
+
+let table1 entries =
+  let buf = Buffer.create 4096 in
+  buf_printf buf "Table 1 — performance and variation values\n";
+  buf_printf buf "%-8s %12s %8s %10s %8s %10s %8s\n" "Design" "Kvco(MHz/V)"
+    "dKvco" "Jvco(ps)" "dJvco" "Ivco(mA)" "dIvco";
+  Array.iteri
+    (fun i (e : Variation_model.entry) ->
+      let p = e.Variation_model.design.Vco_problem.perf in
+      buf_printf buf "%-8d %12.0f %7.2f%% %10.3f %7.1f%% %10.2f %7.1f%%\n"
+        (i + 1) (p.V.kvco /. 1e6)
+        (100.0 *. e.Variation_model.d_kvco)
+        (p.V.jvco *. 1e12)
+        (100.0 *. e.Variation_model.d_jvco)
+        (p.V.ivco *. 1e3)
+        (100.0 *. e.Variation_model.d_ivco))
+    entries;
+  Buffer.contents buf
+
+let table2 ?selected rows =
+  let buf = Buffer.create 4096 in
+  buf_printf buf
+    "Table 2 — PLL system-level solution samples (selected design marked *)\n";
+  buf_printf buf
+    "%-2s %7s %7s %7s %6s %6s %6s %7s %7s %7s %6s %6s %6s %6s %6s %6s %6s\n"
+    "" "Kv" "Kvmin" "Kvmax" "Iv" "Ivmin" "Ivmax" "C1" "C2" "R1" "Lt" "Jit"
+    "Jmin" "Jmax" "Curr" "Cmin" "Cmax";
+  buf_printf buf
+    "%-2s %7s %7s %7s %6s %6s %6s %7s %7s %7s %6s %6s %6s %6s %6s %6s %6s\n"
+    "" "MHz/V" "" "" "mA" "" "" "" "" "" "us" "ps" "" "" "mA" "" "";
+  let is_selected r =
+    match selected with
+    | Some s -> s.Pll_problem.kv = r.Pll_problem.kv && s.Pll_problem.c1 = r.Pll_problem.c1
+    | None -> false
+  in
+  Array.iter
+    (fun (r : Pll_problem.table2_row) ->
+      buf_printf buf
+        "%-2s %7.0f %7.0f %7.0f %6.2f %6.2f %6.2f %7s %7s %7s %6.2f %6.2f %6.2f %6.2f %6.1f %6.1f %6.1f\n"
+        (if is_selected r then "*" else "")
+        (r.Pll_problem.kv /. 1e6)
+        (r.Pll_problem.kv_min /. 1e6)
+        (r.Pll_problem.kv_max /. 1e6)
+        (r.Pll_problem.iv *. 1e3)
+        (r.Pll_problem.iv_min *. 1e3)
+        (r.Pll_problem.iv_max *. 1e3)
+        (Repro_util.Si.format r.Pll_problem.c1)
+        (Repro_util.Si.format r.Pll_problem.c2)
+        (Repro_util.Si.format r.Pll_problem.r1)
+        (r.Pll_problem.lock *. 1e6)
+        (r.Pll_problem.jit *. 1e12)
+        (r.Pll_problem.jit_min *. 1e12)
+        (r.Pll_problem.jit_max *. 1e12)
+        (r.Pll_problem.curr *. 1e3)
+        (r.Pll_problem.curr_min *. 1e3)
+        (r.Pll_problem.curr_max *. 1e3))
+    rows;
+  Buffer.contents buf
+
+let fig8_locking cfg (row : Pll_problem.table2_row) =
+  let pll_cfg, _, _, _ =
+    Pll_problem.variant_config cfg ~kvco:row.Pll_problem.kv
+      ~ivco:row.Pll_problem.iv ~c1:row.Pll_problem.c1 ~c2:row.Pll_problem.c2
+      ~r1:row.Pll_problem.r1
+  in
+  let sim = B.Pll.simulate pll_cfg (B.Pll.default_sim_options pll_cfg) in
+  let buf = Buffer.create 4096 in
+  buf_printf buf "Figure 8 — PLL locking transient of the selected design\n";
+  (match sim.B.Pll.lock_time with
+  | Some t -> buf_printf buf "lock time: %.3f us (spec < %.2f us)\n" (t *. 1e6)
+                (cfg.Pll_problem.spec.Spec.lock_time_max *. 1e6)
+  | None -> buf_printf buf "loop did not lock within the window!\n");
+  let trace =
+    Array.map (fun (t, f) -> (t *. 1e9, f /. 1e6)) sim.B.Pll.freq_trace
+  in
+  Buffer.add_string buf
+    (ascii_plot ~title:"output frequency / MHz vs time / ns" ~y_label:"f/MHz"
+       trace);
+  let vtrace =
+    Array.map (fun (t, v) -> (t *. 1e9, v)) sim.B.Pll.vctl_trace
+  in
+  Buffer.add_string buf
+    (ascii_plot ~title:"control voltage / V vs time / ns" ~y_label:"vctl"
+       vtrace);
+  Buffer.contents buf
+
+let pp_perf_line buf tag (p : V.performance) =
+  buf_printf buf
+    "  %-22s kvco=%7.0f MHz/V  ivco=%6.2f mA  jvco=%6.3f ps  f=[%5.0f, %5.0f] MHz\n"
+    tag (p.V.kvco /. 1e6) (p.V.ivco *. 1e3) (p.V.jvco *. 1e12)
+    (p.V.fmin /. 1e6) (p.V.fmax /. 1e6)
+
+let yield_report estimate ~verification =
+  let buf = Buffer.create 2048 in
+  buf_printf buf "Yield verification (paper: 500 MC samples -> 100%%)\n";
+  buf_printf buf "  behavioural MC: %s\n"
+    (Format.asprintf "%a" Repro_util.Stats.pp_yield estimate);
+  (match verification with
+  | None -> buf_printf buf "  (no selected design to verify)\n"
+  | Some v ->
+    buf_printf buf "bottom-up verification of the selected design:\n";
+    pp_perf_line buf "model (top-down ask)" v.Hierarchy.requested;
+    let p = v.Hierarchy.mapped in
+    buf_printf buf
+      "  mapped sizing: wn=%s ln=%s wp=%s lp=%s wcn=%s wcp=%s lc=%s\n"
+      (Repro_util.Si.format p.Repro_circuit.Topologies.wn)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.ln)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.wp)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.lp)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.wcn)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.wcp)
+      (Repro_util.Si.format p.Repro_circuit.Topologies.lc);
+    (match v.Hierarchy.measured with
+    | Ok m ->
+      pp_perf_line buf "transistor (measured)" m;
+      let err a b = 100.0 *. Float.abs (a -. b) /. Float.abs b in
+      buf_printf buf
+        "  prediction error: kvco %.1f%%  ivco %.1f%%  jvco %.1f%%\n"
+        (err m.V.kvco v.Hierarchy.requested.V.kvco)
+        (err m.V.ivco v.Hierarchy.requested.V.ivco)
+        (err m.V.jvco v.Hierarchy.requested.V.jvco)
+    | Error e -> buf_printf buf "  transistor re-simulation failed: %s\n" e));
+  Buffer.contents buf
+
+let ablation_report ~(with_variation : Hierarchy.result)
+    ~(without_variation : Hierarchy.result) ~prng =
+  let buf = Buffer.create 2048 in
+  buf_printf buf
+    "Ablation — variation-aware optimisation (this paper) vs nominal-only ([10])\n";
+  let describe tag (r : Hierarchy.result) =
+    match r.Hierarchy.selected with
+    | None -> buf_printf buf "  %-16s no feasible design selected\n" tag
+    | Some row ->
+      (* evaluate both selections under the SAME variation-aware yield model *)
+      let vcfg =
+        { r.Hierarchy.pll_config with Pll_problem.use_variation = true }
+      in
+      let y =
+        Yield.behavioural ~n:300 ~prng:(Repro_util.Prng.split prng) vcfg row
+      in
+      buf_printf buf
+        "  %-16s jit=%5.2f ps  lock(worst)=%5.3f us  curr(worst)=%5.2f mA  yield=%s\n"
+        tag
+        (row.Pll_problem.jit *. 1e12)
+        (row.Pll_problem.lock_max *. 1e6)
+        (row.Pll_problem.curr_max *. 1e3)
+        (Format.asprintf "%a" Repro_util.Stats.pp_yield y)
+  in
+  describe "with variation" with_variation;
+  describe "nominal-only" without_variation;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Regeneration of every evaluation artefact in the paper (the
+    per-experiment index of DESIGN.md §4).  Each function renders the
+    corresponding table/figure from flow results as printable text;
+    [bench/main.exe] ties them together. *)
+
+val fig7_front : Vco_problem.sized_design array -> string
+(** Figure 7: the circuit-level Pareto front over (jitter, current,
+    gain) — printed as the data series behind the paper's 3-D plot,
+    plus the fmin/fmax columns. *)
+
+val table1 : Variation_model.entry array -> string
+(** Table 1: sample Pareto points with nominal Kvco/Jvco/Ivco and their
+    ∆ spreads, in the paper's layout. *)
+
+val table2 :
+  ?selected:Pll_problem.table2_row ->
+  Pll_problem.table2_row array ->
+  string
+(** Table 2: PLL system-level solution samples with nominal/min/max
+    triples; the selected ("shaded") row is marked with [*]. *)
+
+val fig8_locking :
+  Pll_problem.config -> Pll_problem.table2_row -> string
+(** Figure 8: the PLL locking transient of the selected design — an
+    ASCII frequency-vs-time settling plot with the measured lock time. *)
+
+val yield_report :
+  Repro_util.Stats.yield_estimate ->
+  verification:Hierarchy.verification option ->
+  string
+(** §4.5 closing check: the 500-sample MC yield plus the bottom-up
+    verification comparison (model-predicted vs transistor-measured
+    performance of the mapped sizing). *)
+
+val ablation_report :
+  with_variation:Hierarchy.result ->
+  without_variation:Hierarchy.result ->
+  prng:Repro_util.Prng.t ->
+  string
+(** The improvement claim over [10]: evaluate the design selected by the
+    nominal-only flow under the {e variation-aware} yield model and
+    compare yields/worst cases side by side. *)
+
+val ascii_plot :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  ?y_label:string ->
+  (float * float) array ->
+  string
+(** Small terminal scatter/line plot used by the figure renderers. *)

@@ -1,0 +1,205 @@
+module V = Repro_spice.Vco_measure
+module Nsga2 = Repro_moo.Nsga2
+module Prng = Repro_util.Prng
+
+type scale = {
+  vco_population : int;
+  vco_generations : int;
+  mc_samples : int;
+  front_max : int;
+  pll_population : int;
+  pll_generations : int;
+  yield_samples : int;
+}
+
+let paper_scale =
+  {
+    vco_population = 100;
+    vco_generations = 30;
+    mc_samples = 100;
+    front_max = max_int;
+    pll_population = 60;
+    pll_generations = 20;
+    yield_samples = 500;
+  }
+
+let bench_scale =
+  {
+    vco_population = 24;
+    vco_generations = 10;
+    mc_samples = 20;
+    front_max = 10;
+    pll_population = 24;
+    pll_generations = 8;
+    yield_samples = 200;
+  }
+
+let scale_of_env () =
+  match Sys.getenv_opt "HIEROPT_FULL" with
+  | Some v when v <> "" && v <> "0" -> paper_scale
+  | Some _ | None -> bench_scale
+
+type config = {
+  seed : int;
+  scale : scale;
+  spec : Spec.t;
+  measure : V.options;
+  process : Repro_circuit.Process.spec;
+  use_variation : bool;
+  model_dir : string option;
+}
+
+let default_config ?(scale = bench_scale) () =
+  {
+    seed = 2009;
+    scale;
+    spec = Spec.default;
+    measure = V.default_options;
+    process = Repro_circuit.Process.default;
+    use_variation = true;
+    model_dir = None;
+  }
+
+type verification = {
+  requested : V.performance;
+  mapped : Repro_circuit.Topologies.vco_params;
+  measured : (V.performance, string) result;
+}
+
+type result = {
+  front : Vco_problem.sized_design array;
+  entries : Variation_model.entry array;
+  model : Perf_table.t;
+  rows : Pll_problem.table2_row array;
+  selected : Pll_problem.table2_row option;
+  verification : verification option;
+  yield : Repro_util.Stats.yield_estimate option;
+  pll_config : Pll_problem.config;
+}
+
+let say progress fmt = Printf.ksprintf (fun s -> progress s) fmt
+
+let pll_config_of cfg model =
+  {
+    (Pll_problem.default_config ~model) with
+    Pll_problem.spec = cfg.spec;
+    use_variation = cfg.use_variation;
+  }
+
+let verify_design cfg ~model (row : Pll_problem.table2_row) =
+  let kvco = row.Pll_problem.kv and ivco = row.Pll_problem.iv in
+  let requested =
+    {
+      V.kvco;
+      ivco;
+      jvco = Perf_table.jvco_of model ~kvco ~ivco;
+      fmin = Perf_table.fmin_of model ~kvco ~ivco;
+      fmax = Perf_table.fmax_of model ~kvco ~ivco;
+    }
+  in
+  let mapped = Perf_table.params_of_perf model requested in
+  let measured =
+    match V.characterise ~options:cfg.measure mapped with
+    | Ok p -> Ok p
+    | Error f -> Error (V.failure_to_string f)
+  in
+  { requested; mapped; measured }
+
+let run_system_level_inner ?(progress = fun _ -> ()) cfg ~model ~front ~entries
+    =
+  let scale = cfg.scale in
+  let pll_cfg = pll_config_of cfg model in
+  say progress "system level: NSGA-II %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
+    scale.pll_population scale.pll_generations
+    (if cfg.use_variation then " with variation model"
+     else " (nominal-only ablation)");
+  let prng = Prng.create (cfg.seed + 77) in
+  let pll_problem = Pll_problem.problem pll_cfg in
+  let pll_pop =
+    Nsga2.optimise
+      ~options:
+        {
+          Nsga2.default_options with
+          population = scale.pll_population;
+          generations = scale.pll_generations;
+        }
+      pll_problem prng
+  in
+  let pll_front = Nsga2.pareto_front pll_pop in
+  say progress "system level: %d Pareto solutions" (Array.length pll_front);
+  let rows =
+    Array.to_list pll_front
+    |> List.filter_map (Pll_problem.row_of_individual pll_cfg)
+    |> Array.of_list
+  in
+  let selected = Pll_problem.select_design pll_cfg rows in
+  let verification =
+    Option.map (fun row -> verify_design cfg ~model row) selected
+  in
+  let yield =
+    Option.map
+      (fun row ->
+        say progress "yield: %d behavioural MC samples" scale.yield_samples;
+        Yield.behavioural ~n:scale.yield_samples
+          ~prng:(Prng.create (cfg.seed + 99))
+          pll_cfg row)
+      selected
+  in
+  { front; entries; model; rows; selected; verification; yield;
+    pll_config = pll_cfg }
+
+let run_system_level ?progress cfg ~model =
+  run_system_level_inner ?progress cfg ~model
+    ~front:
+      (Array.map (fun e -> e.Variation_model.design) (Perf_table.entries model))
+    ~entries:(Perf_table.entries model)
+
+let run ?(progress = fun _ -> ()) cfg =
+  let scale = cfg.scale in
+  (* step 1: circuit-level MOO *)
+  say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
+    scale.vco_population scale.vco_generations;
+  let prng = Prng.create cfg.seed in
+  let vco_problem = Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec () in
+  let pop =
+    Nsga2.optimise
+      ~options:
+        {
+          Nsga2.default_options with
+          population = scale.vco_population;
+          generations = scale.vco_generations;
+        }
+      vco_problem prng
+  in
+  let full_front = Vco_problem.front_designs pop in
+  if Array.length full_front < 2 then
+    failwith "Hierarchy.run: circuit-level Pareto front is degenerate";
+  say progress "circuit level: %d Pareto designs" (Array.length full_front);
+  let front =
+    if scale.front_max = max_int then full_front
+    else Vco_problem.thin_front full_front ~max_points:scale.front_max
+  in
+  (* step 2: variation modelling *)
+  say progress "variation model: %d MC samples x %d designs" scale.mc_samples
+    (Array.length front);
+  let entries =
+    Variation_model.analyse_front
+      ~options:
+        {
+          Variation_model.samples = scale.mc_samples;
+          process = cfg.process;
+          measure = cfg.measure;
+        }
+      ~progress:(fun i n -> say progress "variation model: design %d/%d" (i + 1) n)
+      ~prng:(Prng.create (cfg.seed + 13))
+      front
+  in
+  (* step 3: combined table model *)
+  let model = Perf_table.build entries in
+  (match cfg.model_dir with
+  | Some dir ->
+    Perf_table.save ~dir model;
+    say progress "table model saved to %s" dir
+  | None -> ());
+  (* steps 4-5 *)
+  run_system_level_inner ~progress cfg ~model ~front ~entries

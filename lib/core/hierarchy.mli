@@ -1,0 +1,86 @@
+(** The full hierarchical flow of the paper's Figure 4:
+
+    1. circuit-level NSGA-II over the VCO sizing (→ Figure 7 front);
+    2. Monte-Carlo variation modelling of every front design (→ Table 1);
+    3. combined performance+variation table model (→ Listings 1/2);
+    4. system-level NSGA-II over the PLL using the model (→ Table 2);
+    5. design selection, bottom-up verification (parameter recovery +
+       transistor-level re-simulation) and yield confirmation (→ §4.5 /
+       Figure 8).
+
+    [run] executes the whole flow deterministically from a seed;
+    [ablation] re-runs step 4–5 with the variation model ignored during
+    optimisation (the method of the paper's reference [10]) for the
+    improvement comparison. *)
+
+type scale = {
+  vco_population : int;
+  vco_generations : int;
+  mc_samples : int;       (** per Pareto point *)
+  front_max : int;        (** Pareto points kept for MC (cost bound) *)
+  pll_population : int;
+  pll_generations : int;
+  yield_samples : int;
+}
+
+val paper_scale : scale
+(** The paper's §4 settings: 100×30 circuit GA, 100 MC samples/point,
+    full front, 60×20 system GA, 500 yield samples. *)
+
+val bench_scale : scale
+(** Reduced workload for the few-minute bench harness: 24×10 circuit GA,
+    20 MC samples over ≤ 10 points, 24×8 system GA, 200 yield samples.
+    Every code path is identical; only loop counts differ. *)
+
+val scale_of_env : unit -> scale
+(** [paper_scale] when the environment variable HIEROPT_FULL is set to a
+    non-empty value other than "0", else [bench_scale]. *)
+
+type config = {
+  seed : int;
+  scale : scale;
+  spec : Spec.t;
+  measure : Repro_spice.Vco_measure.options;
+  process : Repro_circuit.Process.spec;
+  use_variation : bool;
+  model_dir : string option;  (** where to save the .tbl model files *)
+}
+
+val default_config : ?scale:scale -> unit -> config
+
+type verification = {
+  requested : Repro_spice.Vco_measure.performance;
+      (** the performance point handed down from system level *)
+  mapped : Repro_circuit.Topologies.vco_params;
+      (** transistor dimensions recovered through the p1..p7 tables *)
+  measured : (Repro_spice.Vco_measure.performance, string) result;
+      (** transistor-level re-simulation of the mapped sizing *)
+}
+
+type result = {
+  front : Vco_problem.sized_design array;      (** step 1 *)
+  entries : Variation_model.entry array;       (** step 2 *)
+  model : Perf_table.t;                        (** step 3 *)
+  rows : Pll_problem.table2_row array;         (** step 4 *)
+  selected : Pll_problem.table2_row option;    (** step 5 *)
+  verification : verification option;
+  yield : Repro_util.Stats.yield_estimate option;
+  pll_config : Pll_problem.config;
+}
+
+val run : ?progress:(string -> unit) -> config -> result
+(** @raise Failure when the circuit-level front is empty (no oscillating
+    design found — should not happen at the default scales). *)
+
+val run_system_level :
+  ?progress:(string -> unit) ->
+  config ->
+  model:Perf_table.t ->
+  result
+(** Steps 4–5 only, over an existing model — used by the ablation bench
+    to compare variation-aware vs nominal-only optimisation without
+    re-running the expensive circuit level. *)
+
+val verify_design :
+  config -> model:Perf_table.t -> Pll_problem.table2_row -> verification
+(** Bottom-up verification of a chosen row. *)

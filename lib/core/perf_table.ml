@@ -1,0 +1,193 @@
+module V = Repro_spice.Vco_measure
+module T = Repro_circuit.Topologies
+module I = Repro_interp
+
+type t = {
+  entries : Variation_model.entry array;
+  (* delta tables, keyed on the corresponding nominal performance *)
+  t_dkvco : I.Table1d.t;
+  t_djvco : I.Table1d.t;
+  t_divco : I.Table1d.t;
+  t_dfmin : I.Table1d.t;
+  t_dfmax : I.Table1d.t;
+  (* performance over the (kvco, ivco) plane *)
+  t_jvco : I.Table_nd.t;
+  t_fmin : I.Table_nd.t;
+  t_fmax : I.Table_nd.t;
+  (* parameter recovery over the full 5-performance space *)
+  t_params : I.Table_nd.t array; (* 7 tables *)
+}
+
+let perf_of (e : Variation_model.entry) = e.Variation_model.design.Vco_problem.perf
+
+let build entries =
+  if Array.length entries < 2 then
+    invalid_arg "Perf_table.build: need at least 2 Pareto entries";
+  let get f = Array.map (fun e -> f (perf_of e)) entries in
+  let kvcos = get (fun p -> p.V.kvco) in
+  let jvcos = get (fun p -> p.V.jvco) in
+  let ivcos = get (fun p -> p.V.ivco) in
+  let fmins = get (fun p -> p.V.fmin) in
+  let fmaxs = get (fun p -> p.V.fmax) in
+  let deltas f = Array.map f entries in
+  let t1 xs ys = I.Table1d.build ~control:"3E" xs ys in
+  let ki = Array.map2 (fun k i -> [| k; i |]) kvcos ivcos in
+  let full =
+    Array.init (Array.length entries) (fun r ->
+        [| kvcos.(r); ivcos.(r); jvcos.(r); fmins.(r); fmaxs.(r) |])
+  in
+  let param_col k =
+    Array.map
+      (fun e ->
+        (T.vco_vector_of_params e.Variation_model.design.Vco_problem.params).(k))
+      entries
+  in
+  {
+    entries = Array.copy entries;
+    t_dkvco = t1 kvcos (deltas (fun e -> e.Variation_model.d_kvco));
+    t_djvco = t1 jvcos (deltas (fun e -> e.Variation_model.d_jvco));
+    t_divco = t1 ivcos (deltas (fun e -> e.Variation_model.d_ivco));
+    t_dfmin = t1 fmins (deltas (fun e -> e.Variation_model.d_fmin));
+    t_dfmax = t1 fmaxs (deltas (fun e -> e.Variation_model.d_fmax));
+    t_jvco = I.Table_nd.build ki jvcos;
+    t_fmin = I.Table_nd.build ki fmins;
+    t_fmax = I.Table_nd.build ki fmaxs;
+    t_params = Array.init 7 (fun k -> I.Table_nd.build full (param_col k));
+  }
+
+let entries t = Array.copy t.entries
+let size t = Array.length t.entries
+
+(* the paper's "3E" control string refuses extrapolation; optimiser
+   queries clamp to the sampled range instead of failing *)
+let kvco_delta t x = I.Table1d.eval_clamped t.t_dkvco x
+let jvco_delta t x = I.Table1d.eval_clamped t.t_djvco x
+let ivco_delta t x = I.Table1d.eval_clamped t.t_divco x
+let fmin_delta t x = I.Table1d.eval_clamped t.t_dfmin x
+let fmax_delta t x = I.Table1d.eval_clamped t.t_dfmax x
+
+let jvco_of t ~kvco ~ivco = I.Table_nd.eval t.t_jvco [| kvco; ivco |]
+let fmin_of t ~kvco ~ivco = I.Table_nd.eval t.t_fmin [| kvco; ivco |]
+let fmax_of t ~kvco ~ivco = I.Table_nd.eval t.t_fmax [| kvco; ivco |]
+
+let params_of_perf t (p : V.performance) =
+  let query = [| p.V.kvco; p.V.ivco; p.V.jvco; p.V.fmin; p.V.fmax |] in
+  T.vco_params_of_vector
+    (Array.map (fun tab -> I.Table_nd.eval tab query) t.t_params)
+
+let range_of get t =
+  Repro_util.Stats.min_max (Array.map (fun e -> get (perf_of e)) t.entries)
+
+let kvco_range t = range_of (fun p -> p.V.kvco) t
+let ivco_range t = range_of (fun p -> p.V.ivco) t
+
+let min_max_of_delta ~nominal ~delta =
+  (nominal -. (delta *. nominal), nominal +. (delta *. nominal))
+
+(* ---- persistence in the paper's .tbl layout ---- *)
+
+let datafile_of_cols inputs output =
+  let rows =
+    List.init (Array.length output) (fun r ->
+        (Array.map (fun col -> col.(r)) inputs, output.(r)))
+  in
+  I.Datafile.of_rows rows
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name header file = I.Datafile.save ~header (Filename.concat dir name) file in
+  let get f = Array.map (fun e -> f (perf_of e)) t.entries in
+  let kvcos = get (fun p -> p.V.kvco) in
+  let jvcos = get (fun p -> p.V.jvco) in
+  let ivcos = get (fun p -> p.V.ivco) in
+  let fmins = get (fun p -> p.V.fmin) in
+  let fmaxs = get (fun p -> p.V.fmax) in
+  let deltas f = Array.map f t.entries in
+  write "kvco_delta.tbl" "kvco -> relative spread of kvco"
+    (datafile_of_cols [| kvcos |] (deltas (fun e -> e.Variation_model.d_kvco)));
+  write "jvco_delta.tbl" "jvco -> relative spread of jvco"
+    (datafile_of_cols [| jvcos |] (deltas (fun e -> e.Variation_model.d_jvco)));
+  write "ivco_delta.tbl" "ivco -> relative spread of ivco"
+    (datafile_of_cols [| ivcos |] (deltas (fun e -> e.Variation_model.d_ivco)));
+  write "fmin_delta.tbl" "fmin -> relative spread of fmin"
+    (datafile_of_cols [| fmins |] (deltas (fun e -> e.Variation_model.d_fmin)));
+  write "fmax_delta.tbl" "fmax -> relative spread of fmax"
+    (datafile_of_cols [| fmaxs |] (deltas (fun e -> e.Variation_model.d_fmax)));
+  write "data.tbl" "kvco ivco -> jvco" (datafile_of_cols [| kvcos; ivcos |] jvcos);
+  write "fmin_data.tbl" "kvco ivco -> fmin"
+    (datafile_of_cols [| kvcos; ivcos |] fmins);
+  write "fmax_data.tbl" "kvco ivco -> fmax"
+    (datafile_of_cols [| kvcos; ivcos |] fmaxs);
+  Array.iteri
+    (fun k name ->
+      let col =
+        Array.map
+          (fun e ->
+            (T.vco_vector_of_params e.Variation_model.design.Vco_problem.params).(k))
+          t.entries
+      in
+      write
+        (Printf.sprintf "p%d_data.tbl" (k + 1))
+        (Printf.sprintf "kvco ivco jvco fmin fmax -> %s" name)
+        (datafile_of_cols [| kvcos; ivcos; jvcos; fmins; fmaxs |] col))
+    T.vco_param_names;
+  (* one flat archive row per entry so [load] can rebuild everything *)
+  let pareto_rows =
+    List.map
+      (fun e ->
+        let p = perf_of e in
+        let prm =
+          T.vco_vector_of_params e.Variation_model.design.Vco_problem.params
+        in
+        let ins =
+          Array.concat
+            [
+              prm;
+              [| p.V.kvco; p.V.ivco; p.V.jvco; p.V.fmin; p.V.fmax |];
+              [|
+                e.Variation_model.d_kvco; e.Variation_model.d_ivco;
+                e.Variation_model.d_jvco; e.Variation_model.d_fmin;
+                e.Variation_model.d_fmax;
+              |];
+              [| float_of_int e.Variation_model.mc_samples |];
+            ]
+        in
+        (ins, float_of_int e.Variation_model.mc_failures))
+      (Array.to_list t.entries)
+  in
+  I.Datafile.save
+    ~header:
+      "w1 l1 w2 l2 w3 w4 l3 | kvco ivco jvco fmin fmax | dkvco divco djvco dfmin dfmax | n -> failures"
+    (Filename.concat dir "pareto.tbl")
+    (I.Datafile.of_rows pareto_rows)
+
+let load ~dir =
+  let file = I.Datafile.load (Filename.concat dir "pareto.tbl") in
+  if I.Datafile.columns file <> 18 then
+    failwith "Perf_table.load: pareto.tbl must have 18 input columns";
+  let entries =
+    Array.mapi
+      (fun r row ->
+        let params = T.vco_params_of_vector (Array.sub row 0 7) in
+        let perf =
+          {
+            V.kvco = row.(7);
+            ivco = row.(8);
+            jvco = row.(9);
+            fmin = row.(10);
+            fmax = row.(11);
+          }
+        in
+        {
+          Variation_model.design = { Vco_problem.params; perf };
+          d_kvco = row.(12);
+          d_ivco = row.(13);
+          d_jvco = row.(14);
+          d_fmin = row.(15);
+          d_fmax = row.(16);
+          mc_samples = int_of_float row.(17);
+          mc_failures = int_of_float file.I.Datafile.outputs.(r);
+        })
+      file.I.Datafile.inputs
+  in
+  build entries

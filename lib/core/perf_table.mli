@@ -1,0 +1,66 @@
+(** The combined performance-and-variation lookup-table model — the OCaml
+    equivalent of the paper's Listings 1 & 2.
+
+    Built from the Monte-Carlo-annotated Pareto front, it exposes exactly
+    the interpolations the Verilog-A model performs:
+
+    - ∆ tables ([$table_model(kvco, "kvco_delta.tbl", "3E")] etc.):
+      1-D cubic-spline tables mapping each nominal performance to its
+      relative spread;
+    - performance tables ([jvco = $table_model(kvco, ivco, "data.tbl")]):
+      scattered-data interpolation of jitter / fmin / fmax over the
+      (kvco, ivco) plane;
+    - parameter-recovery tables ([p1..p7 = $table_model(kvco, ivco,
+      jvco, fmin, fmax, "p1_data.tbl" ...)]): the bottom-up mapping from
+      a chosen performance point back to the 7 transistor dimensions.
+
+    [save]/[load] round-trip the model through the same whitespace
+    ".tbl" files the paper's flow writes, so a model directory is
+    interchangeable with the Verilog-A artefacts. *)
+
+type t
+
+val build : Variation_model.entry array -> t
+(** @raise Invalid_argument with fewer than 2 entries. *)
+
+val entries : t -> Variation_model.entry array
+
+val size : t -> int
+
+(* ∆ interpolations (Listing 1) — inputs are clamped to the table range,
+   matching the paper's no-extrapolation "3E" policy *)
+
+val kvco_delta : t -> float -> float
+val jvco_delta : t -> float -> float
+val ivco_delta : t -> float -> float
+val fmin_delta : t -> float -> float
+val fmax_delta : t -> float -> float
+
+(* performance interpolations (Listing 2) *)
+
+val jvco_of : t -> kvco:float -> ivco:float -> float
+val fmin_of : t -> kvco:float -> ivco:float -> float
+val fmax_of : t -> kvco:float -> ivco:float -> float
+
+(* bottom-up parameter recovery (Listing 1's p1..p7) *)
+
+val params_of_perf :
+  t -> Repro_spice.Vco_measure.performance -> Repro_circuit.Topologies.vco_params
+
+(* design-space ranges for the system-level optimiser *)
+
+val kvco_range : t -> float * float
+val ivco_range : t -> float * float
+
+val min_max_of_delta : nominal:float -> delta:float -> float * float
+(** The paper's §4.5 bracketing: nominal ∓ delta·nominal. *)
+
+val save : dir:string -> t -> unit
+(** Write kvco_delta.tbl, jvco_delta.tbl, ivco_delta.tbl, fmin_delta.tbl,
+    fmax_delta.tbl, data.tbl (jvco), fmin_data.tbl, fmax_data.tbl,
+    p1_data.tbl .. p7_data.tbl and pareto.tbl into [dir] (created if
+    missing). *)
+
+val load : dir:string -> t
+(** Rebuild a model from a saved directory.
+    @raise Sys_error / Failure on missing or malformed files. *)

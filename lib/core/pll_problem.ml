@@ -1,0 +1,240 @@
+module B = Repro_behave
+module P = Repro_moo.Problem
+
+type table2_row = {
+  kv : float;
+  kv_min : float;
+  kv_max : float;
+  iv : float;
+  iv_min : float;
+  iv_max : float;
+  c1 : float;
+  c2 : float;
+  r1 : float;
+  lock : float;
+  lock_min : float;
+  lock_max : float;
+  jit : float;
+  jit_min : float;
+  jit_max : float;
+  curr : float;
+  curr_min : float;
+  curr_max : float;
+}
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "Kv=%.0f[%.0f,%.0f]MHz/V Iv=%.2f[%.2f,%.2f]mA C1=%s C2=%s R1=%s | Lt=%.2fus Jit=%.2f[%.2f,%.2f]ps I=%.1f[%.1f,%.1f]mA"
+    (r.kv /. 1e6) (r.kv_min /. 1e6) (r.kv_max /. 1e6) (r.iv *. 1e3)
+    (r.iv_min *. 1e3) (r.iv_max *. 1e3)
+    (Repro_util.Si.format r.c1)
+    (Repro_util.Si.format r.c2)
+    (Repro_util.Si.format r.r1)
+    (r.lock *. 1e6) (r.jit *. 1e12) (r.jit_min *. 1e12) (r.jit_max *. 1e12)
+    (r.curr *. 1e3) (r.curr_min *. 1e3) (r.curr_max *. 1e3)
+
+type config = {
+  spec : Spec.t;
+  model : Perf_table.t;
+  icp : float;
+  overhead_current : float;
+  use_variation : bool;
+  c1_bounds : float * float;
+  c2_bounds : float * float;
+  r1_bounds : float * float;
+}
+
+let default_config ~model =
+  {
+    spec = Spec.default;
+    model;
+    icp = 200e-6;
+    overhead_current = 8e-3;
+    use_variation = true;
+    c1_bounds = (1e-12, 12e-12);
+    c2_bounds = (0.1e-12, 1.2e-12);
+    r1_bounds = (1e3, 20e3);
+  }
+
+let objective_names = [| "lock_time"; "jitter_sum"; "current" |]
+
+(* one PLL variant: a (kvco, ivco) operating point with its interpolated
+   jitter and band edges *)
+let variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let m = cfg.model in
+  let jvco = Perf_table.jvco_of m ~kvco ~ivco in
+  let fmin = Perf_table.fmin_of m ~kvco ~ivco in
+  let fmax = Perf_table.fmax_of m ~kvco ~ivco in
+  let f0 = 0.5 *. (fmin +. fmax) in
+  let vco =
+    {
+      B.Vco_model.f0;
+      v0 = 0.9;
+      kvco;
+      fmin = Float.min fmin (0.9 *. cfg.spec.Spec.f_target);
+      fmax = Float.max fmax (1.1 *. cfg.spec.Spec.f_target);
+      jitter = jvco;
+    }
+  in
+  ( {
+      B.Pll.fref = cfg.spec.Spec.fref;
+      n_div = cfg.spec.Spec.n_div;
+      cp = B.Charge_pump.ideal cfg.icp;
+      filter = { B.Loop_filter.c1; c2; r1 };
+      vco;
+      ivco;
+      overhead_current = cfg.overhead_current;
+      vctl_init = 0.2;
+    },
+    jvco,
+    fmin,
+    fmax )
+
+let evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let m = cfg.model in
+  let dk = Perf_table.kvco_delta m kvco in
+  let di = Perf_table.ivco_delta m ivco in
+  let kv_min, kv_max = Perf_table.min_max_of_delta ~nominal:kvco ~delta:dk in
+  let iv_min, iv_max = Perf_table.min_max_of_delta ~nominal:ivco ~delta:di in
+  let eval_variant ~kvco ~ivco =
+    let pll_cfg, jvco, fmin, fmax = variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 in
+    match B.Pll.evaluate pll_cfg with
+    | Ok perf -> Ok (perf, jvco, fmin, fmax)
+    | Error e -> Error e
+  in
+  let ( let* ) = Result.bind in
+  let* nom, _, _, _ = eval_variant ~kvco ~ivco in
+  let* low, _, _, _ = eval_variant ~kvco:kv_min ~ivco:iv_min in
+  let* high, _, _, _ = eval_variant ~kvco:kv_max ~ivco:iv_max in
+  let pick f = (f nom, f low, f high) in
+  let minmax3 (a, b, c) = (Float.min a (Float.min b c), Float.max a (Float.max b c)) in
+  let locks = pick (fun p -> p.B.Pll.lock_time) in
+  let jits = pick (fun p -> p.B.Pll.jitter_sum) in
+  let currs = pick (fun p -> p.B.Pll.current) in
+  let lock_min, lock_max = minmax3 locks in
+  let jit_min, jit_max = minmax3 jits in
+  let curr_min, curr_max = minmax3 currs in
+  let (lock, _, _), (jit, _, _), (curr, _, _) = (locks, jits, currs) in
+  Ok
+    {
+      kv = kvco;
+      kv_min;
+      kv_max;
+      iv = ivco;
+      iv_min;
+      iv_max;
+      c1;
+      c2;
+      r1;
+      lock;
+      lock_min;
+      lock_max;
+      jit;
+      jit_min;
+      jit_max;
+      curr;
+      curr_min;
+      curr_max;
+    }
+
+(* spec-violation amount for a row, in normalised units *)
+let violation cfg row =
+  let s = cfg.spec in
+  let m = cfg.model in
+  let fmin = Perf_table.fmin_of m ~kvco:row.kv ~ivco:row.iv in
+  let fmax = Perf_table.fmax_of m ~kvco:row.kv ~ivco:row.iv in
+  let lock_limit = if cfg.use_variation then row.lock_max else row.lock in
+  let curr_limit = if cfg.use_variation then row.curr_max else row.curr in
+  let over v limit = Float.max 0.0 ((v -. limit) /. limit) in
+  over lock_limit s.Spec.lock_time_max
+  +. over curr_limit s.Spec.current_max
+  +. over fmin s.Spec.f_out_low (* band must reach down below f_out_low *)
+  +. over s.Spec.f_out_high fmax (* ... and up above f_out_high *)
+
+let bounds cfg =
+  let kvr = Perf_table.kvco_range cfg.model in
+  let ivr = Perf_table.ivco_range cfg.model in
+  [| kvr; ivr; cfg.c1_bounds; cfg.c2_bounds; cfg.r1_bounds |]
+
+(* Graded violation for un-evaluable candidates: constraint domination
+   needs a slope toward feasibility, so unstable loops are scored by how
+   far the phase margin is from healthy (an all-flat penalty would leave
+   the GA blind when the stable corner of the box is small). *)
+let infeasibility_grade cfg ~kvco ~c1 ~c2 ~r1 =
+  let loop =
+    {
+      Repro_behave.Pll_linear.kvco;
+      icp = cfg.icp;
+      n_div = cfg.spec.Spec.n_div;
+      filter = { Repro_behave.Loop_filter.c1; c2; r1 };
+    }
+  in
+  match Repro_behave.Pll_linear.analyse loop with
+  | None -> 30.0
+  | Some a ->
+    let fc = a.Repro_behave.Pll_linear.unity_freq in
+    let gardner = cfg.spec.Spec.fref /. 8.0 in
+    if not a.Repro_behave.Pll_linear.stable then begin
+      let pm = a.Repro_behave.Pll_linear.phase_margin_deg in
+      10.0 +. Repro_util.Floatx.clamp ~lo:0.0 ~hi:10.0 ((30.0 -. pm) /. 5.0)
+    end
+    else if fc > gardner then
+      (* bandwidth above the Gardner limit: slope back toward fref/8 *)
+      8.0 +. Repro_util.Floatx.clamp ~lo:0.0 ~hi:5.0 (fc /. gardner -. 1.0)
+    else 6.0 (* linearly healthy yet unlocked (e.g. band clamping) *)
+
+let problem cfg =
+  Spec.validate cfg.spec;
+  let evaluate x =
+    match
+      evaluate_point cfg ~kvco:x.(0) ~ivco:x.(1) ~c1:x.(2) ~c2:x.(3) ~r1:x.(4)
+    with
+    | Ok row ->
+      {
+        P.objectives = [| row.lock; row.jit; row.curr |];
+        constraint_violation = violation cfg row;
+      }
+    | Error _ ->
+      {
+        P.objectives = Array.make 3 infinity;
+        constraint_violation =
+          infeasibility_grade cfg ~kvco:x.(0) ~c1:x.(2) ~c2:x.(3) ~r1:x.(4);
+      }
+  in
+  P.create ~name:"pll-system" ~bounds:(bounds cfg)
+    ~objective_names evaluate
+
+let row_of_individual cfg (ind : Repro_moo.Nsga2.individual) =
+  let x = ind.Repro_moo.Nsga2.x in
+  match
+    evaluate_point cfg ~kvco:x.(0) ~ivco:x.(1) ~c1:x.(2) ~c2:x.(3) ~r1:x.(4)
+  with
+  | Ok row -> Some row
+  | Error _ -> None
+
+(* Design selection (the paper's "shaded row").  Standard DFY practice:
+   prefer the lowest-jitter row that clears the spec with comfortable
+   margin (60% of the lock budget, 95% of the current budget) and fall
+   back to bare feasibility.  With [use_variation] the screening uses the
+   worst-case variant — the paper's improvement; without it (the method
+   of reference [10]) only nominal values are visible to the selector,
+   which is what costs yield in the ablation. *)
+let select_design cfg rows =
+  let s = cfg.spec in
+  let lock_of row = if cfg.use_variation then row.lock_max else row.lock in
+  let curr_of row = if cfg.use_variation then row.curr_max else row.curr in
+  let meets ~lock_frac ~curr_frac row =
+    lock_of row <= lock_frac *. s.Spec.lock_time_max
+    && curr_of row <= curr_frac *. s.Spec.current_max
+  in
+  let pick pred =
+    Array.to_list rows
+    |> List.filter pred
+    |> List.sort (fun a b -> compare a.jit b.jit)
+    |> function
+    | [] -> None
+    | best :: _ -> Some best
+  in
+  match pick (meets ~lock_frac:0.6 ~curr_frac:0.95) with
+  | Some row -> Some row
+  | None -> pick (meets ~lock_frac:1.0 ~curr_frac:1.0)

@@ -1,0 +1,36 @@
+type t = {
+  f_out_low : float;
+  f_out_high : float;
+  f_target : float;
+  fref : float;
+  n_div : int;
+  lock_time_max : float;
+  current_max : float;
+}
+
+let default =
+  {
+    f_out_low = 500e6;
+    f_out_high = 1.2e9;
+    f_target = 800e6;
+    fref = 100e6;
+    n_div = 8;
+    lock_time_max = 1e-6;
+    current_max = 15e-3;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "band [%.0f, %.0f] MHz, lock %.0f MHz = %d x %.0f MHz, t_lock < %.2f us, I < %.1f mA"
+    (t.f_out_low /. 1e6) (t.f_out_high /. 1e6) (t.f_target /. 1e6) t.n_div
+    (t.fref /. 1e6) (t.lock_time_max *. 1e6) (t.current_max *. 1e3)
+
+let validate t =
+  if t.f_out_low <= 0.0 || t.f_out_high <= t.f_out_low then
+    invalid_arg "Spec: need 0 < f_out_low < f_out_high";
+  if t.f_target < t.f_out_low || t.f_target > t.f_out_high then
+    invalid_arg "Spec: f_target outside the output band";
+  if Float.abs ((float_of_int t.n_div *. t.fref) -. t.f_target) > 1.0 then
+    invalid_arg "Spec: n_div * fref must equal f_target";
+  if t.lock_time_max <= 0.0 || t.current_max <= 0.0 then
+    invalid_arg "Spec: non-positive limits"

@@ -1,0 +1,26 @@
+(** System-level specification (the paper's §4: output 500 MHz – 1.2 GHz,
+    locking time < 1 µs, current < 15 mA, jitter minimised). *)
+
+type t = {
+  f_out_low : float;      (** Hz; VCO band must reach down to this *)
+  f_out_high : float;     (** Hz; ... and up to this *)
+  f_target : float;       (** Hz; the lock point used for Table 2 *)
+  fref : float;           (** Hz; reference input *)
+  n_div : int;            (** divider modulus such that n_div * fref = f_target *)
+  lock_time_max : float;  (** s *)
+  current_max : float;    (** A *)
+}
+
+val default : t
+(** 500 MHz – 1.2 GHz band, 800 MHz lock target from a 100 MHz reference
+    (÷8), lock < 1 µs, current < 15 mA.
+
+    The paper's PLL reference is not stated; 100 MHz/÷8 is the choice
+    that makes pF/kΩ loop filters (Table 2's component ranges) stable —
+    see DESIGN.md §5. *)
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t -> unit
+(** @raise Invalid_argument when n_div * fref <> f_target or bounds are
+    inconsistent. *)

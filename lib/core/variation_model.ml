@@ -1,0 +1,74 @@
+module V = Repro_spice.Vco_measure
+module Mc = Repro_spice.Monte_carlo
+module T = Repro_circuit.Topologies
+
+type entry = {
+  design : Vco_problem.sized_design;
+  d_kvco : float;
+  d_jvco : float;
+  d_ivco : float;
+  d_fmin : float;
+  d_fmax : float;
+  mc_samples : int;
+  mc_failures : int;
+}
+
+let pp_entry ppf e =
+  Format.fprintf ppf
+    "kvco=%.0fMHz/V(∆%.2f%%) jvco=%.3fps(∆%.1f%%) ivco=%.2fmA(∆%.1f%%) [n=%d]"
+    (e.design.Vco_problem.perf.V.kvco /. 1e6)
+    (100.0 *. e.d_kvco)
+    (e.design.Vco_problem.perf.V.jvco *. 1e12)
+    (100.0 *. e.d_jvco)
+    (e.design.Vco_problem.perf.V.ivco *. 1e3)
+    (100.0 *. e.d_ivco)
+    e.mc_samples
+
+type options = {
+  samples : int;
+  process : Repro_circuit.Process.spec;
+  measure : Repro_spice.Vco_measure.options;
+}
+
+let default_options =
+  {
+    samples = 100;
+    process = Repro_circuit.Process.default;
+    measure = V.default_options;
+  }
+
+let analyse_design ?(options = default_options) ~prng
+    (design : Vco_problem.sized_design) =
+  let net =
+    T.ring_vco ~stages:options.measure.V.stages ~vdd:options.measure.V.vdd
+      ~vctl:options.measure.V.vctl_lo design.Vco_problem.params
+  in
+  let trial perturbed =
+    match V.characterise_netlist ~options:options.measure perturbed with
+    | Ok p -> Ok p
+    | Error f -> Error (V.failure_to_string f)
+  in
+  let mc = Mc.run ~spec:options.process ~n:options.samples ~prng net trial in
+  let n_ok = Array.length mc.Mc.samples in
+  let spread get =
+    if n_ok < 3 then 0.0
+    else Repro_util.Stats.relative_spread (Array.map get mc.Mc.samples)
+  in
+  {
+    design;
+    d_kvco = spread (fun p -> p.V.kvco);
+    d_jvco = spread (fun p -> p.V.jvco);
+    d_ivco = spread (fun p -> p.V.ivco);
+    d_fmin = spread (fun p -> p.V.fmin);
+    d_fmax = spread (fun p -> p.V.fmax);
+    mc_samples = n_ok;
+    mc_failures = mc.Mc.failures;
+  }
+
+let analyse_front ?options ?progress ~prng designs =
+  let n = Array.length designs in
+  Array.mapi
+    (fun i design ->
+      (match progress with Some f -> f i n | None -> ());
+      analyse_design ?options ~prng:(Repro_util.Prng.split prng) design)
+    designs

@@ -1,0 +1,42 @@
+(** Variation modelling (§3.3, §4.3): Monte-Carlo analysis of every
+    Pareto-optimal design, producing per-performance relative spreads —
+    the ∆ columns of the paper's Table 1. *)
+
+type entry = {
+  design : Vco_problem.sized_design;
+  d_kvco : float;  (** relative spread (σ/µ) of kvco *)
+  d_jvco : float;
+  d_ivco : float;
+  d_fmin : float;
+  d_fmax : float;
+  mc_samples : int;
+  mc_failures : int;
+}
+
+val pp_entry : Format.formatter -> entry -> unit
+
+type options = {
+  samples : int;                           (** paper: 100 per point *)
+  process : Repro_circuit.Process.spec;
+  measure : Repro_spice.Vco_measure.options;
+}
+
+val default_options : options
+
+val analyse_design :
+  ?options:options ->
+  prng:Repro_util.Prng.t ->
+  Vco_problem.sized_design ->
+  entry
+(** MC-characterise one design.  Failed trials (non-oscillating corners)
+    are counted but excluded from the spread statistics; when fewer than
+    3 trials survive the spreads fall back to 0. *)
+
+val analyse_front :
+  ?options:options ->
+  ?progress:(int -> int -> unit) ->
+  prng:Repro_util.Prng.t ->
+  Vco_problem.sized_design array ->
+  entry array
+(** The paper's loop over the whole Pareto front; [progress i n] is
+    called before analysing design [i] of [n]. *)

@@ -1,0 +1,76 @@
+module B = Repro_behave
+module V = Repro_spice.Vco_measure
+module T = Repro_circuit.Topologies
+module Prng = Repro_util.Prng
+
+type outcome = {
+  pass : bool;
+  lock_time : float option;
+  current : float;
+  detail : string;
+}
+
+let check_sample cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let spec = cfg.Pll_problem.spec in
+  let pll_cfg, _, _, _ =
+    Pll_problem.variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1
+  in
+  match B.Pll.evaluate pll_cfg with
+  | Error e -> { pass = false; lock_time = None; current = 0.0; detail = e }
+  | Ok perf ->
+    let lock_ok = perf.B.Pll.lock_time <= spec.Spec.lock_time_max in
+    let curr_ok = perf.B.Pll.current <= spec.Spec.current_max in
+    {
+      pass = lock_ok && curr_ok;
+      lock_time = Some perf.B.Pll.lock_time;
+      current = perf.B.Pll.current;
+      detail =
+        (if lock_ok && curr_ok then "pass"
+         else if not lock_ok then "lock time over budget"
+         else "current over budget");
+    }
+
+let behavioural ?(n = 500) ~prng cfg (row : Pll_problem.table2_row) =
+  let m = cfg.Pll_problem.model in
+  let dk = Perf_table.kvco_delta m row.Pll_problem.kv in
+  let di = Perf_table.ivco_delta m row.Pll_problem.iv in
+  let pass = ref 0 in
+  for _ = 1 to n do
+    let kvco =
+      Prng.gaussian prng ~mean:row.Pll_problem.kv
+        ~sigma:(dk *. row.Pll_problem.kv)
+    in
+    let ivco =
+      Prng.gaussian prng ~mean:row.Pll_problem.iv
+        ~sigma:(di *. row.Pll_problem.iv)
+    in
+    let o =
+      check_sample cfg ~kvco ~ivco ~c1:row.Pll_problem.c1
+        ~c2:row.Pll_problem.c2 ~r1:row.Pll_problem.r1
+    in
+    if o.pass then incr pass
+  done;
+  Repro_util.Stats.yield ~pass:!pass ~total:n
+
+let transistor ?(n = 20) ?(process = Repro_circuit.Process.default)
+    ?(measure = V.default_options) ~prng cfg ~sizing
+    ~(row : Pll_problem.table2_row) =
+  let net =
+    T.ring_vco ~stages:measure.V.stages ~vdd:measure.V.vdd
+      ~vctl:measure.V.vctl_lo sizing
+  in
+  let pass = ref 0 in
+  for _ = 1 to n do
+    let perturbed =
+      Repro_circuit.Process.sample process (Prng.split prng) net
+    in
+    match V.characterise_netlist ~options:measure perturbed with
+    | Error _ -> () (* dead oscillator: counted as a fail *)
+    | Ok perf ->
+      let o =
+        check_sample cfg ~kvco:perf.V.kvco ~ivco:perf.V.ivco
+          ~c1:row.Pll_problem.c1 ~c2:row.Pll_problem.c2 ~r1:row.Pll_problem.r1
+      in
+      if o.pass then incr pass
+  done;
+  Repro_util.Stats.yield ~pass:!pass ~total:n

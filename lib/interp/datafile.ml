@@ -1,0 +1,92 @@
+type t = { inputs : float array array; outputs : float array }
+
+let columns t = if Array.length t.inputs = 0 then 0 else Array.length t.inputs.(0)
+let rows t = Array.length t.outputs
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> { inputs = [||]; outputs = [||] }
+  | (first, _) :: _ ->
+    let cols = Array.length first in
+    List.iter
+      (fun (ins, _) ->
+        if Array.length ins <> cols then
+          invalid_arg "Datafile.of_rows: ragged rows")
+      rows_list;
+    {
+      inputs = Array.of_list (List.map fst rows_list);
+      outputs = Array.of_list (List.map snd rows_list);
+    }
+
+let to_string ?header t =
+  let buf = Buffer.create 1024 in
+  (match header with
+  | Some h ->
+    String.split_on_char '\n' h
+    |> List.iter (fun line -> Buffer.add_string buf ("# " ^ line ^ "\n"))
+  | None -> ());
+  Array.iteri
+    (fun i ins ->
+      Array.iter (fun x -> Buffer.add_string buf (Printf.sprintf "%.9e " x)) ins;
+      Buffer.add_string buf (Printf.sprintf "%.9e\n" t.outputs.(i)))
+    t.inputs;
+  Buffer.contents buf
+
+let is_comment line =
+  let line = String.trim line in
+  String.length line = 0
+  || line.[0] = '#'
+  || line.[0] = '*'
+  || (String.length line >= 2 && line.[0] = '/' && line.[1] = '/')
+
+let of_string text =
+  let parse_line lineno line =
+    let fields =
+      String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+      |> List.filter (fun f -> f <> "")
+    in
+    let values =
+      List.map
+        (fun f ->
+          match Repro_util.Si.parse_opt f with
+          | Some v -> v
+          | None ->
+            failwith
+              (Printf.sprintf "Datafile.of_string: bad number %S on line %d" f
+                 lineno))
+        fields
+    in
+    match List.rev values with
+    | [] | [ _ ] ->
+      failwith
+        (Printf.sprintf "Datafile.of_string: need >= 2 columns on line %d"
+           lineno)
+    | out :: ins_rev -> (Array.of_list (List.rev ins_rev), out)
+  in
+  let rows_list =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, line))
+    |> List.filter (fun (_, line) -> not (is_comment line))
+    |> List.map (fun (i, line) -> parse_line i line)
+  in
+  of_rows rows_list
+
+let save ?header path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?header t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let table1d ?control t =
+  if columns t <> 1 then
+    invalid_arg "Datafile.table1d: table does not have exactly 1 input column";
+  let xs = Array.map (fun row -> row.(0)) t.inputs in
+  Table1d.build ?control xs t.outputs
+
+let table_nd ?scheme t = Table_nd.build ?scheme t.inputs t.outputs

@@ -1,0 +1,41 @@
+(** Reading and writing the whitespace-separated ".tbl" data files that
+    Verilog-A's [$table_model] consumes (the paper's "datafile.tbl",
+    "kvco_delta.tbl", "p1_data.tbl", ...).
+
+    Format: one sample per line, [n] input columns followed by one output
+    column; blank lines and lines starting with [#], [*] or [//] are
+    ignored.  SPICE suffixes ("2.1p") are accepted on read. *)
+
+type t = {
+  inputs : float array array; (** row-major: [inputs.(i)] is row i's input columns *)
+  outputs : float array;      (** row i's output value *)
+}
+
+val columns : t -> int
+(** Number of input columns (0 when the table is empty). *)
+
+val rows : t -> int
+
+val of_rows : (float array * float) list -> t
+(** Build from [(input_columns, output)] rows.
+    @raise Invalid_argument on ragged rows. *)
+
+val to_string : ?header:string -> t -> string
+(** Render to the .tbl text format; [header] becomes a [#] comment. *)
+
+val of_string : string -> t
+(** Parse .tbl text. @raise Failure on malformed lines. *)
+
+val save : ?header:string -> string -> t -> unit
+(** Write to a file path. *)
+
+val load : string -> t
+(** Read from a file path. @raise Sys_error / Failure. *)
+
+val table1d : ?control:string -> t -> Table1d.t
+(** Interpret a 1-input table as a {!Table1d} model.
+    @raise Invalid_argument when the table does not have exactly 1 input
+    column. *)
+
+val table_nd : ?scheme:Table_nd.scheme -> t -> Table_nd.t
+(** Interpret as a scattered N-input model. *)

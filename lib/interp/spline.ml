@@ -1,0 +1,135 @@
+type method_ = Linear | Quadratic | Cubic
+
+type t = {
+  method_ : method_;
+  xs : float array;
+  ys : float array;
+  (* per-segment coefficients of a(x-xi)^3 + b(x-xi)^2 + c(x-xi) + d *)
+  coeffs : (float * float * float * float) array;
+}
+
+let validate xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Spline.build: length mismatch";
+  if n < 2 then invalid_arg "Spline.build: need at least 2 points";
+  for i = 0 to n - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg "Spline.build: knots must be strictly increasing"
+  done
+
+let linear_coeffs xs ys =
+  Array.init
+    (Array.length xs - 1)
+    (fun i ->
+      let h = xs.(i + 1) -. xs.(i) in
+      (0.0, 0.0, (ys.(i + 1) -. ys.(i)) /. h, ys.(i)))
+
+(* quadratic through three points, expressed around x0 *)
+let quad_through x0 y0 x1 y1 x2 y2 ~origin =
+  (* Lagrange second-difference form *)
+  let d01 = (y1 -. y0) /. (x1 -. x0) in
+  let d12 = (y2 -. y1) /. (x2 -. x1) in
+  let a2 = (d12 -. d01) /. (x2 -. x0) in
+  (* p(x) = y0 + d01 (x - x0) + a2 (x - x0)(x - x1); re-centre at origin *)
+  let t0 = x0 -. origin and t1 = x1 -. origin in
+  (* p(u+origin) = y0 + d01 (u - t0) + a2 (u - t0)(u - t1) *)
+  let b = a2 in
+  let c = d01 -. (a2 *. (t0 +. t1)) in
+  let d = y0 -. (d01 *. t0) +. (a2 *. t0 *. t1) in
+  (0.0, b, c, d)
+
+let quadratic_coeffs xs ys =
+  let n = Array.length xs in
+  if n = 2 then linear_coeffs xs ys
+  else
+    Array.init (n - 1) (fun i ->
+        (* use the triple starting at i, except the last segment which
+           reuses the final triple *)
+        let j = if i <= n - 3 then i else n - 3 in
+        quad_through xs.(j) ys.(j) xs.(j + 1) ys.(j + 1) xs.(j + 2) ys.(j + 2)
+          ~origin:xs.(i))
+
+(* natural cubic spline: second derivatives from the tridiagonal system,
+   solved with the Thomas algorithm. *)
+let cubic_coeffs xs ys =
+  let n = Array.length xs in
+  if n = 2 then linear_coeffs xs ys
+  else begin
+    let h = Array.init (n - 1) (fun i -> xs.(i + 1) -. xs.(i)) in
+    (* system on interior second derivatives m.(1..n-2); m.(0)=m.(n-1)=0 *)
+    let m = Array.make n 0.0 in
+    let sub = Array.make n 0.0
+    and diag = Array.make n 0.0
+    and sup = Array.make n 0.0
+    and rhs = Array.make n 0.0 in
+    for i = 1 to n - 2 do
+      sub.(i) <- h.(i - 1);
+      diag.(i) <- 2.0 *. (h.(i - 1) +. h.(i));
+      sup.(i) <- h.(i);
+      rhs.(i) <-
+        6.0
+        *. (((ys.(i + 1) -. ys.(i)) /. h.(i))
+           -. ((ys.(i) -. ys.(i - 1)) /. h.(i - 1)))
+    done;
+    (* Thomas forward sweep over 1..n-2 *)
+    for i = 2 to n - 2 do
+      let w = sub.(i) /. diag.(i - 1) in
+      diag.(i) <- diag.(i) -. (w *. sup.(i - 1));
+      rhs.(i) <- rhs.(i) -. (w *. rhs.(i - 1))
+    done;
+    if n >= 3 then m.(n - 2) <- rhs.(n - 2) /. diag.(n - 2);
+    for i = n - 3 downto 1 do
+      m.(i) <- (rhs.(i) -. (sup.(i) *. m.(i + 1))) /. diag.(i)
+    done;
+    Array.init (n - 1) (fun i ->
+        let a = (m.(i + 1) -. m.(i)) /. (6.0 *. h.(i)) in
+        let b = m.(i) /. 2.0 in
+        let c =
+          ((ys.(i + 1) -. ys.(i)) /. h.(i))
+          -. (h.(i) *. ((2.0 *. m.(i)) +. m.(i + 1)) /. 6.0)
+        in
+        (a, b, c, ys.(i)))
+  end
+
+let build ?(method_ = Cubic) xs ys =
+  validate xs ys;
+  let xs = Array.copy xs and ys = Array.copy ys in
+  let coeffs =
+    match method_ with
+    | Linear -> linear_coeffs xs ys
+    | Quadratic -> quadratic_coeffs xs ys
+    | Cubic -> cubic_coeffs xs ys
+  in
+  { method_; xs; ys; coeffs }
+
+(* index of the segment containing x (clamped to end segments) *)
+let segment t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then 0
+  else if x >= t.xs.(n - 1) then n - 2
+  else begin
+    (* binary search: largest i with xs.(i) <= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let eval t x =
+  let i = segment t x in
+  let a, b, c, d = t.coeffs.(i) in
+  let u = x -. t.xs.(i) in
+  d +. (u *. (c +. (u *. (b +. (u *. a)))))
+
+let eval_deriv t x =
+  let i = segment t x in
+  let a, b, c, _ = t.coeffs.(i) in
+  let u = x -. t.xs.(i) in
+  c +. (u *. ((2.0 *. b) +. (3.0 *. a *. u)))
+
+let knots t = Array.copy t.xs
+let values t = Array.copy t.ys
+let method_of t = t.method_
+let coefficients t = Array.copy t.coeffs

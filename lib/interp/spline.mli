@@ -1,0 +1,38 @@
+(** Piecewise-polynomial interpolation over strictly increasing knots.
+
+    Verilog-A's [$table_model] offers linear ("1"), quadratic ("2") and
+    cubic-spline ("3") interpolation; the paper uses cubic splines
+    (its equation (3)).  All three are provided here with a shared
+    evaluation interface. *)
+
+type method_ =
+  | Linear      (** piecewise linear, C0 *)
+  | Quadratic   (** piecewise quadratic through knot triples, C0 *)
+  | Cubic       (** natural cubic spline, C2 *)
+
+type t
+
+val build : ?method_:method_ -> float array -> float array -> t
+(** [build xs ys] fits a spline through [(xs.(i), ys.(i))].
+    [xs] must be strictly increasing and have the same length as [ys]
+    (at least 2 points; methods degrade gracefully: 2 points always give
+    the linear segment).  Default method: [Cubic].
+    @raise Invalid_argument on bad input. *)
+
+val eval : t -> float -> float
+(** Evaluate inside the knot range; outside, the behaviour is
+    extrapolation of the end segment (callers wanting clamping use
+    {!Table1d}). *)
+
+val eval_deriv : t -> float -> float
+(** First derivative of the interpolant. *)
+
+val knots : t -> float array
+val values : t -> float array
+val method_of : t -> method_
+
+val coefficients : t -> (float * float * float * float) array
+(** Per-segment cubic coefficients [(a, b, c, d)] of
+    S_i(x) = a (x-x_i)^3 + b (x-x_i)^2 + c (x-x_i) + d — the paper's
+    equation (3) layout. Lower-order methods report zero high-order
+    coefficients. *)

@@ -1,0 +1,95 @@
+type extrapolation = Clamp | Extend | Error
+
+type t = {
+  spline : Spline.t;
+  extrapolation : extrapolation;
+  lo : float;
+  hi : float;
+}
+
+exception Out_of_range of float
+
+let parse_control s =
+  let s = String.trim (String.uppercase_ascii s) in
+  let fail () = failwith (Printf.sprintf "Table1d: bad control string %S" s) in
+  let n = String.length s in
+  if n = 0 || n > 2 then fail ();
+  let method_ =
+    match s.[0] with
+    | '1' -> Spline.Linear
+    | '2' -> Spline.Quadratic
+    | '3' -> Spline.Cubic
+    | _ -> fail ()
+  in
+  let extrapolation =
+    if n = 1 then Error
+    else
+      match s.[1] with
+      | 'C' -> Clamp
+      | 'L' -> Extend
+      | 'E' -> Error
+      | _ -> fail ()
+  in
+  (method_, extrapolation)
+
+let control_string t =
+  let digit =
+    match Spline.method_of t.spline with
+    | Spline.Linear -> "1"
+    | Spline.Quadratic -> "2"
+    | Spline.Cubic -> "3"
+  in
+  let letter =
+    match t.extrapolation with Clamp -> "C" | Extend -> "L" | Error -> "E"
+  in
+  digit ^ letter
+
+(* sort by x and average duplicate abscissae so the spline knots are
+   strictly increasing *)
+let prepare xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Table1d.build: length mismatch";
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  let out_x = ref [] and out_y = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    let sum = ref 0.0 in
+    while !j < n && xs.(idx.(!j)) = xs.(idx.(!i)) do
+      sum := !sum +. ys.(idx.(!j));
+      incr j
+    done;
+    out_x := xs.(idx.(!i)) :: !out_x;
+    out_y := (!sum /. float_of_int (!j - !i)) :: !out_y;
+    i := !j
+  done;
+  ( Array.of_list (List.rev !out_x),
+    Array.of_list (List.rev !out_y) )
+
+let build ?(control = "3E") xs ys =
+  let method_, extrapolation = parse_control control in
+  let xs, ys = prepare xs ys in
+  if Array.length xs < 2 then
+    invalid_arg "Table1d.build: need at least 2 distinct abscissae";
+  let spline = Spline.build ~method_ xs ys in
+  { spline; extrapolation; lo = xs.(0); hi = xs.(Array.length xs - 1) }
+
+let eval t x =
+  if x >= t.lo && x <= t.hi then Spline.eval t.spline x
+  else
+    match t.extrapolation with
+    | Error -> raise (Out_of_range x)
+    | Clamp -> Spline.eval t.spline (if x < t.lo then t.lo else t.hi)
+    | Extend ->
+      (* linear continuation using the end-segment slope *)
+      let edge = if x < t.lo then t.lo else t.hi in
+      Spline.eval t.spline edge
+      +. (Spline.eval_deriv t.spline edge *. (x -. edge))
+
+let eval_clamped t x =
+  let x = if x < t.lo then t.lo else if x > t.hi then t.hi else x in
+  Spline.eval t.spline x
+
+let domain t = (t.lo, t.hi)
+let size t = Array.length (Spline.knots t.spline)

@@ -1,0 +1,45 @@
+(** One-dimensional Verilog-A-style table models.
+
+    A table model wraps sampled [(x, y)] data with an interpolation degree
+    and an extrapolation rule, selected by the same control strings that
+    [$table_model] uses: a digit [1|2|3] (linear / quadratic / cubic
+    spline) followed by an optional letter [C|L|E] (clamp / linear
+    extrapolation / error).  The paper uses ["3E"] — cubic spline, no
+    extrapolation. *)
+
+type extrapolation =
+  | Clamp   (** "C": hold the end value outside the sample range *)
+  | Extend  (** "L": extend the end segment linearly *)
+  | Error   (** "E": refuse to evaluate outside the sample range *)
+
+type t
+
+exception Out_of_range of float
+(** Raised by {!eval} under the [Error] rule when the query lies outside
+    the sampled range. *)
+
+val parse_control : string -> Spline.method_ * extrapolation
+(** [parse_control "3E"] = [(Cubic, Error)].  The letter defaults to
+    [Error] when omitted (matching the paper's usage).
+    @raise Failure on malformed strings. *)
+
+val control_string : t -> string
+
+val build : ?control:string -> float array -> float array -> t
+(** [build xs ys] sorts the points by [x], deduplicates equal abscissae by
+    averaging their ordinates, and fits the selected interpolant.
+    Default control: ["3E"].
+    @raise Invalid_argument when fewer than 2 distinct abscissae remain. *)
+
+val eval : t -> float -> float
+(** Interpolated value. @raise Out_of_range per the extrapolation rule. *)
+
+val eval_clamped : t -> float -> float
+(** Like {!eval} but always clamps, regardless of the table's rule (used
+    by optimisers that probe near the Pareto boundary). *)
+
+val domain : t -> float * float
+(** Smallest and largest sampled abscissa. *)
+
+val size : t -> int
+(** Number of (deduplicated) sample points. *)

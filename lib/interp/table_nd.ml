@@ -1,0 +1,146 @@
+type kernel = Thin_plate | Gaussian of float
+
+type scheme =
+  | Nearest
+  | Idw of { power : float; neighbours : int }
+  | Rbf of kernel
+
+type engine =
+  | E_nearest
+  | E_idw of { power : float; neighbours : int }
+  | E_rbf of { kernel : kernel; weights : float array }
+
+type t = {
+  engine : engine;
+  points : float array array; (* normalised coordinates *)
+  values : float array;
+  bounds : (float * float) array;
+}
+
+let dist2 a b =
+  let acc = ref 0.0 in
+  for d = 0 to Array.length a - 1 do
+    let dx = a.(d) -. b.(d) in
+    acc := !acc +. (dx *. dx)
+  done;
+  !acc
+
+let kernel_value kernel r2 =
+  match kernel with
+  | Thin_plate ->
+    (* phi(r) = r^2 ln r, with phi(0) = 0 *)
+    if r2 < 1e-30 then 0.0 else 0.5 *. r2 *. log r2
+  | Gaussian eps ->
+    exp (-.(eps *. eps) *. r2)
+
+(* fit RBF weights by solving (Phi + lambda I) w = y *)
+let fit_rbf kernel points values =
+  let n = Array.length points in
+  let phi = Repro_linalg.Matrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Repro_linalg.Matrix.set phi i j
+        (kernel_value kernel (dist2 points.(i) points.(j)))
+    done;
+    (* ridge term keeps near-duplicate samples solvable *)
+    Repro_linalg.Matrix.add_to phi i i 1e-9
+  done;
+  Repro_linalg.Lu.solve phi values
+
+let build ?(scheme = Idw { power = 2.0; neighbours = 4 }) points values =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Table_nd.build: no sample points";
+  if n <> Array.length values then invalid_arg "Table_nd.build: length mismatch";
+  let dim = Array.length points.(0) in
+  if dim = 0 then invalid_arg "Table_nd.build: zero-dimensional points";
+  Array.iter
+    (fun p ->
+      if Array.length p <> dim then invalid_arg "Table_nd.build: ragged points")
+    points;
+  let bounds =
+    Array.init dim (fun d ->
+        Array.fold_left
+          (fun (lo, hi) p -> (Float.min lo p.(d), Float.max hi p.(d)))
+          (points.(0).(d), points.(0).(d))
+          points)
+  in
+  let normalise p =
+    Array.mapi
+      (fun d x ->
+        let lo, hi = bounds.(d) in
+        if hi > lo then (x -. lo) /. (hi -. lo) else 0.0)
+      p
+  in
+  let npoints = Array.map normalise points in
+  let engine =
+    match scheme with
+    | Nearest -> E_nearest
+    | Idw { power; neighbours } -> E_idw { power; neighbours }
+    | Rbf kernel ->
+      let weights =
+        match fit_rbf kernel npoints values with
+        | w -> w
+        | exception Repro_linalg.Lu.Singular _ ->
+          invalid_arg "Table_nd.build: RBF system is singular (duplicate points?)"
+      in
+      E_rbf { kernel; weights }
+  in
+  { engine; points = npoints; values = Array.copy values; bounds }
+
+let dimension t = Array.length t.bounds
+let size t = Array.length t.values
+let bounds t = Array.copy t.bounds
+
+let eval t query =
+  let dim = dimension t in
+  if Array.length query <> dim then invalid_arg "Table_nd.eval: dimension mismatch";
+  let q =
+    Array.mapi
+      (fun d x ->
+        let lo, hi = t.bounds.(d) in
+        if hi > lo then (x -. lo) /. (hi -. lo) else 0.0)
+      query
+  in
+  let n = Array.length t.points in
+  match t.engine with
+  | E_nearest ->
+    let d2 = Array.init n (fun i -> dist2 q t.points.(i)) in
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if d2.(i) < d2.(!best) then best := i
+    done;
+    t.values.(!best)
+  | E_idw { power; neighbours } ->
+    let d2 = Array.init n (fun i -> dist2 q t.points.(i)) in
+    (* exact hit short-circuits to avoid a division by zero *)
+    let hit = ref None in
+    for i = 0 to n - 1 do
+      if !hit = None && d2.(i) < 1e-24 then hit := Some i
+    done;
+    begin
+      match !hit with
+      | Some i -> t.values.(i)
+      | None ->
+        let order = Array.init n (fun i -> i) in
+        let k =
+          if neighbours <= 0 || neighbours >= n then n
+          else begin
+            Array.sort (fun a b -> compare d2.(a) d2.(b)) order;
+            neighbours
+          end
+        in
+        let wsum = ref 0.0 and vsum = ref 0.0 in
+        for r = 0 to k - 1 do
+          let i = order.(r) in
+          let w = d2.(i) ** (-.power /. 2.0) in
+          wsum := !wsum +. w;
+          vsum := !vsum +. (w *. t.values.(i))
+        done;
+        !vsum /. !wsum
+    end
+  | E_rbf { kernel; weights } ->
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) *. kernel_value kernel (dist2 q t.points.(i)))
+    done;
+    !acc

@@ -1,0 +1,42 @@
+(** Multi-input table models over scattered sample points.
+
+    The paper's Listing 1 calls [$table_model] with up to five inputs
+    (kvco, ivco, jvco, fmin, fmax) against Pareto-front data, which is
+    inherently scattered rather than gridded.  This module provides the
+    scattered-data interpolators used for those parameter-recovery tables
+    (see DESIGN.md §5): inverse-distance weighting (Shepard's method,
+    optionally restricted to the k nearest samples) and plain
+    nearest-neighbour lookup.  Inputs are normalised per-dimension to the
+    sample bounding box so heterogeneous units (Hz vs mA) weigh equally. *)
+
+type kernel =
+  | Thin_plate          (** φ(r) = r² ln r *)
+  | Gaussian of float   (** φ(r) = exp(-(εr)²) with shape parameter ε *)
+
+type scheme =
+  | Nearest            (** value of the closest sample *)
+  | Idw of { power : float; neighbours : int }
+      (** Shepard weights [1/d^power] over the [neighbours] closest
+          samples ([neighbours <= 0] means all samples) *)
+  | Rbf of kernel
+      (** radial-basis-function interpolation: exact at the samples and
+          smooth between them (a dense linear solve at build time);
+          ridge-regularised so near-duplicate samples stay solvable *)
+
+type t
+
+val build : ?scheme:scheme -> float array array -> float array -> t
+(** [build points values]: [points.(i)] is the i-th sample coordinate
+    vector (all the same dimension), [values.(i)] its value.
+    Default scheme: [Idw {power = 2.0; neighbours = 4}].
+    @raise Invalid_argument on empty/ragged input. *)
+
+val eval : t -> float array -> float
+(** Interpolated value at a query point of matching dimension.  An exact
+    hit on a sample returns that sample's value. *)
+
+val dimension : t -> int
+val size : t -> int
+
+val bounds : t -> (float * float) array
+(** Per-dimension (min, max) of the sample cloud. *)

@@ -1,0 +1,119 @@
+type factorisation = {
+  lu : float array; (* packed row-major LU factors *)
+  perm : int array; (* row permutation *)
+  n : int;
+  sign : float; (* permutation parity, for det *)
+}
+
+exception Singular of int
+
+let pivot_tolerance = 1e-300
+
+let factorise m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Lu.factorise: matrix not square";
+  let lu = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      lu.((i * n) + j) <- Matrix.get m i j
+    done
+  done;
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  (* hot path: indices are in range by construction, so the elimination
+     kernel uses unsafe accesses *)
+  for k = 0 to n - 1 do
+    (* partial pivot: largest magnitude in column k at or below row k *)
+    let piv = ref k in
+    let best = ref (Float.abs (Array.unsafe_get lu ((k * n) + k))) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Array.unsafe_get lu ((i * n) + k)) in
+      if v > !best then begin
+        best := v;
+        piv := i
+      end
+    done;
+    if !best < pivot_tolerance then raise (Singular k);
+    if !piv <> k then begin
+      let pk = !piv in
+      for j = 0 to n - 1 do
+        let tmp = Array.unsafe_get lu ((k * n) + j) in
+        Array.unsafe_set lu ((k * n) + j) (Array.unsafe_get lu ((pk * n) + j));
+        Array.unsafe_set lu ((pk * n) + j) tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(pk);
+      perm.(pk) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Array.unsafe_get lu ((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let factor = Array.unsafe_get lu ((i * n) + k) /. pivot in
+      Array.unsafe_set lu ((i * n) + k) factor;
+      if factor <> 0.0 then begin
+        let row_i = i * n and row_k = k * n in
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set lu (row_i + j)
+            (Array.unsafe_get lu (row_i + j)
+            -. (factor *. Array.unsafe_get lu (row_k + j)))
+        done
+      end
+    done
+  done;
+  { lu; perm; n; sign = !sign }
+
+let solve_factorised f b =
+  let n = f.n in
+  if Array.length b <> n then invalid_arg "Lu.solve_factorised: size mismatch";
+  let x = Array.make n 0.0 in
+  let lu = f.lu in
+  (* forward: L y = P b *)
+  for i = 0 to n - 1 do
+    let acc = ref b.(f.perm.(i)) in
+    let row = i * n in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get lu (row + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i !acc
+  done;
+  (* backward: U x = y *)
+  for i = n - 1 downto 0 do
+    let acc = ref (Array.unsafe_get x i) in
+    let row = i * n in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get lu (row + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set x i (!acc /. Array.unsafe_get lu (row + i))
+  done;
+  x
+
+let solve a b = solve_factorised (factorise a) b
+
+let det m =
+  match factorise m with
+  | exception Singular _ -> 0.0
+  | f ->
+    let acc = ref f.sign in
+    for i = 0 to f.n - 1 do
+      acc := !acc *. f.lu.((i * f.n) + i)
+    done;
+    !acc
+
+let inverse m =
+  let n = Matrix.rows m in
+  let f = factorise m in
+  let inv = Matrix.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let col = solve_factorised f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j col.(i)
+    done
+  done;
+  inv
+
+let condition_estimate m =
+  match inverse m with
+  | exception Singular _ -> infinity
+  | inv -> Matrix.norm_inf m *. Matrix.norm_inf inv

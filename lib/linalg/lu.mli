@@ -1,0 +1,28 @@
+(** LU decomposition with partial pivoting, the linear kernel of the
+    circuit simulator's Newton iterations. *)
+
+type factorisation
+
+exception Singular of int
+(** Raised when a pivot column [i] has no usable pivot (matrix is
+    numerically singular). *)
+
+val factorise : Matrix.t -> factorisation
+(** In-place-style Doolittle factorisation of a square matrix (the input is
+    copied first). @raise Singular when no pivot exceeds the tolerance. *)
+
+val solve_factorised : factorisation -> Vec.t -> Vec.t
+(** Forward/back substitution against an existing factorisation. *)
+
+val solve : Matrix.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b]. @raise Singular on singular systems. *)
+
+val det : Matrix.t -> float
+(** Determinant via the factorisation; 0.0 for singular matrices. *)
+
+val inverse : Matrix.t -> Matrix.t
+(** Explicit inverse (tests and small analyses only). *)
+
+val condition_estimate : Matrix.t -> float
+(** Cheap condition estimate: ||A||_inf * ||A^-1||_inf. Returns [infinity]
+    for singular matrices. *)

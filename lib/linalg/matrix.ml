@@ -1,0 +1,106 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create: negative size";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows m = m.rows
+let cols m = m.cols
+let idx m i j = (i * m.cols) + j
+
+let check m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg
+      (Printf.sprintf "Matrix: index (%d,%d) outside %dx%d" i j m.rows m.cols)
+
+let get m i j =
+  check m i j;
+  m.data.(idx m i j)
+
+let set m i j x =
+  check m i j;
+  m.data.(idx m i j) <- x
+
+let add_to m i j x =
+  check m i j;
+  m.data.(idx m i j) <- m.data.(idx m i j) +. x
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.data.(idx m i i) <- 1.0
+  done;
+  m
+
+let copy m = { m with data = Array.copy m.data }
+let clear m = Array.fill m.data 0 (Array.length m.data) 0.0
+
+let of_arrays a =
+  let r = Array.length a in
+  let c = if r = 0 then 0 else Array.length a.(0) in
+  let m = create r c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged";
+      Array.iteri (fun j x -> m.data.(idx m i j) <- x) row)
+    a;
+  m
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.init m.cols (fun j -> m.data.(idx m i j)))
+
+let mul_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec: size mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0.0 in
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.(base + j) *. v.(j))
+      done;
+      !acc)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: size mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.(idx a i k) in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          c.data.(idx c i j) <- c.data.(idx c i j) +. (aik *. b.data.(idx b k j))
+        done
+    done
+  done;
+  c
+
+let transpose m =
+  let t = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      t.data.(idx t j i) <- m.data.(idx m i j)
+    done
+  done;
+  t
+
+let map f m = { m with data = Array.map f m.data }
+
+let norm_inf m =
+  let best = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. Float.abs m.data.(idx m i j)
+    done;
+    best := Float.max !best !acc
+  done;
+  !best
+
+let pp ppf m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%10.4g" m.data.(idx m i j)
+    done;
+    Format.fprintf ppf "]@."
+  done

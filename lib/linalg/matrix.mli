@@ -1,0 +1,28 @@
+(** Dense row-major matrices.  Circuit matrices in this project are tiny
+    (tens of unknowns), so a dense representation beats sparse storage. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] — zero-filled. *)
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] accumulates [x] into [m.(i).(j)] — the MNA "stamp"
+    primitive. *)
+
+val copy : t -> t
+val clear : t -> unit
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+val mul_vec : t -> Vec.t -> Vec.t
+val mul : t -> t -> t
+val transpose : t -> t
+val map : (float -> float) -> t -> t
+val norm_inf : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let copy = Array.copy
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let axpy ~alpha x y =
+  let n = Array.length x in
+  assert (Array.length y = n);
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let dot x y =
+  let n = Array.length x in
+  assert (Array.length y = n);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x =
+  Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let max_abs_diff x y =
+  let n = Array.length x in
+  assert (Array.length y = n);
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := Float.max !acc (Float.abs (x.(i) -. y.(i)))
+  done;
+  !acc
+
+let scale alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let add x y = Array.mapi (fun i xi -> xi +. y.(i)) x
+let sub x y = Array.mapi (fun i xi -> xi -. y.(i)) x
+
+let pp ppf v =
+  Format.fprintf ppf "[|";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "|]"

@@ -1,0 +1,38 @@
+(** NSGA-II: elitist non-dominated-sorting genetic algorithm (Deb et al.),
+    the optimiser the paper uses at both hierarchy levels (§3.2, §4.2,
+    §4.5).  Real-coded: simulated-binary crossover (SBX) + polynomial
+    mutation, binary tournament on (rank, crowding), (µ+λ) elitism. *)
+
+type individual = {
+  x : float array;
+  evaluation : Problem.evaluation;
+}
+
+type options = {
+  population : int;       (** even, >= 4 *)
+  generations : int;
+  crossover_prob : float;
+  eta_crossover : float;  (** SBX distribution index *)
+  mutation_prob : float;  (** per-variable; <= 0 means 1/n_vars *)
+  eta_mutation : float;   (** polynomial-mutation distribution index *)
+}
+
+val default_options : options
+(** population 100, generations 30 (the paper's §4.2 settings),
+    pc 0.9 / ηc 15, pm 1/n / ηm 20. *)
+
+val optimise :
+  ?options:options ->
+  ?on_generation:(int -> individual array -> unit) ->
+  Problem.t ->
+  Repro_util.Prng.t ->
+  individual array
+(** Run the GA and return the final population.  [on_generation] is
+    called after each generation with the current population (for
+    progress logging and convergence traces). *)
+
+val pareto_front : individual array -> individual array
+(** Feasible rank-0 subset of a population, deduplicated on objective
+    vectors. *)
+
+val evaluations : individual array -> Problem.evaluation array

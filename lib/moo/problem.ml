@@ -1,0 +1,45 @@
+type evaluation = {
+  objectives : float array;
+  constraint_violation : float;
+}
+
+let feasible e = e.constraint_violation <= 0.0
+
+type t = {
+  name : string;
+  bounds : (float * float) array;
+  objective_names : string array;
+  evaluate : float array -> evaluation;
+}
+
+let n_vars t = Array.length t.bounds
+let n_objectives t = Array.length t.objective_names
+
+let create ~name ~bounds ~objective_names evaluate =
+  if Array.length bounds = 0 then invalid_arg "Problem.create: no variables";
+  if Array.length objective_names = 0 then
+    invalid_arg "Problem.create: no objectives";
+  Array.iter
+    (fun (lo, hi) ->
+      if not (lo < hi) then invalid_arg "Problem.create: inverted bounds")
+    bounds;
+  { name; bounds; objective_names; evaluate }
+
+let clamp t x =
+  Array.mapi
+    (fun i v ->
+      let lo, hi = t.bounds.(i) in
+      Repro_util.Floatx.clamp ~lo ~hi v)
+    x
+
+let random_point t prng =
+  Array.map (fun (lo, hi) -> Repro_util.Prng.range prng lo hi) t.bounds
+
+let violation_of_bounds ~lo ~hi x =
+  if x < lo then lo -. x else if x > hi then x -. hi else 0.0
+
+let infeasible_evaluation t ~penalty =
+  {
+    objectives = Array.make (n_objectives t) infinity;
+    constraint_violation = Float.max penalty 1.0;
+  }

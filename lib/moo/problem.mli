@@ -1,0 +1,44 @@
+(** Multi-objective optimisation problems (the paper's equation (1)).
+
+    All objectives are {e minimised}; wrap maximised quantities with a
+    sign flip.  Constraints are folded into a single non-negative
+    violation amount so selection can use Deb's constraint-domination. *)
+
+type evaluation = {
+  objectives : float array;       (** to minimise *)
+  constraint_violation : float;   (** 0 when feasible, > 0 otherwise *)
+}
+
+val feasible : evaluation -> bool
+
+type t = {
+  name : string;
+  bounds : (float * float) array;      (** per-variable (lo, hi) box *)
+  objective_names : string array;
+  evaluate : float array -> evaluation;
+}
+
+val n_vars : t -> int
+val n_objectives : t -> int
+
+val create :
+  name:string ->
+  bounds:(float * float) array ->
+  objective_names:string array ->
+  (float array -> evaluation) ->
+  t
+(** @raise Invalid_argument on empty bounds/objectives or inverted
+    bounds. *)
+
+val clamp : t -> float array -> float array
+(** Project a decision vector into the box. *)
+
+val random_point : t -> Repro_util.Prng.t -> float array
+
+val violation_of_bounds : lo:float -> hi:float -> float -> float
+(** Helper: 0 inside [lo, hi], distance outside (for building
+    [constraint_violation] sums). *)
+
+val infeasible_evaluation : t -> penalty:float -> evaluation
+(** An evaluation marking a failed (un-simulatable) design: worst-case
+    objectives and the given violation. *)

@@ -1,0 +1,44 @@
+module Prng = Repro_util.Prng
+
+let sbx prng ~eta ~lo ~hi x1 x2 =
+  if Float.abs (x1 -. x2) < 1e-14 then (x1, x2)
+  else begin
+    let u = Prng.uniform prng in
+    let beta =
+      if u <= 0.5 then (2.0 *. u) ** (1.0 /. (eta +. 1.0))
+      else (1.0 /. (2.0 *. (1.0 -. u))) ** (1.0 /. (eta +. 1.0))
+    in
+    let c1 = 0.5 *. ((x1 +. x2) -. (beta *. Float.abs (x2 -. x1))) in
+    let c2 = 0.5 *. ((x1 +. x2) +. (beta *. Float.abs (x2 -. x1))) in
+    let clampv = Repro_util.Floatx.clamp ~lo ~hi in
+    (clampv c1, clampv c2)
+  end
+
+let polynomial_mutation prng ~eta ~lo ~hi x =
+  let span = hi -. lo in
+  let u = Prng.uniform prng in
+  let delta =
+    if u < 0.5 then ((2.0 *. u) ** (1.0 /. (eta +. 1.0))) -. 1.0
+    else 1.0 -. ((2.0 *. (1.0 -. u)) ** (1.0 /. (eta +. 1.0)))
+  in
+  Repro_util.Floatx.clamp ~lo ~hi (x +. (delta *. span))
+
+let crossover_pair prng ~bounds ~crossover_prob ~eta_crossover p1 p2 =
+  let c1 = Array.copy p1 and c2 = Array.copy p2 in
+  if Prng.uniform prng < crossover_prob then
+    Array.iteri
+      (fun k (lo, hi) ->
+        if Prng.bool prng then begin
+          let a, b = sbx prng ~eta:eta_crossover ~lo ~hi c1.(k) c2.(k) in
+          c1.(k) <- a;
+          c2.(k) <- b
+        end)
+      bounds;
+  (c1, c2)
+
+let mutate_in_place prng ~bounds ~mutation_prob ~eta_mutation c =
+  Array.iteri
+    (fun k (lo, hi) ->
+      if Prng.uniform prng < mutation_prob then
+        c.(k) <- polynomial_mutation prng ~eta:eta_mutation ~lo ~hi c.(k))
+    bounds

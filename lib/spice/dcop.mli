@@ -1,0 +1,24 @@
+(** DC operating-point analysis with gmin-stepping and source-stepping
+    continuation fallbacks. *)
+
+type result = {
+  solution : Repro_linalg.Vec.t;  (** MNA unknown vector *)
+  iterations : int;               (** total Newton iterations spent *)
+  strategy : string;              (** "direct" | "gmin" | "source" *)
+}
+
+exception No_convergence of string
+
+val solve : ?x0:Repro_linalg.Vec.t -> Mna.compiled -> result
+(** Find the DC operating point.  [x0] seeds the Newton iteration (e.g.
+    a previous solution during a sweep). @raise No_convergence when all
+    continuation strategies fail. *)
+
+val node_voltage : Mna.compiled -> result -> string -> float
+(** Voltage of a named node in a solved operating point.
+    @raise Not_found for unknown names. *)
+
+val source_current : Mna.compiled -> result -> string -> float
+(** Branch current of a named voltage source (positive when flowing from
+    the + terminal through the source to the - terminal).
+    @raise Not_found for unknown names. *)

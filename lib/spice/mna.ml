@@ -1,0 +1,303 @@
+module Netlist = Repro_circuit.Netlist
+module Mosfet = Repro_circuit.Mosfet
+module Source = Repro_circuit.Source
+module Vec = Repro_linalg.Vec
+module Matrix = Repro_linalg.Matrix
+module Lu = Repro_linalg.Lu
+
+type res = { ra : int; rb : int; g : float }
+type cap = { ca : int; cb : int; cval : float }
+type vsrc = { vpos : int; vneg : int; vwave : Source.t; branch : int }
+type isrc = { ipos : int; ineg : int; iwave : Source.t }
+
+type mos = {
+  md : int;
+  mg : int;
+  ms : int;
+  model : Mosfet.model;
+  w : float;
+  l : float;
+  vth_shift : float;
+  kp_scale : float;
+}
+
+type compiled = {
+  net : Netlist.t;
+  n_nodes : int;
+  n_branches : int;
+  size : int;
+  resistors : res array;
+  caps : cap array;
+  vsources : vsrc array;
+  isources : isrc array;
+  mosfets : mos array;
+  branch_of_name : (string, int) Hashtbl.t;
+}
+
+(* unknown index of a node id; ground (0) maps to -1 meaning "eliminated" *)
+let ui node = node - 1
+
+let compile net =
+  let resistors = ref [] and caps = ref [] in
+  let vsources = ref [] and isources = ref [] and mosfets = ref [] in
+  let branch_of_name = Hashtbl.create 4 in
+  let n_branches = ref 0 in
+  List.iter
+    (fun el ->
+      match el with
+      | Netlist.Resistor { n1; n2; value; name } ->
+        if value <= 0.0 then
+          invalid_arg (Printf.sprintf "Mna.compile: non-positive resistor %s" name);
+        resistors := { ra = ui n1; rb = ui n2; g = 1.0 /. value } :: !resistors
+      | Netlist.Capacitor { n1; n2; value; _ } ->
+        caps := { ca = ui n1; cb = ui n2; cval = value } :: !caps
+      | Netlist.Vsource { npos; nneg; source; name } ->
+        let branch = !n_branches in
+        incr n_branches;
+        Hashtbl.replace branch_of_name name branch;
+        vsources := { vpos = ui npos; vneg = ui nneg; vwave = source; branch } :: !vsources
+      | Netlist.Isource { npos; nneg; source; _ } ->
+        isources := { ipos = ui npos; ineg = ui nneg; iwave = source } :: !isources
+      | Netlist.Mos { drain; gate; source; model; w; l; vth_shift; kp_scale; _ } ->
+        mosfets :=
+          { md = ui drain; mg = ui gate; ms = ui source; model; w; l; vth_shift; kp_scale }
+          :: !mosfets;
+        (* expand bias-independent parasitics; bulks sit at AC ground *)
+        let c = Mosfet.capacitances model ~w ~l in
+        caps :=
+          { ca = ui gate; cb = ui source; cval = c.Mosfet.cgs }
+          :: { ca = ui gate; cb = ui drain; cval = c.Mosfet.cgd }
+          :: { ca = ui drain; cb = -1; cval = c.Mosfet.cdb }
+          :: { ca = ui source; cb = -1; cval = c.Mosfet.csb }
+          :: !caps)
+    (Netlist.elements net);
+  let n_nodes = Netlist.node_count net in
+  {
+    net;
+    n_nodes;
+    n_branches = !n_branches;
+    size = n_nodes - 1 + !n_branches;
+    resistors = Array.of_list (List.rev !resistors);
+    caps = Array.of_list (List.rev !caps);
+    vsources = Array.of_list (List.rev !vsources);
+    isources = Array.of_list (List.rev !isources);
+    mosfets = Array.of_list (List.rev !mosfets);
+    branch_of_name;
+  }
+
+let size c = c.size
+
+let node_index c node =
+  if node <= 0 then None
+  else if node >= c.n_nodes then invalid_arg "Mna.node_index: bad node"
+  else Some (node - 1)
+
+let node_of_name c name =
+  match Netlist.find_node c.net name with
+  | Some n -> n
+  | None -> raise Not_found
+
+let branch_index c name =
+  match Hashtbl.find_opt c.branch_of_name name with
+  | Some b -> c.n_nodes - 1 + b
+  | None -> raise Not_found
+
+let cap_count c = Array.length c.caps
+
+let volt x i = if i < 0 then 0.0 else x.(i)
+
+let cap_voltage c i x =
+  let cap = c.caps.(i) in
+  volt x cap.ca -. volt x cap.cb
+
+let cap_value c i = c.caps.(i).cval
+
+let capacitance_stamps c =
+  Array.map (fun { ca; cb; cval } -> (ca, cb, cval)) c.caps
+
+type cap_mode =
+  | Dc
+  | Companion of { geq : float array; ieq : float array }
+
+(* accumulate into row [i] only when it is a real unknown *)
+let addf residual i v = if i >= 0 then residual.(i) <- residual.(i) +. v
+let addj jac i j v = if i >= 0 && j >= 0 then Matrix.add_to jac i j v
+
+let assemble ?(injections = [||]) c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian ~residual =
+  Matrix.clear jacobian;
+  Vec.fill residual 0.0;
+  let nb_base = c.n_nodes - 1 in
+  (* resistors *)
+  Array.iter
+    (fun { ra; rb; g } ->
+      let i = g *. (volt x ra -. volt x rb) in
+      addf residual ra i;
+      addf residual rb (-.i);
+      addj jacobian ra ra g;
+      addj jacobian rb rb g;
+      addj jacobian ra rb (-.g);
+      addj jacobian rb ra (-.g))
+    c.resistors;
+  (* capacitors *)
+  (match cap_mode with
+  | Dc -> ()
+  | Companion { geq; ieq } ->
+    Array.iteri
+      (fun k { ca; cb; _ } ->
+        let g = geq.(k) in
+        let i = (g *. (volt x ca -. volt x cb)) +. ieq.(k) in
+        addf residual ca i;
+        addf residual cb (-.i);
+        addj jacobian ca ca g;
+        addj jacobian cb cb g;
+        addj jacobian ca cb (-.g);
+        addj jacobian cb ca (-.g))
+      c.caps);
+  (* voltage sources: branch current row + KVL row *)
+  Array.iter
+    (fun { vpos; vneg; vwave; branch } ->
+      let bi = nb_base + branch in
+      let ib = x.(bi) in
+      addf residual vpos ib;
+      addf residual vneg (-.ib);
+      addj jacobian vpos bi 1.0;
+      addj jacobian vneg bi (-1.0);
+      let e = source_scale *. Source.value vwave time in
+      residual.(bi) <- volt x vpos -. volt x vneg -. e;
+      addj jacobian bi vpos 1.0;
+      addj jacobian bi vneg (-1.0);
+      (* ground-referenced entries when a terminal is ground are skipped by
+         addj; the branch row still needs a diagonal-free entry, which the
+         terms above provide unless both terminals are ground *)
+      if vpos < 0 && vneg < 0 then Matrix.add_to jacobian bi bi 1.0)
+    c.vsources;
+  (* current sources *)
+  Array.iter
+    (fun { ipos; ineg; iwave } ->
+      let i = source_scale *. Source.value iwave time in
+      addf residual ipos i;
+      addf residual ineg (-.i))
+    c.isources;
+  (* MOSFETs *)
+  Array.iter
+    (fun m ->
+      let vd = volt x m.md and vg = volt x m.mg and vs = volt x m.ms in
+      (* orient so the internal "drain" is the high node of the channel *)
+      let polarity = m.model.Mosfet.polarity in
+      let hi, lo, vhi, vlo =
+        match polarity with
+        | Mosfet.Nmos ->
+          if vd >= vs then (m.md, m.ms, vd, vs) else (m.ms, m.md, vs, vd)
+        | Mosfet.Pmos ->
+          if vs >= vd then (m.ms, m.md, vs, vd) else (m.md, m.ms, vd, vs)
+      in
+      let vds = vhi -. vlo in
+      let vgs =
+        match polarity with
+        | Mosfet.Nmos -> vg -. vlo
+        | Mosfet.Pmos -> vhi -. vg
+      in
+      let { Mosfet.ids; gm; gds } =
+        Mosfet.eval m.model ~w:m.w ~l:m.l ~vth_shift:m.vth_shift
+          ~kp_scale:m.kp_scale ~vgs ~vds
+      in
+      (* current flows hi -> lo through the channel *)
+      addf residual hi ids;
+      addf residual lo (-.ids);
+      (* d ids / d node voltages, per polarity-specific vgs definition *)
+      let dhi, dlo, dg =
+        match polarity with
+        | Mosfet.Nmos ->
+          (* vgs = vg - vlo, vds = vhi - vlo *)
+          (gds, -.gm -. gds, gm)
+        | Mosfet.Pmos ->
+          (* vgs = vhi - vg, vds = vhi - vlo *)
+          (gm +. gds, -.gds, -.gm)
+      in
+      addj jacobian hi hi dhi;
+      addj jacobian hi lo dlo;
+      addj jacobian hi m.mg dg;
+      addj jacobian lo hi (-.dhi);
+      addj jacobian lo lo (-.dlo);
+      addj jacobian lo m.mg (-.dg))
+    c.mosfets;
+  (* fixed extra currents (transient noise injection) *)
+  Array.iter (fun (i, amps) -> addf residual i amps) injections;
+  (* gmin from every node to ground *)
+  if gmin > 0.0 then
+    for i = 0 to nb_base - 1 do
+      Matrix.add_to jacobian i i gmin;
+      residual.(i) <- residual.(i) +. (gmin *. x.(i))
+    done
+
+type newton_report = {
+  converged : bool;
+  iterations : int;
+  max_dx : float;
+  max_residual : float;
+}
+
+let boltzmann_t = 4.14e-21 (* kT at 300 K *)
+let gamma_noise = 2.0 (* short-channel excess noise factor *)
+
+let channel_noise_stamps c ~x =
+  Array.map
+    (fun m ->
+      let vd = volt x m.md and vg = volt x m.mg and vs = volt x m.ms in
+      let polarity = m.model.Mosfet.polarity in
+      let hi, lo, vhi, vlo =
+        match polarity with
+        | Mosfet.Nmos ->
+          if vd >= vs then (m.md, m.ms, vd, vs) else (m.ms, m.md, vs, vd)
+        | Mosfet.Pmos ->
+          if vs >= vd then (m.ms, m.md, vs, vd) else (m.md, m.ms, vd, vs)
+      in
+      let vds = vhi -. vlo in
+      let vgs =
+        match polarity with
+        | Mosfet.Nmos -> vg -. vlo
+        | Mosfet.Pmos -> vhi -. vg
+      in
+      let { Mosfet.gm; _ } =
+        Mosfet.eval m.model ~w:m.w ~l:m.l ~vth_shift:m.vth_shift
+          ~kp_scale:m.kp_scale ~vgs ~vds
+      in
+      (hi, lo, sqrt (4.0 *. boltzmann_t *. gamma_noise *. Float.max gm 0.0)))
+    c.mosfets
+
+let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
+    ?(dv_limit = 0.5) ?injections c ~x ~time ~gmin ~source_scale ~cap_mode =
+  let n = c.size in
+  let jacobian = Matrix.create n n in
+  let residual = Vec.create n in
+  let nb_base = c.n_nodes - 1 in
+  let rec loop iter last_dx =
+    assemble ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian
+      ~residual;
+    let max_res =
+      let acc = ref 0.0 in
+      for i = 0 to nb_base - 1 do
+        acc := Float.max !acc (Float.abs residual.(i))
+      done;
+      !acc
+    in
+    if last_dx < vtol +. (rtol *. Vec.norm_inf x) && max_res < itol && iter > 0
+    then { converged = true; iterations = iter; max_dx = last_dx; max_residual = max_res }
+    else if iter >= max_iter then
+      { converged = false; iterations = iter; max_dx = last_dx; max_residual = max_res }
+    else begin
+      match Lu.solve jacobian (Array.map (fun r -> -.r) residual) with
+      | exception Lu.Singular _ ->
+        { converged = false; iterations = iter; max_dx = last_dx; max_residual = max_res }
+      | dx ->
+        (* damp on node-voltage updates only *)
+        let max_node_dx = ref 0.0 in
+        for i = 0 to nb_base - 1 do
+          max_node_dx := Float.max !max_node_dx (Float.abs dx.(i))
+        done;
+        let alpha = if !max_node_dx > dv_limit then dv_limit /. !max_node_dx else 1.0 in
+        Vec.axpy ~alpha dx x;
+        loop (iter + 1) (alpha *. Float.max !max_node_dx (Vec.norm_inf dx))
+    end
+  in
+  loop 0 infinity

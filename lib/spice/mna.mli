@@ -1,0 +1,94 @@
+(** Modified nodal analysis: netlist compilation, Jacobian/residual
+    assembly and the damped Newton iteration shared by the DC and
+    transient engines.
+
+    Unknown vector layout: node voltages for nodes [1 .. n-1] (ground
+    eliminated) followed by one branch current per voltage source.
+    MOS devices contribute a nonlinear current element plus four linear
+    parasitic capacitors (Cgs, Cgd, Cdb, Csb) expanded at compile time. *)
+
+type compiled
+
+val compile : Repro_circuit.Netlist.t -> compiled
+val size : compiled -> int
+(** Number of MNA unknowns. *)
+
+val node_index : compiled -> Repro_circuit.Netlist.node -> int option
+(** Unknown index of a node ([None] for ground). *)
+
+val node_of_name : compiled -> string -> Repro_circuit.Netlist.node
+(** @raise Not_found for unknown node names. *)
+
+val branch_index : compiled -> string -> int
+(** Unknown index of a voltage source's branch current.
+    @raise Not_found for unknown source names. *)
+
+val cap_count : compiled -> int
+(** Number of expanded linear capacitors (explicit + MOS parasitics). *)
+
+val cap_voltage : compiled -> int -> Repro_linalg.Vec.t -> float
+(** Terminal voltage of capacitor [i] under solution [x]. *)
+
+val cap_value : compiled -> int -> float
+
+val capacitance_stamps : compiled -> (int * int * float) array
+(** All linear capacitors as (unknown_a, unknown_b, value) triples with
+    -1 for a grounded terminal — the C matrix of the AC analysis. *)
+
+type cap_mode =
+  | Dc
+      (** capacitors open-circuit *)
+  | Companion of { geq : float array; ieq : float array }
+      (** per-capacitor linear companion: i = geq (va - vb) + ieq *)
+
+val assemble :
+  ?injections:(int * float) array ->
+  compiled ->
+  x:Repro_linalg.Vec.t ->
+  time:float ->
+  gmin:float ->
+  source_scale:float ->
+  cap_mode:cap_mode ->
+  jacobian:Repro_linalg.Matrix.t ->
+  residual:Repro_linalg.Vec.t ->
+  unit
+(** Fill [jacobian] and [residual] (both are cleared first) with
+    F(x) = 0 contributions at candidate solution [x].  [gmin] adds a
+    conductance from every node to ground; [source_scale] scales all
+    independent sources (source-stepping continuation); [injections]
+    adds fixed extra currents (unknown index, amps flowing out of the
+    node) — the transient-noise hook. *)
+
+type newton_report = {
+  converged : bool;
+  iterations : int;
+  max_dx : float;     (** final Newton update infinity-norm *)
+  max_residual : float;
+}
+
+val channel_noise_stamps :
+  compiled -> x:Repro_linalg.Vec.t -> (int * int * float) array
+(** Per-MOSFET thermal channel noise at operating point [x]:
+    [(hi, lo, s)] where a noise current of spectral density
+    s = sqrt(4kT·γ·gm) A/√Hz flows between the channel terminals
+    (unknown indices, -1 = ground).  Drives the transient-noise
+    feature. *)
+
+val newton :
+  ?max_iter:int ->
+  ?vtol:float ->
+  ?rtol:float ->
+  ?itol:float ->
+  ?dv_limit:float ->
+  ?injections:(int * float) array ->
+  compiled ->
+  x:Repro_linalg.Vec.t ->
+  time:float ->
+  gmin:float ->
+  source_scale:float ->
+  cap_mode:cap_mode ->
+  newton_report
+(** Damped Newton–Raphson updating [x] in place.  Per-iteration node
+    updates are limited to [dv_limit] volts (default 0.5) by step
+    scaling.  Convergence requires both the update norm below
+    [vtol + rtol * |x|] and the KCL residual below [itol]. *)

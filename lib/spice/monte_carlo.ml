@@ -1,0 +1,46 @@
+module Process = Repro_circuit.Process
+module Prng = Repro_util.Prng
+module Stats = Repro_util.Stats
+
+type 'a trial = Repro_circuit.Netlist.t -> ('a, string) result
+
+type 'a run_result = {
+  samples : 'a array;
+  failures : int;
+  seeds_used : int;
+}
+
+let run ?(spec = Process.default) ~n ~prng net trial =
+  if n <= 0 then invalid_arg "Monte_carlo.run: n must be positive";
+  let ok = ref [] and failures = ref 0 in
+  for _ = 1 to n do
+    let stream = Prng.split prng in
+    let perturbed = Process.sample spec stream net in
+    match trial perturbed with
+    | Ok x -> ok := x :: !ok
+    | Error _ -> incr failures
+  done;
+  { samples = Array.of_list (List.rev !ok); failures = !failures; seeds_used = n }
+
+type spread = {
+  nominal : float;
+  mc_mean : float;
+  mc_std : float;
+  rel_spread : float;
+  n_samples : int;
+}
+
+let spread_of_samples ~nominal samples =
+  let mc_mean = Stats.mean samples in
+  let mc_std = Stats.stddev samples in
+  {
+    nominal;
+    mc_mean;
+    mc_std;
+    rel_spread = (if mc_mean = 0.0 then 0.0 else mc_std /. Float.abs mc_mean);
+    n_samples = Array.length samples;
+  }
+
+let pp_spread ppf s =
+  Format.fprintf ppf "nominal=%g mc=%g±%g (∆=%.2f%%, n=%d)" s.nominal s.mc_mean
+    s.mc_std (100.0 *. s.rel_spread) s.n_samples

@@ -1,0 +1,36 @@
+(** Monte-Carlo analysis over process variation — the paper's §3.3 /
+    §4.3 step: run N perturbed-netlist trials of a measurement and report
+    per-performance spreads. *)
+
+type 'a trial = Repro_circuit.Netlist.t -> ('a, string) result
+(** A measurement over one (already perturbed) netlist instance. *)
+
+type 'a run_result = {
+  samples : 'a array;      (** successful trials *)
+  failures : int;          (** trials whose measurement failed *)
+  seeds_used : int;        (** total trials attempted *)
+}
+
+val run :
+  ?spec:Repro_circuit.Process.spec ->
+  n:int ->
+  prng:Repro_util.Prng.t ->
+  Repro_circuit.Netlist.t ->
+  'a trial ->
+  'a run_result
+(** [run ~n ~prng net trial] draws [n] process instances of [net] (each
+    from an independent PRNG split) and collects the successful
+    measurements. *)
+
+type spread = {
+  nominal : float;      (** measurement of the unperturbed netlist *)
+  mc_mean : float;
+  mc_std : float;
+  rel_spread : float;   (** mc_std / |mc_mean| — the paper's ∆ columns *)
+  n_samples : int;
+}
+
+val spread_of_samples : nominal:float -> float array -> spread
+(** @raise Invalid_argument on an empty sample array. *)
+
+val pp_spread : Format.formatter -> spread -> unit

@@ -1,0 +1,49 @@
+module T = Repro_circuit.Topologies
+
+type performance = {
+  dc_gain_db : float;
+  gbw : float;
+  phase_margin_deg : float;
+  power : float;
+  slew_rate : float;
+}
+
+let pp_performance ppf p =
+  Format.fprintf ppf "gain=%.1f dB gbw=%s pm=%.0f deg power=%.2f mW slew=%s"
+    p.dc_gain_db
+    (Repro_util.Si.format_unit p.gbw "Hz")
+    p.phase_margin_deg (p.power *. 1e3)
+    (Repro_util.Si.format_unit p.slew_rate "V/s")
+
+type failure = Bias_failure of string | No_gain
+
+let failure_to_string = function
+  | Bias_failure msg -> "bias failure: " ^ msg
+  | No_gain -> "no unity-gain crossing"
+
+let characterise ?(vdd = 1.2) ?(cload = 1e-12) ?(f_start = 10.0)
+    ?(f_stop = 50e9) ?(points = 160) params =
+  let net = T.two_stage_ota ~vdd ~cload params in
+  let compiled = Mna.compile net in
+  match Dcop.solve compiled with
+  | exception Dcop.No_convergence msg -> Error (Bias_failure msg)
+  | op ->
+    let ac = Ac.linearise compiled op in
+    let sweep =
+      Ac.logsweep ac ~input:"Vinp" ~output:"out" ~f_start ~f_stop ~points
+    in
+    let bode = Ac.bode_summary sweep in
+    (match (bode.Ac.unity_gain_freq, bode.Ac.phase_margin_deg) with
+    | Some gbw, Some pm ->
+      let supply_current = -.Dcop.source_current compiled op "Vdd" in
+      (* slew limit: the whole tail current available to charge Cc *)
+      let slew_rate = 2.0 *. params.T.ibias /. params.T.cc in
+      Ok
+        {
+          dc_gain_db = bode.Ac.dc_gain_db;
+          gbw;
+          phase_margin_deg = pm;
+          power = vdd *. supply_current;
+          slew_rate;
+        }
+    | None, _ | _, None -> Error No_gain)

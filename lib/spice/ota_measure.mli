@@ -1,0 +1,33 @@
+(** AC characterisation of the two-stage OTA: the amplifier-domain
+    counterpart of {!Vco_measure}, driven entirely by the {!Ac} engine.
+
+    Demonstrates that the hierarchical methodology is not VCO-specific —
+    the sizing example in [examples/ota_sizing.ml] optimises these
+    figures with the same NSGA-II machinery the paper uses. *)
+
+type performance = {
+  dc_gain_db : float;
+  gbw : float;               (** unity-gain frequency, Hz *)
+  phase_margin_deg : float;
+  power : float;             (** supply power, W *)
+  slew_rate : float;         (** analytic tail-current / Cc estimate, V/s *)
+}
+
+val pp_performance : Format.formatter -> performance -> unit
+
+type failure =
+  | Bias_failure of string   (** DC operating point did not converge *)
+  | No_gain                  (** |H| never crosses unity *)
+
+val failure_to_string : failure -> string
+
+val characterise :
+  ?vdd:float ->
+  ?cload:float ->
+  ?f_start:float ->
+  ?f_stop:float ->
+  ?points:int ->
+  Repro_circuit.Topologies.ota_params ->
+  (performance, failure) result
+(** DC operating point + log AC sweep (defaults 10 Hz – 50 GHz,
+    160 points) + Bode extraction. *)

@@ -1,0 +1,127 @@
+type t = { times : float array; values : float array }
+
+let create times values =
+  let n = Array.length times in
+  if n <> Array.length values then invalid_arg "Waveform.create: length mismatch";
+  if n < 1 then invalid_arg "Waveform.create: empty waveform";
+  for i = 0 to n - 2 do
+    if times.(i + 1) < times.(i) then
+      invalid_arg "Waveform.create: times must be non-decreasing"
+  done;
+  { times; values }
+
+let length w = Array.length w.times
+
+let value_at w t =
+  let n = length w in
+  if t <= w.times.(0) then w.values.(0)
+  else if t >= w.times.(n - 1) then w.values.(n - 1)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if w.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    let ta = w.times.(!lo) and tb = w.times.(!hi) in
+    let va = w.values.(!lo) and vb = w.values.(!hi) in
+    if tb > ta then va +. ((vb -. va) *. (t -. ta) /. (tb -. ta)) else va
+  end
+
+let window w ~t_start ~t_end =
+  let keep = ref [] in
+  for i = length w - 1 downto 0 do
+    if w.times.(i) >= t_start && w.times.(i) <= t_end then
+      keep := i :: !keep
+  done;
+  let idx = Array.of_list !keep in
+  if Array.length idx = 0 then invalid_arg "Waveform.window: empty window";
+  {
+    times = Array.map (fun i -> w.times.(i)) idx;
+    values = Array.map (fun i -> w.values.(i)) idx;
+  }
+
+type direction = Rising | Falling | Either
+
+let crossings ?(direction = Either) w ~level =
+  let out = ref [] in
+  for i = 0 to length w - 2 do
+    let va = w.values.(i) -. level and vb = w.values.(i + 1) -. level in
+    let hit =
+      match direction with
+      | Rising -> va < 0.0 && vb >= 0.0
+      | Falling -> va > 0.0 && vb <= 0.0
+      | Either -> (va < 0.0 && vb >= 0.0) || (va > 0.0 && vb <= 0.0)
+    in
+    if hit && vb <> va then begin
+      let frac = -.va /. (vb -. va) in
+      let t = w.times.(i) +. (frac *. (w.times.(i + 1) -. w.times.(i))) in
+      out := t :: !out
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let periods ?(direction = Rising) w ~level =
+  let cs = crossings ~direction w ~level in
+  if Array.length cs < 2 then [||]
+  else Array.init (Array.length cs - 1) (fun i -> cs.(i + 1) -. cs.(i))
+
+let frequency ?(direction = Rising) w ~level =
+  let ps = periods ~direction w ~level in
+  if Array.length ps = 0 then None
+  else begin
+    let mean_p = Repro_util.Stats.mean ps in
+    if mean_p > 0.0 then Some (1.0 /. mean_p) else None
+  end
+
+let period_jitter_rms ?(direction = Rising) w ~level =
+  let ps = periods ~direction w ~level in
+  if Array.length ps < 3 then None
+  else Some (Repro_util.Stats.stddev ps)
+
+let mean w =
+  let n = length w in
+  if n = 1 then w.values.(0)
+  else begin
+    let span = w.times.(n - 1) -. w.times.(0) in
+    if span <= 0.0 then w.values.(0)
+    else begin
+      let acc = ref 0.0 in
+      for i = 0 to n - 2 do
+        let dt = w.times.(i + 1) -. w.times.(i) in
+        acc := !acc +. (0.5 *. (w.values.(i) +. w.values.(i + 1)) *. dt)
+      done;
+      !acc /. span
+    end
+  end
+
+let rms w =
+  let sq = { w with values = Array.map (fun v -> v *. v) w.values } in
+  sqrt (mean sq)
+
+let peak_to_peak w =
+  let lo, hi = Repro_util.Stats.min_max w.values in
+  hi -. lo
+
+let slew_at_crossings ?(direction = Either) w ~level =
+  let slopes = ref [] in
+  for i = 0 to length w - 2 do
+    let va = w.values.(i) -. level and vb = w.values.(i + 1) -. level in
+    let hit =
+      match direction with
+      | Rising -> va < 0.0 && vb >= 0.0
+      | Falling -> va > 0.0 && vb <= 0.0
+      | Either -> (va < 0.0 && vb >= 0.0) || (va > 0.0 && vb <= 0.0)
+    in
+    if hit then begin
+      let dt = w.times.(i + 1) -. w.times.(i) in
+      if dt > 0.0 then
+        slopes := Float.abs ((w.values.(i + 1) -. w.values.(i)) /. dt) :: !slopes
+    end
+  done;
+  match !slopes with
+  | [] -> 0.0
+  | slopes -> Repro_util.Stats.mean (Array.of_list slopes)
+
+let amplitude_ok w ~lo ~hi =
+  let vmin, vmax = Repro_util.Stats.min_max w.values in
+  vmin <= lo && vmax >= hi

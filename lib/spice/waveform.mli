@@ -1,0 +1,47 @@
+(** Sampled waveforms and the measurements the flow extracts from them
+    (threshold crossings, period/frequency, averages, slew rates). *)
+
+type t = { times : float array; values : float array }
+
+val create : float array -> float array -> t
+(** @raise Invalid_argument on length mismatch or < 1 point. *)
+
+val length : t -> int
+val value_at : t -> float -> float
+(** Linear interpolation between samples; clamped outside the time range. *)
+
+val window : t -> t_start:float -> t_end:float -> t
+(** Sub-waveform restricted to [t_start, t_end].
+    @raise Invalid_argument when the window contains no samples. *)
+
+type direction = Rising | Falling | Either
+
+val crossings : ?direction:direction -> t -> level:float -> float array
+(** Interpolated times where the waveform crosses [level], default both
+    directions. *)
+
+val periods : ?direction:direction -> t -> level:float -> float array
+(** Successive differences of same-direction crossing times (defaults to
+    [Rising]). *)
+
+val frequency : ?direction:direction -> t -> level:float -> float option
+(** Mean frequency over all measured periods; [None] when fewer than two
+    same-direction crossings exist. *)
+
+val period_jitter_rms : ?direction:direction -> t -> level:float -> float option
+(** RMS deviation of period samples around their mean (cycle-to-cycle
+    spread measured on the waveform itself); [None] with < 3 periods. *)
+
+val mean : t -> float
+(** Time-weighted (trapezoidal) average. *)
+
+val rms : t -> float
+val peak_to_peak : t -> float
+
+val slew_at_crossings : ?direction:direction -> t -> level:float -> float
+(** Mean |dV/dt| at the crossing points (finite difference of the bracketing
+    samples); 0.0 when there are no crossings. *)
+
+val amplitude_ok : t -> lo:float -> hi:float -> bool
+(** True when the waveform swings below [lo] and above [hi] (oscillation
+    sanity check). *)

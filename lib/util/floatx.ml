@@ -1,0 +1,31 @@
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let close ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Floatx.linspace: need at least 2 points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i ->
+      if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let logspace lo hi n =
+  if lo <= 0.0 || hi <= 0.0 then
+    invalid_arg "Floatx.logspace: bounds must be positive";
+  Array.map exp (linspace (log lo) (log hi) n)
+
+let lerp a b t = a +. (t *. (b -. a))
+let is_finite x = Float.is_finite x
+
+let sum xs =
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    xs;
+  !s

@@ -1,0 +1,24 @@
+(** Small float helpers shared across the numerical code. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] limits [x] to [\[lo, hi\]].  Requires [lo <= hi]. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [close a b] is true when [|a - b| <= atol + rtol * max |a| |b|].
+    Defaults: [rtol = 1e-9], [atol = 1e-12]. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] returns [n >= 2] evenly spaced points including both
+    endpoints. *)
+
+val logspace : float -> float -> int -> float array
+(** [logspace lo hi n]: [n] logarithmically spaced points between the
+    strictly positive bounds [lo] and [hi]. *)
+
+val lerp : float -> float -> float -> float
+(** [lerp a b t] = [a + t * (b - a)]. *)
+
+val is_finite : float -> bool
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

@@ -1,0 +1,77 @@
+let latin_hypercube prng ~dims ~samples =
+  if dims <= 0 || samples <= 0 then
+    invalid_arg "Sampling.latin_hypercube: sizes must be positive";
+  let out = Array.make_matrix samples dims 0.0 in
+  for d = 0 to dims - 1 do
+    let perm = Array.init samples Fun.id in
+    Prng.shuffle prng perm;
+    for s = 0 to samples - 1 do
+      let jitter = Prng.uniform prng in
+      out.(s).(d) <- (float_of_int perm.(s) +. jitter) /. float_of_int samples
+    done
+  done;
+  out
+
+let scale_to_box bounds points =
+  Array.map
+    (fun p ->
+      if Array.length p <> Array.length bounds then
+        invalid_arg "Sampling.scale_to_box: dimension mismatch";
+      Array.mapi
+        (fun d u ->
+          let lo, hi = bounds.(d) in
+          Floatx.lerp lo hi u)
+        p)
+    points
+
+(* Acklam's inverse normal CDF approximation *)
+let normal_inverse_cdf p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Sampling.normal_inverse_cdf: p outside (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+    *. q +. c.(5)
+    |> fun num ->
+    num
+    /. ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3) |> fun den ->
+        (den *. q) +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+    *. r +. a.(5)
+    |> fun num ->
+    num *. q
+    /. (((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)
+        |> fun den -> (den *. r) +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q +. c.(5))
+    /. ((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3) |> fun den ->
+        (den *. q) +. 1.0)
+  end
+
+let gaussian_lhs prng ~dims ~samples =
+  let unit = latin_hypercube prng ~dims ~samples in
+  Array.map (Array.map normal_inverse_cdf) unit

@@ -1,0 +1,26 @@
+(** Space-filling sampling plans.
+
+    Latin-hypercube sampling gives much lower estimator variance than
+    plain Monte-Carlo at the same sample count — offered as an
+    alternative design-of-experiments front end for variation modelling
+    and optimiser-population initialisation. *)
+
+val latin_hypercube : Prng.t -> dims:int -> samples:int -> float array array
+(** [latin_hypercube prng ~dims ~samples] returns [samples] points in
+    the unit hypercube; each dimension is stratified into [samples]
+    equal bins, each hit exactly once (jittered within its bin).
+    @raise Invalid_argument on non-positive sizes. *)
+
+val scale_to_box :
+  (float * float) array -> float array array -> float array array
+(** Map unit-cube points into a bounds box (one (lo, hi) per dimension).
+    @raise Invalid_argument on dimension mismatch. *)
+
+val gaussian_lhs :
+  Prng.t -> dims:int -> samples:int -> float array array
+(** Latin-hypercube points pushed through the standard-normal inverse
+    CDF — stratified N(0,1) draws for Monte-Carlo process sampling. *)
+
+val normal_inverse_cdf : float -> float
+(** Acklam's rational approximation of the standard-normal quantile
+    (|error| < 1.2e-9). @raise Invalid_argument outside (0, 1). *)

@@ -1,0 +1,74 @@
+let suffix_value = function
+  | "f" -> Some 1e-15
+  | "p" -> Some 1e-12
+  | "n" -> Some 1e-9
+  | "u" -> Some 1e-6
+  | "m" -> Some 1e-3
+  | "k" -> Some 1e3
+  | "meg" -> Some 1e6
+  | "g" -> Some 1e9
+  | "t" -> Some 1e12
+  | "" -> Some 1.0
+  | _ -> None
+
+let parse_opt s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    (* longest numeric prefix *)
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+      | _ -> false
+    in
+    (* 'e' is numeric only when followed by digits/sign; handle "meg" whose
+       'm' terminates the number. Scan greedily, then backtrack on parse
+       failure. *)
+    let rec split i =
+      if i < n && is_num_char s.[i] then split (i + 1) else i
+    in
+    let rec try_at i =
+      if i = 0 then None
+      else
+        let num = String.sub s 0 i and suf = String.sub s i (n - i) in
+        match (float_of_string_opt num, suffix_value suf) with
+        | Some v, Some m -> Some (v *. m)
+        | _ -> try_at (i - 1)
+    in
+    try_at (split 0)
+  end
+
+let parse s =
+  match parse_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Si.parse: malformed value %S" s)
+
+(* SPICE suffixes are case-insensitive, so the parseable rendering must
+   use "meg" (not "M", which reads back as milli) *)
+let spice_prefixes =
+  [| (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m");
+     (1.0, ""); (1e3, "k"); (1e6, "meg"); (1e9, "g"); (1e12, "t") |]
+
+let display_prefixes =
+  [| (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m");
+     (1.0, ""); (1e3, "k"); (1e6, "M"); (1e9, "G"); (1e12, "T") |]
+
+let format_with prefixes x =
+  if x = 0.0 then "0"
+  else if not (Float.is_finite x) then string_of_float x
+  else begin
+    let ax = Float.abs x in
+    let scale, suffix =
+      let chosen = ref prefixes.(0) in
+      Array.iter
+        (fun (s, _ as p) -> if ax >= s *. 0.9999995 then chosen := p)
+        prefixes;
+      !chosen
+    in
+    let v = x /. scale in
+    Printf.sprintf "%.4g%s" v suffix
+  end
+
+let format x = format_with spice_prefixes x
+let format_unit x u = format_with display_prefixes x ^ u

@@ -1,0 +1,17 @@
+(** SI-prefixed engineering notation, as used in SPICE netlists and the
+    paper's tables ("2.1p", "3.8k", "0.12u"). *)
+
+val parse : string -> float
+(** [parse s] reads a float with an optional SPICE suffix
+    (f, p, n, u, m, k, meg, g, t — case-insensitive).
+    @raise Failure on malformed input. *)
+
+val parse_opt : string -> float option
+
+val format : float -> string
+(** [format x] renders with the closest engineering prefix and 4
+    significant digits, e.g. [format 2.1e-12 = "2.1p"]. *)
+
+val format_unit : float -> string -> string
+(** [format_unit x u] appends a unit, e.g. [format_unit 800e6 "Hz" =
+    "800MHz"]. *)

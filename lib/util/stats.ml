@@ -1,0 +1,95 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. (((x -. m) *. (x -. m)))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let relative_spread xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. Float.abs m
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let median xs = percentile xs 50.0
+
+let histogram xs ~bins =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  let place x =
+    let i = int_of_float ((x -. lo) /. width) in
+    let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+    counts.(i) <- counts.(i) + 1
+  in
+  Array.iter place xs;
+  Array.mapi
+    (fun i c -> (lo +. ((float_of_int i +. 0.5) *. width), c))
+    counts
+
+type yield_estimate = {
+  pass : int;
+  total : int;
+  fraction : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+(* Wilson score interval at 95% (z = 1.96). *)
+let yield ~pass ~total =
+  if total <= 0 then invalid_arg "Stats.yield: total must be positive";
+  if pass < 0 || pass > total then invalid_arg "Stats.yield: pass outside [0,total]";
+  let z = 1.96 in
+  let n = float_of_int total in
+  let p = float_of_int pass /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) /. denom
+  in
+  {
+    pass;
+    total;
+    fraction = p;
+    ci_low = Float.max 0.0 (centre -. half);
+    ci_high = Float.min 1.0 (centre +. half);
+  }
+
+let pp_yield ppf y =
+  Format.fprintf ppf "%d/%d = %.1f%% (95%% CI %.1f%%-%.1f%%)" y.pass y.total
+    (100.0 *. y.fraction) (100.0 *. y.ci_low) (100.0 *. y.ci_high)

@@ -1,0 +1,44 @@
+(** Descriptive statistics and yield estimation over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton samples.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val relative_spread : float array -> float
+(** [relative_spread xs] is [stddev xs /. |mean xs|] — the fractional
+    spread used for the paper's Table-1 "∆" columns.  Returns 0 when the
+    mean is 0. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. @raise Invalid_argument on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], linear interpolation between
+    order statistics.  Does not mutate [xs]. *)
+
+val median : float array -> float
+
+val histogram : float array -> bins:int -> (float * int) array
+(** [histogram xs ~bins] returns [(bin_centre, count)] pairs covering the
+    sample range. *)
+
+type yield_estimate = {
+  pass : int;
+  total : int;
+  fraction : float;  (** pass / total *)
+  ci_low : float;    (** 95% Wilson-score lower bound *)
+  ci_high : float;   (** 95% Wilson-score upper bound *)
+}
+
+val yield : pass:int -> total:int -> yield_estimate
+(** Yield fraction with a 95% Wilson confidence interval, as used by the
+    Monte-Carlo verification step. @raise Invalid_argument if [total <= 0]
+    or [pass] outside [0, total]. *)
+
+val pp_yield : Format.formatter -> yield_estimate -> unit

@@ -1,0 +1,113 @@
+module Datafile = Repro_interp.Datafile
+module Table1d = Repro_interp.Table1d
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let sample =
+  Datafile.of_rows
+    [ ([| 0.0 |], 1.0); ([| 1.0 |], 2.0); ([| 2.0 |], 5.0) ]
+
+let test_of_rows () =
+  Alcotest.(check int) "rows" 3 (Datafile.rows sample);
+  Alcotest.(check int) "columns" 1 (Datafile.columns sample)
+
+let test_of_rows_ragged () =
+  Alcotest.(check bool) "ragged raises" true
+    (try
+       ignore (Datafile.of_rows [ ([| 1.0 |], 1.0); ([| 1.0; 2.0 |], 2.0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_roundtrip_string () =
+  let text = Datafile.to_string ~header:"test table" sample in
+  let parsed = Datafile.of_string text in
+  Alcotest.(check int) "rows preserved" 3 (Datafile.rows parsed);
+  checkf "value preserved" 5.0 parsed.Datafile.outputs.(2);
+  checkf "input preserved" 2.0 parsed.Datafile.inputs.(2).(0)
+
+let test_parse_comments_and_blank () =
+  let text = "# comment\n* spice comment\n// c comment\n\n1.0 2.0\n3.0 4.0\n" in
+  let t = Datafile.of_string text in
+  Alcotest.(check int) "two data rows" 2 (Datafile.rows t);
+  checkf "first output" 2.0 t.Datafile.outputs.(0)
+
+let test_parse_si_suffixes () =
+  let t = Datafile.of_string "2.1p 3.8k\n" in
+  checkf "pico input" 2.1e-12 t.Datafile.inputs.(0).(0);
+  checkf "kilo output" 3.8e3 t.Datafile.outputs.(0)
+
+let test_parse_tabs () =
+  let t = Datafile.of_string "1.0\t2.0\t3.0\n" in
+  Alcotest.(check int) "two inputs" 2 (Datafile.columns t);
+  checkf "output" 3.0 t.Datafile.outputs.(0)
+
+let test_parse_errors () =
+  Alcotest.(check bool) "single column" true
+    (try ignore (Datafile.of_string "1.0\n"); false with Failure _ -> true);
+  Alcotest.(check bool) "bad number" true
+    (try ignore (Datafile.of_string "1.0 abc\n"); false with Failure _ -> true)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "hieropt_test" ".tbl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Datafile.save ~header:"saved" path sample;
+      let t = Datafile.load path in
+      Alcotest.(check int) "rows" 3 (Datafile.rows t);
+      checkf "output" 2.0 t.Datafile.outputs.(1))
+
+let test_table1d_view () =
+  let t = Datafile.table1d ~control:"1E" sample in
+  checkf "interpolated" 1.5 (Table1d.eval t 0.5)
+
+let test_table1d_view_wrong_columns () =
+  let multi = Datafile.of_rows [ ([| 1.0; 2.0 |], 3.0); ([| 2.0; 1.0 |], 4.0) ] in
+  Alcotest.(check bool) "multi-column rejected" true
+    (try ignore (Datafile.table1d multi); false with Invalid_argument _ -> true)
+
+let test_table_nd_view () =
+  let multi =
+    Datafile.of_rows
+      [ ([| 0.0; 0.0 |], 0.0); ([| 1.0; 0.0 |], 1.0); ([| 0.0; 1.0 |], 2.0) ]
+  in
+  let t = Datafile.table_nd multi in
+  checkf "exact hit" 1.0 (Repro_interp.Table_nd.eval t [| 1.0; 0.0 |])
+
+let prop_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 15 in
+      let* cols = int_range 1 4 in
+      let* data =
+        list_size (return n)
+          (pair
+             (array_size (return cols) (float_range (-1e6) 1e6))
+             (float_range (-1e6) 1e6))
+      in
+      return data)
+  in
+  QCheck.Test.make ~name:"datafile to_string/of_string roundtrip" ~count:100
+    (QCheck.make gen) (fun rows ->
+      let t = Datafile.of_rows rows in
+      let t' = Datafile.of_string (Datafile.to_string t) in
+      Datafile.rows t = Datafile.rows t'
+      && Array.for_all2
+           (fun a b -> Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a))
+           t.Datafile.outputs t'.Datafile.outputs)
+
+let suite =
+  [
+    Alcotest.test_case "of_rows" `Quick test_of_rows;
+    Alcotest.test_case "of_rows ragged" `Quick test_of_rows_ragged;
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip_string;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blank;
+    Alcotest.test_case "SI suffixes" `Quick test_parse_si_suffixes;
+    Alcotest.test_case "tab separation" `Quick test_parse_tabs;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "table1d view" `Quick test_table1d_view;
+    Alcotest.test_case "table1d wrong columns" `Quick test_table1d_view_wrong_columns;
+    Alcotest.test_case "table_nd view" `Quick test_table_nd_view;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

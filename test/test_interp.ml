@@ -1,0 +1,265 @@
+module Spline = Repro_interp.Spline
+module Table1d = Repro_interp.Table1d
+module Table_nd = Repro_interp.Table_nd
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let xs5 = [| 0.0; 1.0; 2.0; 3.0; 4.0 |]
+let quad_ys = Array.map (fun x -> (x *. x) +. 1.0) xs5
+
+let test_spline_interpolates_knots () =
+  List.iter
+    (fun method_ ->
+      let s = Spline.build ~method_ xs5 quad_ys in
+      Array.iteri
+        (fun i x -> checkf "knot value" quad_ys.(i) (Spline.eval s x))
+        xs5)
+    [ Spline.Linear; Spline.Quadratic; Spline.Cubic ]
+
+let test_linear_midpoints () =
+  let s = Spline.build ~method_:Spline.Linear [| 0.0; 2.0 |] [| 0.0; 4.0 |] in
+  checkf "midpoint" 2.0 (Spline.eval s 1.0);
+  checkf "slope" 2.0 (Spline.eval_deriv s 1.0)
+
+let test_quadratic_exact_on_parabola () =
+  let s = Spline.build ~method_:Spline.Quadratic xs5 quad_ys in
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-9)) "parabola reproduced" ((x *. x) +. 1.0)
+        (Spline.eval s x))
+    [ 0.5; 1.5; 2.7; 3.9 ]
+
+let test_cubic_smoothness () =
+  (* natural cubic spline of sin: C1 continuity at interior knots *)
+  let xs = Repro_util.Floatx.linspace 0.0 6.28 15 in
+  let ys = Array.map sin xs in
+  let s = Spline.build ~method_:Spline.Cubic xs ys in
+  for i = 1 to 13 do
+    let h = 1e-7 in
+    let dl = Spline.eval_deriv s (xs.(i) -. h) in
+    let dr = Spline.eval_deriv s (xs.(i) +. h) in
+    if Float.abs (dl -. dr) > 1e-4 then
+      Alcotest.failf "derivative jump at knot %d: %g vs %g" i dl dr
+  done
+
+let test_cubic_accuracy_on_sin () =
+  let xs = Repro_util.Floatx.linspace 0.0 6.28 25 in
+  let ys = Array.map sin xs in
+  let s = Spline.build ~method_:Spline.Cubic xs ys in
+  List.iter
+    (fun x ->
+      if Float.abs (Spline.eval s x -. sin x) > 1e-3 then
+        Alcotest.failf "cubic error at %g too large" x)
+    [ 0.3; 1.1; 2.2; 3.7; 5.0; 6.0 ]
+
+let test_spline_two_points () =
+  (* every method degrades to the line through 2 points *)
+  List.iter
+    (fun method_ ->
+      let s = Spline.build ~method_ [| 0.0; 1.0 |] [| 3.0; 5.0 |] in
+      checkf "two-point line" 4.0 (Spline.eval s 0.5))
+    [ Spline.Linear; Spline.Quadratic; Spline.Cubic ]
+
+let test_spline_invalid () =
+  Alcotest.(check bool) "non-increasing" true
+    (try ignore (Spline.build [| 0.0; 0.0 |] [| 1.0; 2.0 |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "length mismatch" true
+    (try ignore (Spline.build [| 0.0; 1.0 |] [| 1.0 |]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "single point" true
+    (try ignore (Spline.build [| 0.0 |] [| 1.0 |]); false
+     with Invalid_argument _ -> true)
+
+let test_spline_coefficients_eq3 () =
+  (* the per-segment (a,b,c,d) of equation (3) must reproduce eval *)
+  let s = Spline.build ~method_:Spline.Cubic xs5 quad_ys in
+  let coeffs = Spline.coefficients s in
+  let knots = Spline.knots s in
+  Array.iteri
+    (fun i (a, b, c, d) ->
+      let x = knots.(i) +. 0.4 in
+      let u = 0.4 in
+      let direct = (a *. u *. u *. u) +. (b *. u *. u) +. (c *. u) +. d in
+      checkf "eq(3) coefficients" (Spline.eval s x) direct)
+    coeffs
+
+let test_control_strings () =
+  Alcotest.(check bool) "3E" true
+    (Table1d.parse_control "3E" = (Spline.Cubic, Table1d.Error));
+  Alcotest.(check bool) "1C" true
+    (Table1d.parse_control "1C" = (Spline.Linear, Table1d.Clamp));
+  Alcotest.(check bool) "2L" true
+    (Table1d.parse_control "2L" = (Spline.Quadratic, Table1d.Extend));
+  Alcotest.(check bool) "default letter" true
+    (Table1d.parse_control "3" = (Spline.Cubic, Table1d.Error));
+  Alcotest.(check bool) "lowercase ok" true
+    (Table1d.parse_control "3e" = (Spline.Cubic, Table1d.Error));
+  Alcotest.(check bool) "bad digit" true
+    (try ignore (Table1d.parse_control "4E"); false with Failure _ -> true);
+  Alcotest.(check bool) "bad letter" true
+    (try ignore (Table1d.parse_control "3X"); false with Failure _ -> true)
+
+let test_table1d_error_mode () =
+  let t = Table1d.build ~control:"3E" xs5 quad_ys in
+  checkf "inside" 5.0 (Table1d.eval t 2.0);
+  Alcotest.(check bool) "outside raises" true
+    (try ignore (Table1d.eval t 5.0); false with Table1d.Out_of_range _ -> true);
+  checkf "clamped query" 17.0 (Table1d.eval_clamped t 9.0)
+
+let test_table1d_clamp_mode () =
+  let t = Table1d.build ~control:"1C" xs5 quad_ys in
+  checkf "clamped high" 17.0 (Table1d.eval t 100.0);
+  checkf "clamped low" 1.0 (Table1d.eval t (-5.0))
+
+let test_table1d_extend_mode () =
+  let t = Table1d.build ~control:"1L" [| 0.0; 1.0 |] [| 0.0; 2.0 |] in
+  checkf "linear extension" 4.0 (Table1d.eval t 2.0);
+  checkf "linear extension low" (-2.0) (Table1d.eval t (-1.0))
+
+let test_table1d_unsorted_dedup () =
+  (* unsorted input with duplicate abscissae: sorted + averaged *)
+  let t =
+    Table1d.build ~control:"1E" [| 2.0; 0.0; 1.0; 1.0 |] [| 4.0; 0.0; 1.0; 3.0 |]
+  in
+  Alcotest.(check int) "dedup size" 3 (Table1d.size t);
+  checkf "averaged duplicate" 2.0 (Table1d.eval t 1.0);
+  let lo, hi = Table1d.domain t in
+  checkf "domain lo" 0.0 lo;
+  checkf "domain hi" 2.0 hi
+
+let test_table1d_control_string_roundtrip () =
+  let t = Table1d.build ~control:"2C" xs5 quad_ys in
+  Alcotest.(check string) "control string" "2C" (Table1d.control_string t)
+
+let test_table_nd_nearest () =
+  let pts = [| [| 0.0; 0.0 |]; [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let t = Table_nd.build ~scheme:Table_nd.Nearest pts [| 1.0; 2.0; 3.0 |] in
+  checkf "nearest corner" 2.0 (Table_nd.eval t [| 0.9; 0.1 |]);
+  checkf "exact point" 3.0 (Table_nd.eval t [| 0.0; 1.0 |])
+
+let test_table_nd_idw_exact_hits () =
+  let pts = [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |] |] in
+  let t = Table_nd.build pts [| 5.0; 7.0; 9.0 |] in
+  checkf "exact sample" 7.0 (Table_nd.eval t [| 1.0 |]);
+  let v = Table_nd.eval t [| 0.5 |] in
+  Alcotest.(check bool) "IDW between neighbours" true (v > 5.0 && v < 7.5)
+
+let test_table_nd_within_hull_bounds () =
+  let prng = Repro_util.Prng.create 5 in
+  let pts =
+    Array.init 20 (fun _ ->
+        [| Repro_util.Prng.uniform prng; Repro_util.Prng.uniform prng |])
+  in
+  let vals = Array.map (fun p -> p.(0) +. p.(1)) pts in
+  let t = Table_nd.build pts vals in
+  let lo, hi = Repro_util.Stats.min_max vals in
+  for _ = 1 to 50 do
+    let q = [| Repro_util.Prng.uniform prng; Repro_util.Prng.uniform prng |] in
+    let v = Table_nd.eval t q in
+    (* IDW is a convex combination: bounded by sample extremes *)
+    if v < lo -. 1e-9 || v > hi +. 1e-9 then
+      Alcotest.failf "IDW out of sample range: %g not in [%g, %g]" v lo hi
+  done
+
+let test_table_nd_rbf_exact () =
+  (* RBF interpolation reproduces the samples exactly *)
+  let prng = Repro_util.Prng.create 21 in
+  let pts =
+    Array.init 15 (fun _ ->
+        [| Repro_util.Prng.uniform prng; Repro_util.Prng.uniform prng |])
+  in
+  let vals = Array.map (fun p -> sin (3.0 *. p.(0)) +. p.(1)) pts in
+  List.iter
+    (fun kernel ->
+      let t = Table_nd.build ~scheme:(Table_nd.Rbf kernel) pts vals in
+      Array.iteri
+        (fun i p ->
+          let v = Table_nd.eval t p in
+          if Float.abs (v -. vals.(i)) > 1e-4 then
+            Alcotest.failf "RBF misses sample %d: %g vs %g" i v vals.(i))
+        pts)
+    [ Table_nd.Thin_plate; Table_nd.Gaussian 2.0 ]
+
+let test_table_nd_rbf_smoother_than_idw () =
+  (* on a smooth function, RBF beats IDW between samples *)
+  let f p = sin (4.0 *. p.(0)) in
+  let pts = Array.init 12 (fun i -> [| float_of_int i /. 11.0 |]) in
+  let vals = Array.map f pts in
+  let rbf = Table_nd.build ~scheme:(Table_nd.Rbf Table_nd.Thin_plate) pts vals in
+  let idw = Table_nd.build pts vals in
+  let err t =
+    let acc = ref 0.0 in
+    for k = 0 to 50 do
+      let q = [| (float_of_int k +. 0.5) /. 51.0 |] in
+      acc := !acc +. Float.abs (Table_nd.eval t q -. f q)
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "RBF more accurate than IDW" true (err rbf < err idw)
+
+let test_table_nd_validation () =
+  Alcotest.(check bool) "empty" true
+    (try ignore (Table_nd.build [||] [||]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "ragged" true
+    (try
+       ignore (Table_nd.build [| [| 1.0 |]; [| 1.0; 2.0 |] |] [| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  let t = Table_nd.build [| [| 0.0; 0.0 |] |] [| 1.0 |] in
+  Alcotest.(check bool) "dim mismatch query" true
+    (try ignore (Table_nd.eval t [| 1.0 |]); false with Invalid_argument _ -> true)
+
+let prop_spline_hits_knots =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 12 in
+      let* ys = array_size (return n) (float_range (-100.0) 100.0) in
+      return ys)
+  in
+  QCheck.Test.make ~name:"cubic spline interpolates all knots" ~count:200
+    (QCheck.make gen) (fun ys ->
+      let xs = Array.init (Array.length ys) float_of_int in
+      let s = Spline.build ~method_:Spline.Cubic xs ys in
+      Array.for_all2
+        (fun x y -> Float.abs (Spline.eval s x -. y) <= 1e-7 *. (1.0 +. Float.abs y))
+        xs ys)
+
+let prop_table1d_clamped_within_range =
+  QCheck.Test.make ~name:"clamped eval stays within value envelope of knots"
+    ~count:200
+    QCheck.(pair (array_of_size (QCheck.Gen.int_range 3 10) (float_range (-10.0) 10.0))
+              (float_range (-100.0) 100.0))
+    (fun (ys, q) ->
+      let xs = Array.init (Array.length ys) float_of_int in
+      let t = Table1d.build ~control:"1C" xs ys in
+      let lo, hi = Repro_util.Stats.min_max ys in
+      let v = Table1d.eval t q in
+      (* linear interpolation between knots cannot overshoot *)
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "splines interpolate knots" `Quick test_spline_interpolates_knots;
+    Alcotest.test_case "linear midpoints" `Quick test_linear_midpoints;
+    Alcotest.test_case "quadratic exact on parabola" `Quick test_quadratic_exact_on_parabola;
+    Alcotest.test_case "cubic C1 smoothness" `Quick test_cubic_smoothness;
+    Alcotest.test_case "cubic accuracy on sin" `Quick test_cubic_accuracy_on_sin;
+    Alcotest.test_case "two-point degradation" `Quick test_spline_two_points;
+    Alcotest.test_case "spline invalid input" `Quick test_spline_invalid;
+    Alcotest.test_case "equation (3) coefficients" `Quick test_spline_coefficients_eq3;
+    Alcotest.test_case "control strings" `Quick test_control_strings;
+    Alcotest.test_case "table1d 3E error mode" `Quick test_table1d_error_mode;
+    Alcotest.test_case "table1d clamp mode" `Quick test_table1d_clamp_mode;
+    Alcotest.test_case "table1d extend mode" `Quick test_table1d_extend_mode;
+    Alcotest.test_case "table1d unsorted dedup" `Quick test_table1d_unsorted_dedup;
+    Alcotest.test_case "table1d control roundtrip" `Quick test_table1d_control_string_roundtrip;
+    Alcotest.test_case "table_nd nearest" `Quick test_table_nd_nearest;
+    Alcotest.test_case "table_nd idw exact hits" `Quick test_table_nd_idw_exact_hits;
+    Alcotest.test_case "table_nd convexity bound" `Quick test_table_nd_within_hull_bounds;
+    Alcotest.test_case "table_nd rbf exact" `Quick test_table_nd_rbf_exact;
+    Alcotest.test_case "table_nd rbf vs idw" `Quick test_table_nd_rbf_smoother_than_idw;
+    Alcotest.test_case "table_nd validation" `Quick test_table_nd_validation;
+    QCheck_alcotest.to_alcotest prop_spline_hits_knots;
+    QCheck_alcotest.to_alcotest prop_table1d_clamped_within_range;
+  ]

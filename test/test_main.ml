@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "hieropt"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("util-misc", Test_util_misc.suite);
+      ("linalg", Test_linalg.suite);
+      ("interp", Test_interp.suite);
+      ("datafile", Test_datafile.suite);
+      ("mosfet", Test_mosfet.suite);
+      ("circuit", Test_circuit.suite);
+      ("waveform", Test_waveform.suite);
+      ("spice", Test_spice.suite);
+      ("ac", Test_ac.suite);
+      ("moo", Test_moo.suite);
+      ("moo-extra", Test_moo_extra.suite);
+      ("behave", Test_behave.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,265 @@
+(* SPEA2, the shared variation operators, LHS sampling and the spur
+   estimator *)
+module M = Repro_moo
+module Prng = Repro_util.Prng
+module Sampling = Repro_util.Sampling
+module B = Repro_behave
+
+let zdt1 n =
+  M.Problem.create ~name:"zdt1"
+    ~bounds:(Array.make n (0.0, 1.0))
+    ~objective_names:[| "f1"; "f2" |]
+    (fun x ->
+      let f1 = x.(0) in
+      let s = ref 0.0 in
+      for i = 1 to n - 1 do
+        s := !s +. x.(i)
+      done;
+      let g = 1.0 +. (9.0 *. !s /. float_of_int (n - 1)) in
+      {
+        M.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
+        constraint_violation = 0.0;
+      })
+
+(* ---- variation operators ---- *)
+
+let test_sbx_bounds_and_mean () =
+  let prng = Prng.create 3 in
+  for _ = 1 to 500 do
+    let x1 = Prng.range prng 0.0 1.0 and x2 = Prng.range prng 0.0 1.0 in
+    let c1, c2 = M.Variation.sbx prng ~eta:15.0 ~lo:0.0 ~hi:1.0 x1 x2 in
+    if c1 < 0.0 || c1 > 1.0 || c2 < 0.0 || c2 > 1.0 then
+      Alcotest.fail "SBX child escaped the bounds"
+  done;
+  (* unclipped SBX preserves the parent sum (symmetric spread) *)
+  let c1, c2 = M.Variation.sbx prng ~eta:15.0 ~lo:(-100.0) ~hi:100.0 2.0 4.0 in
+  Alcotest.(check (float 1e-9)) "midpoint preserved" 6.0 (c1 +. c2)
+
+let test_sbx_equal_parents () =
+  let prng = Prng.create 4 in
+  let c1, c2 = M.Variation.sbx prng ~eta:15.0 ~lo:0.0 ~hi:1.0 0.5 0.5 in
+  Alcotest.(check (float 0.0)) "identical parents pass through c1" 0.5 c1;
+  Alcotest.(check (float 0.0)) "identical parents pass through c2" 0.5 c2
+
+let test_polynomial_mutation_bounds () =
+  let prng = Prng.create 5 in
+  for _ = 1 to 500 do
+    let x = Prng.range prng (-2.0) 3.0 in
+    let y = M.Variation.polynomial_mutation prng ~eta:20.0 ~lo:(-2.0) ~hi:3.0 x in
+    if y < -2.0 || y > 3.0 then Alcotest.fail "mutation escaped the bounds"
+  done
+
+let test_mutate_in_place_rate () =
+  (* mutation_prob 0 leaves vectors untouched *)
+  let prng = Prng.create 6 in
+  let x = [| 0.3; 0.7; 0.1 |] in
+  let y = Array.copy x in
+  M.Variation.mutate_in_place prng
+    ~bounds:(Array.make 3 (0.0, 1.0))
+    ~mutation_prob:0.0 ~eta_mutation:20.0 y;
+  Alcotest.(check (array (float 0.0))) "no mutation at rate 0" x y
+
+(* ---- SPEA2 ---- *)
+
+let test_spea2_converges_zdt1 () =
+  let arch =
+    M.Spea2.optimise
+      ~options:
+        { M.Spea2.default_options with population = 40; archive = 40; generations = 50 }
+      (zdt1 8) (Prng.create 3)
+  in
+  let front = M.Nsga2.pareto_front arch in
+  Alcotest.(check bool) "large front" true (Array.length front > 15);
+  let errs =
+    Array.map
+      (fun ind ->
+        let o = ind.M.Nsga2.evaluation.M.Problem.objectives in
+        Float.abs (o.(1) -. (1.0 -. sqrt o.(0))))
+      front
+  in
+  Alcotest.(check bool) "near analytic front" true
+    (Repro_util.Stats.mean errs < 0.05)
+
+let test_spea2_archive_size () =
+  let arch =
+    M.Spea2.optimise
+      ~options:
+        { M.Spea2.default_options with population = 30; archive = 12; generations = 15 }
+      (zdt1 5) (Prng.create 7)
+  in
+  Alcotest.(check int) "archive bounded" 12 (Array.length arch)
+
+let test_spea2_deterministic () =
+  let run seed =
+    M.Spea2.optimise
+      ~options:
+        { M.Spea2.default_options with population = 16; archive = 8; generations = 5 }
+      (zdt1 4) (Prng.create seed)
+    |> Array.map (fun ind -> ind.M.Nsga2.evaluation.M.Problem.objectives)
+  in
+  Alcotest.(check bool) "same seed same archive" true (run 3 = run 3);
+  Alcotest.(check bool) "seeds differ" true (run 3 <> run 4)
+
+let test_spea2_respects_constraints () =
+  let problem =
+    M.Problem.create ~name:"c"
+      ~bounds:[| (0.0, 2.0); (0.0, 2.0) |]
+      ~objective_names:[| "x"; "y" |]
+      (fun x ->
+        {
+          M.Problem.objectives = [| x.(0); x.(1) |];
+          constraint_violation = Float.max 0.0 (1.0 -. (x.(0) +. x.(1)));
+        })
+  in
+  let arch =
+    M.Spea2.optimise
+      ~options:
+        { M.Spea2.default_options with population = 30; archive = 20; generations = 40 }
+      problem (Prng.create 9)
+  in
+  let front = M.Nsga2.pareto_front arch in
+  Alcotest.(check bool) "feasible front found" true (Array.length front > 0);
+  Array.iter
+    (fun ind ->
+      let o = ind.M.Nsga2.evaluation.M.Problem.objectives in
+      if o.(0) +. o.(1) < 0.999 then Alcotest.fail "constraint violated")
+    front
+
+let test_spea2_invalid_options () =
+  Alcotest.(check bool) "tiny archive rejected" true
+    (try
+       ignore
+         (M.Spea2.optimise
+            ~options:{ M.Spea2.default_options with archive = 1 }
+            (zdt1 3) (Prng.create 1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- LHS ---- *)
+
+let test_lhs_stratified () =
+  let prng = Prng.create 11 in
+  let pts = Sampling.latin_hypercube prng ~dims:3 ~samples:16 in
+  Alcotest.(check int) "sample count" 16 (Array.length pts);
+  for d = 0 to 2 do
+    let col = Array.map (fun p -> p.(d)) pts in
+    Array.sort compare col;
+    Array.iteri
+      (fun i v ->
+        let lo = float_of_int i /. 16.0 and hi = float_of_int (i + 1) /. 16.0 in
+        if v < lo || v >= hi then
+          Alcotest.failf "dimension %d not stratified at bin %d" d i)
+      col
+  done
+
+let test_lhs_invalid () =
+  Alcotest.(check bool) "zero samples rejected" true
+    (try
+       ignore (Sampling.latin_hypercube (Prng.create 1) ~dims:1 ~samples:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_scale_to_box () =
+  let pts = [| [| 0.0; 0.5 |]; [| 1.0; 0.25 |] |] in
+  let scaled = Sampling.scale_to_box [| (10.0, 20.0); (-1.0, 1.0) |] pts in
+  Alcotest.(check (float 1e-12)) "lo corner" 10.0 scaled.(0).(0);
+  Alcotest.(check (float 1e-12)) "mid" 0.0 scaled.(0).(1);
+  Alcotest.(check (float 1e-12)) "hi corner" 20.0 scaled.(1).(0)
+
+let test_inverse_cdf () =
+  List.iter
+    (fun (p, expected) ->
+      let v = Sampling.normal_inverse_cdf p in
+      if Float.abs (v -. expected) > 2e-4 then
+        Alcotest.failf "quantile(%g) = %g, expected %g" p v expected)
+    [ (0.5, 0.0); (0.975, 1.95996); (0.84134, 1.0); (0.001, -3.09023) ];
+  Alcotest.(check bool) "p=0 rejected" true
+    (try ignore (Sampling.normal_inverse_cdf 0.0); false
+     with Invalid_argument _ -> true)
+
+let test_gaussian_lhs_moments () =
+  let prng = Prng.create 13 in
+  let pts = Sampling.gaussian_lhs prng ~dims:1 ~samples:2000 in
+  let xs = Array.map (fun p -> p.(0)) pts in
+  Alcotest.(check (float 0.01)) "mean" 0.0 (Repro_util.Stats.mean xs);
+  Alcotest.(check (float 0.01)) "std" 1.0 (Repro_util.Stats.stddev xs)
+
+let test_lhs_variance_reduction () =
+  (* estimating E[x] of U(0,1): LHS beats plain MC at equal n *)
+  let trials = 60 and n = 32 in
+  let err_mc = ref 0.0 and err_lhs = ref 0.0 in
+  let prng = Prng.create 17 in
+  for _ = 1 to trials do
+    let mc = Array.init n (fun _ -> Prng.uniform prng) in
+    let lhs =
+      Array.map
+        (fun p -> p.(0))
+        (Sampling.latin_hypercube prng ~dims:1 ~samples:n)
+    in
+    let e xs = Float.abs (Repro_util.Stats.mean xs -. 0.5) in
+    err_mc := !err_mc +. e mc;
+    err_lhs := !err_lhs +. e lhs
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "LHS error %.4f << MC error %.4f" !err_lhs !err_mc)
+    true
+    (!err_lhs < 0.5 *. !err_mc)
+
+(* ---- reference spur ---- *)
+
+let spur_cfg leakage mismatch =
+  {
+    B.Pll.fref = 100e6;
+    n_div = 8;
+    cp =
+      {
+        (B.Charge_pump.with_mismatch ~icp:200e-6 ~mismatch) with
+        B.Charge_pump.leakage;
+      };
+    filter = { B.Loop_filter.c1 = 10e-12; c2 = 0.6e-12; r1 = 6e3 };
+    vco =
+      { B.Vco_model.f0 = 800e6; v0 = 0.85; kvco = 500e6; fmin = 300e6;
+        fmax = 1.5e9; jitter = 0.2e-12 };
+    ivco = 5e-3;
+    overhead_current = 8e-3;
+    vctl_init = 0.2;
+  }
+
+let test_spur_ideal_pump () =
+  Alcotest.(check bool) "ideal pump has no spur" true
+    (B.Pll.reference_spur_dbc (spur_cfg 0.0 0.0) = neg_infinity)
+
+let test_spur_grows_with_leakage () =
+  let s1 = B.Pll.reference_spur_dbc (spur_cfg 1e-9 0.0) in
+  let s2 = B.Pll.reference_spur_dbc (spur_cfg 1e-6 0.0) in
+  Alcotest.(check bool) "more leakage, bigger spur" true (s2 > s1);
+  (* 1000x leakage = +60 dB exactly in the leakage-dominated regime *)
+  Alcotest.(check (float 0.1)) "60 dB per 1000x" 60.0 (s2 -. s1);
+  Alcotest.(check bool) "realistic leakage spur below -40 dBc" true (s1 < -40.0)
+
+let test_spur_mismatch_contributes () =
+  let s = B.Pll.reference_spur_dbc (spur_cfg 0.0 0.1) in
+  Alcotest.(check bool) "mismatch alone produces a finite spur" true
+    (Float.is_finite s)
+
+let suite =
+  [
+    Alcotest.test_case "sbx bounds and mean" `Quick test_sbx_bounds_and_mean;
+    Alcotest.test_case "sbx equal parents" `Quick test_sbx_equal_parents;
+    Alcotest.test_case "polynomial mutation bounds" `Quick test_polynomial_mutation_bounds;
+    Alcotest.test_case "mutation rate 0" `Quick test_mutate_in_place_rate;
+    Alcotest.test_case "SPEA2 converges on ZDT1" `Quick test_spea2_converges_zdt1;
+    Alcotest.test_case "SPEA2 archive size" `Quick test_spea2_archive_size;
+    Alcotest.test_case "SPEA2 deterministic" `Quick test_spea2_deterministic;
+    Alcotest.test_case "SPEA2 constraints" `Quick test_spea2_respects_constraints;
+    Alcotest.test_case "SPEA2 invalid options" `Quick test_spea2_invalid_options;
+    Alcotest.test_case "LHS stratification" `Quick test_lhs_stratified;
+    Alcotest.test_case "LHS invalid" `Quick test_lhs_invalid;
+    Alcotest.test_case "scale to box" `Quick test_scale_to_box;
+    Alcotest.test_case "inverse normal CDF" `Quick test_inverse_cdf;
+    Alcotest.test_case "gaussian LHS moments" `Quick test_gaussian_lhs_moments;
+    Alcotest.test_case "LHS variance reduction" `Quick test_lhs_variance_reduction;
+    Alcotest.test_case "spur: ideal pump" `Quick test_spur_ideal_pump;
+    Alcotest.test_case "spur: leakage scaling" `Quick test_spur_grows_with_leakage;
+    Alcotest.test_case "spur: mismatch" `Quick test_spur_mismatch_contributes;
+  ]

@@ -1,0 +1,133 @@
+module Prng = Repro_util.Prng
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy_independent () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let xa = Prng.bits64 a in
+  let xb = Prng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Prng.bits64 a);
+  (* now streams diverge in position *)
+  check "copies advance independently" true (Prng.bits64 a <> xb)
+
+let test_split_independent () =
+  let a = Prng.create 7 in
+  let child = Prng.split a in
+  check "split differs from parent continuation" true
+    (Prng.bits64 child <> Prng.bits64 a)
+
+let test_uniform_range () =
+  let t = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let u = Prng.uniform t in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform outside [0,1)"
+  done
+
+let test_uniform_mean () =
+  let t = Prng.create 11 in
+  let xs = Array.init 50_000 (fun _ -> Prng.uniform t) in
+  let m = Repro_util.Stats.mean xs in
+  check "uniform mean near 0.5" true (Float.abs (m -. 0.5) < 0.01)
+
+let test_range () =
+  let t = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Prng.range t (-2.0) 3.0 in
+    if x < -2.0 || x >= 3.0 then Alcotest.fail "range outside bounds"
+  done
+
+let test_int_bounds () =
+  let t = Prng.create 17 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    let k = Prng.int t 7 in
+    if k < 0 || k >= 7 then Alcotest.fail "int outside bounds";
+    seen.(k) <- true
+  done;
+  check "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let t = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_normal_moments () =
+  let t = Prng.create 23 in
+  let xs = Array.init 50_000 (fun _ -> Prng.normal t) in
+  let m = Repro_util.Stats.mean xs in
+  let s = Repro_util.Stats.stddev xs in
+  check "normal mean ~0" true (Float.abs m < 0.02);
+  check "normal std ~1" true (Float.abs (s -. 1.0) < 0.02)
+
+let test_gaussian_scaling () =
+  let t = Prng.create 29 in
+  let xs =
+    Array.init 20_000 (fun _ -> Prng.gaussian t ~mean:5.0 ~sigma:0.5)
+  in
+  check "gaussian mean" true (Float.abs (Repro_util.Stats.mean xs -. 5.0) < 0.02);
+  check "gaussian sigma" true
+    (Float.abs (Repro_util.Stats.stddev xs -. 0.5) < 0.02)
+
+let test_shuffle_permutation () =
+  let t = Prng.create 31 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+let test_pick () =
+  let t = Prng.create 37 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let x = Prng.pick t a in
+    check "pick member" true (Array.mem x a)
+  done;
+  checkf "singleton pick" 9.0 (Prng.pick t [| 9.0 |])
+
+let test_pick_empty () =
+  let t = Prng.create 1 in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick t ([||] : int array)))
+
+let test_bool_balance () =
+  let t = Prng.create 41 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool t then incr trues
+  done;
+  check "bool roughly fair" true (abs (!trues - 5000) < 300)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "range bounds" `Quick test_range;
+    Alcotest.test_case "int bounds and coverage" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "gaussian scaling" `Quick test_gaussian_scaling;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+  ]

@@ -1,0 +1,284 @@
+(* MNA, DC operating point and transient analysis against analytic
+   circuit theory *)
+module C = Repro_circuit
+module S = Repro_spice
+module Source = C.Source
+module Netlist = C.Netlist
+
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+let solve_dc net =
+  let cm = S.Mna.compile net in
+  (cm, S.Dcop.solve cm)
+
+(* ---- DC ---- *)
+
+let test_voltage_divider () =
+  let cm, r = solve_dc (C.Topologies.voltage_divider ~r1:1e3 ~r2:3e3 ~vin:2.0) in
+  checkf 1e-6 "divider" 1.5 (S.Dcop.node_voltage cm r "out");
+  (* branch current: 2 V across 4 kOhm, flowing out of + terminal *)
+  checkf 1e-8 "source current" (-5e-4) (S.Dcop.source_current cm r "Vin")
+
+let test_series_parallel_resistors () =
+  let net = Netlist.create () in
+  Netlist.vsource net "V1" "a" "0" (Source.Dc 10.0);
+  Netlist.resistor net "R1" "a" "b" 1e3;
+  Netlist.resistor net "R2" "b" "0" 1e3;
+  Netlist.resistor net "R3" "b" "0" 1e3;
+  let cm, r = solve_dc net in
+  (* 1k in series with 500: v(b) = 10 * 500/1500 *)
+  checkf 1e-6 "parallel combination" (10.0 /. 3.0)
+    (S.Dcop.node_voltage cm r "b")
+
+let test_current_source () =
+  let net = Netlist.create () in
+  Netlist.isource net "I1" "0" "a" (Source.Dc 1e-3);
+  Netlist.resistor net "R1" "a" "0" 2e3;
+  let cm, r = solve_dc net in
+  (* 1 mA pushed into node a through 2k: v = 2 V *)
+  checkf 1e-6 "current source into resistor" 2.0
+    (S.Dcop.node_voltage cm r "a")
+
+let test_kcl_superposition () =
+  (* V and I sources together: superposition check *)
+  let net = Netlist.create () in
+  Netlist.vsource net "V1" "a" "0" (Source.Dc 5.0);
+  Netlist.resistor net "R1" "a" "b" 1e3;
+  Netlist.resistor net "R2" "b" "0" 1e3;
+  Netlist.isource net "I1" "0" "b" (Source.Dc 1e-3);
+  let cm, r = solve_dc net in
+  (* v(b) = 5*(1k||)/... : by superposition 2.5 + 0.5 = 3.0 *)
+  checkf 1e-6 "superposition" 3.0 (S.Dcop.node_voltage cm r "b")
+
+let test_caps_open_in_dc () =
+  let net = Netlist.create () in
+  Netlist.vsource net "V1" "a" "0" (Source.Dc 3.0);
+  Netlist.resistor net "R1" "a" "b" 1e3;
+  Netlist.capacitor net "C1" "b" "0" 1e-9;
+  let cm, r = solve_dc net in
+  (* no DC path through the cap: no current, so v(b) = v(a) *)
+  checkf 1e-6 "cap open" 3.0 (S.Dcop.node_voltage cm r "b")
+
+let test_inverter_vtc_monotone () =
+  let out_at vin =
+    let cm, r =
+      solve_dc (C.Topologies.inverter ~wn:2e-6 ~wp:4e-6 ~l:0.12e-6 (Source.Dc vin))
+    in
+    S.Dcop.node_voltage cm r "out"
+  in
+  let prev = ref infinity in
+  List.iter
+    (fun vin ->
+      let v = out_at vin in
+      if v > !prev +. 1e-6 then Alcotest.failf "VTC not monotone at %g" vin;
+      prev := v)
+    [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0; 1.2 ];
+  Alcotest.(check bool) "low in -> high out" true (out_at 0.0 > 1.1);
+  Alcotest.(check bool) "high in -> low out" true (out_at 1.2 < 0.1)
+
+let test_common_source_gain () =
+  (* gain magnitude = gm * Rl: finite-difference the DC transfer *)
+  let out vb =
+    let cm, r = solve_dc (C.Topologies.common_source ~w:10e-6 ~l:0.5e-6 ~rload:5e3 vb) in
+    S.Dcop.node_voltage cm r "out"
+  in
+  let g = (out 0.61 -. out 0.59) /. 0.02 in
+  Alcotest.(check bool) "inverting gain > 1" true (g < -1.0)
+
+let test_dcop_seed_reuse () =
+  let net = C.Topologies.voltage_divider ~r1:1e3 ~r2:1e3 ~vin:1.0 in
+  let cm = S.Mna.compile net in
+  let r1 = S.Dcop.solve cm in
+  let r2 = S.Dcop.solve ~x0:r1.S.Dcop.solution cm in
+  Alcotest.(check bool) "seeded solve converges fast" true
+    (r2.S.Dcop.iterations <= r1.S.Dcop.iterations)
+
+(* ---- transient ---- *)
+
+let step_source =
+  Source.Pulse
+    { v1 = 0.0; v2 = 1.0; delay = 0.0; rise = 1e-12; fall = 1e-12;
+      width = 1.0; period = 0.0 }
+
+let test_rc_step_response () =
+  let net = C.Topologies.rc_lowpass ~r:1e3 ~c:1e-9 ~vin:step_source in
+  let cm = S.Mna.compile net in
+  let res = S.Transient.run cm (S.Transient.default_options ~t_stop:5e-6 ~dt:5e-9) in
+  let w = S.Transient.node_wave res "out" in
+  (* compare against v(t) = 1 - exp(-t/tau) at several taus *)
+  List.iter
+    (fun k ->
+      let t = k *. 1e-6 in
+      let expected = 1.0 -. exp (-.k) in
+      let got = S.Waveform.value_at w t in
+      if Float.abs (got -. expected) > 2e-3 then
+        Alcotest.failf "RC response at %g tau: %g vs %g" k got expected)
+    [ 0.5; 1.0; 2.0; 3.0 ]
+
+let test_rc_charge_conservation () =
+  (* current through R equals C dv/dt: check final equilibrium *)
+  let net = C.Topologies.rc_lowpass ~r:1e3 ~c:1e-9 ~vin:step_source in
+  let cm = S.Mna.compile net in
+  let res = S.Transient.run cm (S.Transient.default_options ~t_stop:20e-6 ~dt:10e-9) in
+  let w = S.Transient.node_wave res "out" in
+  checkf 1e-3 "settles to input" 1.0
+    (S.Waveform.value_at w 20e-6)
+
+let test_rc_sine_attenuation () =
+  (* at f = 1/(2 pi tau) the lowpass passes 1/sqrt(2) *)
+  let tau = 1e-6 in
+  let fc = 1.0 /. (2.0 *. Float.pi *. tau) in
+  let net =
+    C.Topologies.rc_lowpass ~r:1e3 ~c:1e-9
+      ~vin:(Source.Sin { offset = 0.0; ampl = 1.0; freq = fc; phase_deg = 0.0 })
+  in
+  let cm = S.Mna.compile net in
+  let res =
+    S.Transient.run cm (S.Transient.default_options ~t_stop:40e-6 ~dt:20e-9)
+  in
+  let w = S.Transient.node_wave res "out" in
+  let settled = S.Waveform.window w ~t_start:20e-6 ~t_end:40e-6 in
+  let amplitude = S.Waveform.peak_to_peak settled /. 2.0 in
+  Alcotest.(check (float 0.02)) "-3 dB point" (1.0 /. sqrt 2.0) amplitude
+
+let test_transient_ic_override () =
+  let net = C.Topologies.rc_lowpass ~r:1e3 ~c:1e-9 ~vin:(Source.Dc 0.0) in
+  let cm = S.Mna.compile net in
+  let opts =
+    { (S.Transient.default_options ~t_stop:3e-6 ~dt:5e-9) with
+      S.Transient.ic = [ ("out", 1.0) ] }
+  in
+  let res = S.Transient.run cm opts in
+  let w = S.Transient.node_wave res "out" in
+  (* discharges through R: v(tau) = exp(-1) *)
+  checkf 5e-3 "discharge from IC" (exp (-1.0)) (S.Waveform.value_at w 1e-6)
+
+let test_transient_records_branch_current () =
+  let net = C.Topologies.rc_lowpass ~r:1e3 ~c:1e-9 ~vin:step_source in
+  let cm = S.Mna.compile net in
+  let res = S.Transient.run cm (S.Transient.default_options ~t_stop:1e-6 ~dt:5e-9) in
+  let i = S.Transient.source_current_wave res "Vin" in
+  (* just after the step the full 1 V sits across R: i = -1 mA through the
+     source (current convention: + to - inside the source) *)
+  Alcotest.(check (float 5e-5)) "initial charging current" (-1e-3)
+    (S.Waveform.value_at i 20e-9)
+
+let test_ring_oscillator_oscillates () =
+  let net = C.Topologies.ring_vco ~vctl:0.9 C.Topologies.vco_default in
+  let cm = S.Mna.compile net in
+  let opts =
+    { (S.Transient.default_options ~t_stop:10e-9 ~dt:3e-12) with
+      S.Transient.ic = [ ("s1", 1.2); ("s2", 0.0); ("s3", 1.2); ("s4", 0.0); ("s5", 0.6) ] }
+  in
+  let res = S.Transient.run cm opts in
+  let w =
+    S.Waveform.window (S.Transient.node_wave res "s1") ~t_start:5e-9 ~t_end:10e-9
+  in
+  match S.Waveform.frequency w ~level:0.6 with
+  | Some f -> Alcotest.(check bool) "plausible frequency" true (f > 100e6 && f < 5e9)
+  | None -> Alcotest.fail "ring did not oscillate"
+
+let test_mna_invalid_resistor () =
+  let net = Netlist.create () in
+  Netlist.resistor net "R1" "a" "0" 0.0;
+  Alcotest.(check bool) "zero resistor rejected" true
+    (try ignore (S.Mna.compile net); false with Invalid_argument _ -> true)
+
+let test_branch_lookup () =
+  let net = C.Topologies.voltage_divider ~r1:1e3 ~r2:1e3 ~vin:1.0 in
+  let cm = S.Mna.compile net in
+  Alcotest.(check bool) "unknown source raises" true
+    (try ignore (S.Mna.branch_index cm "nosuch"); false with Not_found -> true)
+
+let test_transient_noise_jitter () =
+  (* direct noisy simulation vs the analytic estimator: the injected
+     thermal channel noise must produce measurable period jitter that is
+     (a) far above the numerical floor of the clean run and (b) below the
+     analytic total (which also includes flicker, not modelled by white
+     injection) *)
+  let p = C.Topologies.vco_default in
+  let net = C.Topologies.ring_vco ~vctl:0.85 p in
+  let cm = S.Mna.compile net in
+  let run noise =
+    let opts =
+      { (S.Transient.default_options ~t_stop:40e-9 ~dt:4e-12) with
+        S.Transient.ic =
+          [ ("s1", 1.2); ("s2", 0.0); ("s3", 1.2); ("s4", 0.0); ("s5", 0.6) ];
+        noise }
+    in
+    let res = S.Transient.run cm opts in
+    let w =
+      S.Waveform.window (S.Transient.node_wave res "s1") ~t_start:12e-9
+        ~t_end:40e-9
+    in
+    S.Waveform.period_jitter_rms w ~level:0.6
+  in
+  match (run None, run (Some (Repro_util.Prng.create 17))) with
+  | Some clean, Some noisy ->
+    Alcotest.(check bool)
+      (Printf.sprintf "noise dominates the floor (%.3g vs %.3g)" noisy clean)
+      true
+      (noisy > 3.0 *. clean);
+    (match S.Vco_measure.characterise p with
+    | Ok perf ->
+      Alcotest.(check bool) "measured below the analytic total" true
+        (noisy < perf.S.Vco_measure.jvco)
+    | Error f -> Alcotest.failf "characterise: %s" (S.Vco_measure.failure_to_string f))
+  | _ -> Alcotest.fail "jitter measurement failed"
+
+(* Monte-Carlo engine plumbing *)
+let test_monte_carlo_counts () =
+  let net = C.Topologies.voltage_divider ~r1:1e3 ~r2:1e3 ~vin:1.0 in
+  let prng = Repro_util.Prng.create 3 in
+  let mc =
+    S.Monte_carlo.run ~n:10 ~prng net (fun perturbed ->
+        let cm = S.Mna.compile perturbed in
+        let r = S.Dcop.solve cm in
+        Ok (S.Dcop.node_voltage cm r "out"))
+  in
+  Alcotest.(check int) "all samples ok" 10 (Array.length mc.S.Monte_carlo.samples);
+  Alcotest.(check int) "no failures" 0 mc.S.Monte_carlo.failures;
+  (* resistor-only netlist: no MOS to perturb, so samples are identical *)
+  Array.iter (fun v -> checkf 1e-6 "identical" 0.5 v) mc.S.Monte_carlo.samples
+
+let test_monte_carlo_failures_counted () =
+  let net = C.Topologies.voltage_divider ~r1:1e3 ~r2:1e3 ~vin:1.0 in
+  let prng = Repro_util.Prng.create 3 in
+  let count = ref 0 in
+  let mc =
+    S.Monte_carlo.run ~n:6 ~prng net (fun _ ->
+        incr count;
+        if !count mod 2 = 0 then Error "simulated failure" else Ok 1.0)
+  in
+  Alcotest.(check int) "3 failures" 3 mc.S.Monte_carlo.failures;
+  Alcotest.(check int) "3 passes" 3 (Array.length mc.S.Monte_carlo.samples)
+
+let test_spread_of_samples () =
+  let s = S.Monte_carlo.spread_of_samples ~nominal:10.0 [| 9.0; 10.0; 11.0 |] in
+  checkf 1e-9 "mean" 10.0 s.S.Monte_carlo.mc_mean;
+  checkf 1e-9 "nominal kept" 10.0 s.S.Monte_carlo.nominal;
+  checkf 1e-9 "rel spread" 0.1 s.S.Monte_carlo.rel_spread
+
+let suite =
+  [
+    Alcotest.test_case "voltage divider" `Quick test_voltage_divider;
+    Alcotest.test_case "series/parallel" `Quick test_series_parallel_resistors;
+    Alcotest.test_case "current source" `Quick test_current_source;
+    Alcotest.test_case "superposition" `Quick test_kcl_superposition;
+    Alcotest.test_case "caps open at DC" `Quick test_caps_open_in_dc;
+    Alcotest.test_case "inverter VTC" `Quick test_inverter_vtc_monotone;
+    Alcotest.test_case "common source gain" `Quick test_common_source_gain;
+    Alcotest.test_case "dcop seeding" `Quick test_dcop_seed_reuse;
+    Alcotest.test_case "RC step response" `Quick test_rc_step_response;
+    Alcotest.test_case "RC settles" `Quick test_rc_charge_conservation;
+    Alcotest.test_case "RC -3dB attenuation" `Quick test_rc_sine_attenuation;
+    Alcotest.test_case "transient IC override" `Quick test_transient_ic_override;
+    Alcotest.test_case "branch current recording" `Quick test_transient_records_branch_current;
+    Alcotest.test_case "ring oscillates" `Quick test_ring_oscillator_oscillates;
+    Alcotest.test_case "transient noise jitter" `Quick test_transient_noise_jitter;
+    Alcotest.test_case "invalid resistor" `Quick test_mna_invalid_resistor;
+    Alcotest.test_case "branch lookup" `Quick test_branch_lookup;
+    Alcotest.test_case "monte carlo counts" `Quick test_monte_carlo_counts;
+    Alcotest.test_case "monte carlo failures" `Quick test_monte_carlo_failures_counted;
+    Alcotest.test_case "spread of samples" `Quick test_spread_of_samples;
+  ]

@@ -1,0 +1,135 @@
+module Stats = Repro_util.Stats
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let checkf_loose msg = Alcotest.(check (float 1e-6)) msg
+
+let test_mean () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "singleton" 5.0 (Stats.mean [| 5.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  checkf "variance of constant" 0.0 (Stats.variance [| 4.0; 4.0; 4.0 |]);
+  checkf "sample variance" 2.5 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  checkf "singleton variance" 0.0 (Stats.variance [| 7.0 |])
+
+let test_stddev () =
+  checkf_loose "stddev" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_relative_spread () =
+  checkf_loose "relative spread" (sqrt 2.5 /. 3.0)
+    (Stats.relative_spread [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  checkf "zero-mean spread" 0.0 (Stats.relative_spread [| -1.0; 1.0 |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 4.0; 1.0 |] in
+  checkf "min" (-1.0) lo;
+  checkf "max" 4.0 hi
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  checkf "p0" 1.0 (Stats.percentile xs 0.0);
+  checkf "p50" 3.0 (Stats.percentile xs 50.0);
+  checkf "p100" 5.0 (Stats.percentile xs 100.0);
+  checkf "p25" 2.0 (Stats.percentile xs 25.0);
+  checkf "interpolated" 1.4 (Stats.percentile xs 10.0)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  checkf "median of unsorted" 3.0 (Stats.median xs);
+  (* input must not be mutated *)
+  Alcotest.(check (array (float 0.0))) "input untouched"
+    [| 5.0; 1.0; 3.0; 2.0; 4.0 |] xs
+
+let test_percentile_invalid () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 120.0))
+
+let test_histogram () =
+  let h = Stats.histogram [| 0.0; 0.1; 0.9; 1.0 |] ~bins:2 in
+  Alcotest.(check int) "bins" 2 (Array.length h);
+  Alcotest.(check int) "low count" 2 (snd h.(0));
+  Alcotest.(check int) "high count" 2 (snd h.(1));
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples placed" 4 total
+
+let test_histogram_constant () =
+  let h = Stats.histogram [| 2.0; 2.0; 2.0 |] ~bins:3 in
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "constant data placed" 3 total
+
+let test_yield_all_pass () =
+  let y = Stats.yield ~pass:100 ~total:100 in
+  checkf "fraction" 1.0 y.Stats.fraction;
+  Alcotest.(check bool) "upper CI is 1" true (y.Stats.ci_high > 0.9999);
+  Alcotest.(check bool) "lower CI below 1" true (y.Stats.ci_low < 1.0);
+  Alcotest.(check bool) "lower CI still high" true (y.Stats.ci_low > 0.95)
+
+let test_yield_half () =
+  let y = Stats.yield ~pass:50 ~total:100 in
+  checkf "fraction" 0.5 y.Stats.fraction;
+  Alcotest.(check bool) "CI brackets fraction" true
+    (y.Stats.ci_low < 0.5 && y.Stats.ci_high > 0.5);
+  Alcotest.(check bool) "CI reasonable width" true
+    (y.Stats.ci_high -. y.Stats.ci_low < 0.25)
+
+let test_yield_zero () =
+  let y = Stats.yield ~pass:0 ~total:50 in
+  checkf "fraction" 0.0 y.Stats.fraction;
+  Alcotest.(check bool) "lower bound 0" true (y.Stats.ci_low < 1e-4)
+
+let test_yield_invalid () =
+  Alcotest.check_raises "bad total"
+    (Invalid_argument "Stats.yield: total must be positive") (fun () ->
+      ignore (Stats.yield ~pass:0 ~total:0));
+  Alcotest.check_raises "pass > total"
+    (Invalid_argument "Stats.yield: pass outside [0,total]") (fun () ->
+      ignore (Stats.yield ~pass:5 ~total:3))
+
+(* property: variance is translation-invariant and scales quadratically *)
+let prop_variance_affine =
+  QCheck.Test.make ~name:"variance affine transform" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 2 20) (float_range (-100.) 100.))
+              (float_range (-10.) 10.))
+    (fun (xs, shift) ->
+      QCheck.assume (List.length xs >= 2);
+      let a = Array.of_list xs in
+      let shifted = Array.map (fun x -> x +. shift) a in
+      let scaled = Array.map (fun x -> 2.0 *. x) a in
+      let v = Stats.variance a in
+      Float.abs (Stats.variance shifted -. v) <= 1e-6 *. (1.0 +. v)
+      && Float.abs (Stats.variance scaled -. (4.0 *. v)) <= 1e-6 *. (1.0 +. (4.0 *. v)))
+
+let prop_minmax_bracket_mean =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let lo, hi = Stats.min_max a in
+      let m = Stats.mean a in
+      lo <= m +. 1e-9 && m <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "relative spread" `Quick test_relative_spread;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant;
+    Alcotest.test_case "yield all pass" `Quick test_yield_all_pass;
+    Alcotest.test_case "yield half" `Quick test_yield_half;
+    Alcotest.test_case "yield zero" `Quick test_yield_zero;
+    Alcotest.test_case "yield invalid" `Quick test_yield_invalid;
+    QCheck_alcotest.to_alcotest prop_variance_affine;
+    QCheck_alcotest.to_alcotest prop_minmax_bracket_mean;
+  ]

@@ -1,0 +1,112 @@
+(* Floatx and Si tests *)
+module Floatx = Repro_util.Floatx
+module Si = Repro_util.Si
+
+let checkf msg = Alcotest.(check (float 1e-12)) msg
+
+let test_clamp () =
+  checkf "inside" 0.5 (Floatx.clamp ~lo:0.0 ~hi:1.0 0.5);
+  checkf "below" 0.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  checkf "above" 1.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 9.0);
+  checkf "at edge" 1.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 1.0)
+
+let test_close () =
+  Alcotest.(check bool) "equal" true (Floatx.close 1.0 1.0);
+  Alcotest.(check bool) "tiny rel diff" true (Floatx.close 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "big diff" false (Floatx.close 1.0 1.1);
+  Alcotest.(check bool) "custom tolerance" true
+    (Floatx.close ~rtol:0.2 1.0 1.1)
+
+let test_linspace () =
+  let xs = Floatx.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "count" 5 (Array.length xs);
+  checkf "first" 0.0 xs.(0);
+  checkf "last" 1.0 xs.(4);
+  checkf "step" 0.25 xs.(1);
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Floatx.linspace: need at least 2 points") (fun () ->
+      ignore (Floatx.linspace 0.0 1.0 1))
+
+let test_logspace () =
+  let xs = Floatx.logspace 1.0 100.0 3 in
+  checkf "first" 1.0 xs.(0);
+  Alcotest.(check (float 1e-9)) "middle" 10.0 xs.(1);
+  Alcotest.(check (float 1e-9)) "last" 100.0 xs.(2);
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Floatx.logspace: bounds must be positive") (fun () ->
+      ignore (Floatx.logspace (-1.0) 1.0 3))
+
+let test_lerp () =
+  checkf "mid" 1.5 (Floatx.lerp 1.0 2.0 0.5);
+  checkf "start" 1.0 (Floatx.lerp 1.0 2.0 0.0);
+  checkf "end" 2.0 (Floatx.lerp 1.0 2.0 1.0)
+
+let test_kahan_sum () =
+  let xs = Array.make 10_000 0.1 in
+  Alcotest.(check (float 1e-9)) "compensated" 1000.0 (Floatx.sum xs)
+
+let test_si_parse () =
+  checkf "plain" 42.0 (Si.parse "42");
+  checkf "pico" 2.1e-12 (Si.parse "2.1p");
+  checkf "kilo" 3.8e3 (Si.parse "3.8k");
+  checkf "micro" 0.12e-6 (Si.parse "0.12u");
+  checkf "meg" 5e6 (Si.parse "5meg");
+  checkf "nano" 1.5e-9 (Si.parse "1.5n");
+  checkf "femto" 2e-15 (Si.parse "2f");
+  checkf "giga" 1.2e9 (Si.parse "1.2g");
+  checkf "tera" 3e12 (Si.parse "3t");
+  checkf "milli" 15e-3 (Si.parse "15m");
+  checkf "exponent" 1.0e-12 (Si.parse "1.0e-12");
+  checkf "case insensitive" 2e3 (Si.parse "2K");
+  checkf "negative" (-4.7e-9) (Si.parse "-4.7n")
+
+let test_si_parse_bad () =
+  Alcotest.(check (option (float 0.0))) "garbage" None (Si.parse_opt "abc");
+  Alcotest.(check (option (float 0.0))) "empty" None (Si.parse_opt "");
+  Alcotest.(check bool) "parse raises" true
+    (try ignore (Si.parse "xyz"); false with Failure _ -> true)
+
+let test_si_format () =
+  Alcotest.(check string) "pico" "2.1p" (Si.format 2.1e-12);
+  Alcotest.(check string) "kilo" "2k" (Si.format 2e3);
+  Alcotest.(check string) "zero" "0" (Si.format 0.0);
+  Alcotest.(check string) "unit suffix" "800MHz" (Si.format_unit 800e6 "Hz")
+
+let test_si_roundtrip () =
+  List.iter
+    (fun x ->
+      let y = Si.parse (Si.format x) in
+      if Float.abs (y -. x) > 1e-3 *. Float.abs x then
+        Alcotest.failf "roundtrip %g -> %s -> %g" x (Si.format x) y)
+    [ 1.0; 2.1e-12; 3.8e3; 0.12e-6; 5e6; 100e-6; 1.2e9; -2.5e-3 ]
+
+let prop_si_roundtrip =
+  QCheck.Test.make ~name:"SI format/parse roundtrip" ~count:500
+    QCheck.(float_range 1e-14 1e13)
+    (fun x ->
+      let y = Si.parse (Si.format x) in
+      Float.abs (y -. x) <= 1e-3 *. Float.abs x)
+
+let prop_clamp_idempotent =
+  QCheck.Test.make ~name:"clamp idempotent" ~count:500
+    QCheck.(triple (float_range (-10.) 10.) (float_range (-10.) 10.) (float_range (-100.) 100.))
+    (fun (a, b, x) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let once = Floatx.clamp ~lo ~hi x in
+      Floatx.clamp ~lo ~hi once = once && once >= lo && once <= hi)
+
+let suite =
+  [
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "close" `Quick test_close;
+    Alcotest.test_case "linspace" `Quick test_linspace;
+    Alcotest.test_case "logspace" `Quick test_logspace;
+    Alcotest.test_case "lerp" `Quick test_lerp;
+    Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+    Alcotest.test_case "si parse" `Quick test_si_parse;
+    Alcotest.test_case "si parse bad" `Quick test_si_parse_bad;
+    Alcotest.test_case "si format" `Quick test_si_format;
+    Alcotest.test_case "si roundtrip" `Quick test_si_roundtrip;
+    QCheck_alcotest.to_alcotest prop_si_roundtrip;
+    QCheck_alcotest.to_alcotest prop_clamp_idempotent;
+  ]
