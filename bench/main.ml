@@ -10,10 +10,14 @@
 module H = Hieropt
 module V = Repro_spice.Vco_measure
 module T = Repro_circuit.Topologies
+module E = Repro_engine
 
 let section title =
   let bar = String.make 74 '=' in
   Printf.printf "\n%s\n== %s\n%s\n%!" bar title bar
+
+(* cumulative engine counters, printed at the end of every section *)
+let telemetry_line () = Printf.printf "[%s]\n%!" (E.Telemetry.line ())
 
 (* ------------------------------------------------------------------ *)
 (* experiment harness: one full flow run drives every artefact         *)
@@ -107,6 +111,77 @@ let optimiser_ablation (result : H.Hierarchy.result) =
     budget;
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* engine section: parallel + memoised evaluation on a real workload   *)
+(* ------------------------------------------------------------------ *)
+
+(* The table1 Monte-Carlo workload (perturb + re-characterise one Pareto
+   design) run serially and over the pool, then a system-level batch
+   evaluated cold and warm through the content-addressed cache.  Both
+   legs assert bit-identical results — the engine's core guarantee. *)
+let engine_bench (result : H.Hierarchy.result) =
+  let design =
+    match Array.length result.H.Hierarchy.front with
+    | 0 -> T.vco_default
+    | _ -> result.H.Hierarchy.front.(0).H.Vco_problem.params
+  in
+  let net = T.ring_vco ~vctl:0.5 design in
+  let trial perturbed =
+    match V.characterise_netlist perturbed with
+    | Ok p -> Ok p.V.kvco
+    | Error f -> Error (V.failure_to_string f)
+  in
+  let n = 32 in
+  let mc_with size =
+    E.Pool.with_pool ~size (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Repro_spice.Monte_carlo.run ~pool ~n
+            ~prng:(Repro_util.Prng.create 2009) net trial
+        in
+        (r, Unix.gettimeofday () -. t0))
+  in
+  let workers = max 2 (E.Config.jobs ()) in
+  let serial, t_serial = mc_with 1 in
+  let pooled, t_pooled = mc_with workers in
+  Printf.printf
+    "table1-style MC workload, %d trials (perturb + re-characterise):\n" n;
+  Printf.printf "  1 worker   %7.2f s\n" t_serial;
+  Printf.printf "  %d workers  %7.2f s   speedup %.2fx   bit-identical: %b\n"
+    workers t_pooled
+    (t_serial /. Float.max t_pooled 1e-9)
+    (serial.Repro_spice.Monte_carlo.samples
+       = pooled.Repro_spice.Monte_carlo.samples
+    && serial.Repro_spice.Monte_carlo.failures
+         = pooled.Repro_spice.Monte_carlo.failures);
+  (* cache leg: one system-level NSGA-II batch, cold then warm *)
+  let problem = H.Pll_problem.problem result.H.Hierarchy.pll_config in
+  let prng = Repro_util.Prng.create 7 in
+  let batch =
+    Array.init 64 (fun _ -> Repro_moo.Problem.random_point problem prng)
+  in
+  let cache = E.Cache.create () in
+  let evaluator = Repro_moo.Problem.parallel_evaluator ~cache () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let cold, t_cold =
+    timed (fun () -> Repro_moo.Problem.evaluate_all ~evaluator problem batch)
+  in
+  let warm, t_warm =
+    timed (fun () -> Repro_moo.Problem.evaluate_all ~evaluator problem batch)
+  in
+  Printf.printf "system-level batch of %d candidates through the eval cache:\n"
+    (Array.length batch);
+  Printf.printf "  cold cache %7.3f s\n" t_cold;
+  Printf.printf "  warm cache %7.3f s   speedup %.1fx   bit-identical: %b\n"
+    t_warm
+    (t_cold /. Float.max t_warm 1e-9)
+    (cold = warm);
+  Printf.printf "  %s\n" (E.Cache.stats_line cache)
+
 let run_experiments () =
   let scale = H.Hierarchy.scale_of_env () in
   let full = scale = H.Hierarchy.paper_scale in
@@ -117,9 +192,9 @@ let run_experiments () =
     }
   in
   section
-    (Printf.sprintf "hierarchical flow — %s scale (seed %d); spec: %s"
+    (Printf.sprintf "hierarchical flow — %s scale (seed %d, %d worker(s)); spec: %s"
        (if full then "paper" else "bench")
-       cfg.H.Hierarchy.seed
+       cfg.H.Hierarchy.seed (E.Config.jobs ())
        (Format.asprintf "%a" H.Spec.pp cfg.H.Hierarchy.spec));
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
@@ -128,19 +203,24 @@ let run_experiments () =
   in
   let result = H.Hierarchy.run ~progress cfg in
   ignore t0;
+  telemetry_line ();
   section "Figure 7 — circuit-level Pareto front";
   print_string (H.Experiments.fig7_front result.H.Hierarchy.front);
+  telemetry_line ();
   section "Table 1 — performance and variation values";
   print_string (H.Experiments.table1 result.H.Hierarchy.entries);
+  telemetry_line ();
   section "Table 2 — PLL system-level solution samples";
   print_string
     (H.Experiments.table2 ?selected:result.H.Hierarchy.selected
        result.H.Hierarchy.rows);
+  telemetry_line ();
   section "Figure 8 — PLL locking transient";
   (match result.H.Hierarchy.selected with
   | Some row ->
     print_string (H.Experiments.fig8_locking result.H.Hierarchy.pll_config row)
   | None -> print_endline "(no selected design)");
+  telemetry_line ();
   section "Yield verification (§4.5)";
   (match result.H.Hierarchy.yield with
   | Some y ->
@@ -148,6 +228,7 @@ let run_experiments () =
       (H.Experiments.yield_report y
          ~verification:result.H.Hierarchy.verification)
   | None -> print_endline "(no selected design)");
+  telemetry_line ();
   section "Ablation — variation-aware vs nominal-only system optimisation";
   let ablation_cfg = { cfg with H.Hierarchy.use_variation = false } in
   let without =
@@ -158,10 +239,18 @@ let run_experiments () =
     (H.Experiments.ablation_report ~with_variation:result
        ~without_variation:without
        ~prng:(Repro_util.Prng.create 123));
+  telemetry_line ();
   section "Ablation — table-model interpolation scheme (DESIGN.md §5)";
   print_string (interp_ablation result);
+  telemetry_line ();
   section "Ablation — optimiser choice at the system level (equal budget)";
   print_string (optimiser_ablation result);
+  telemetry_line ();
+  section "Engine — deterministic parallel evaluation + cache";
+  engine_bench result;
+  telemetry_line ();
+  section "Engine — full telemetry";
+  print_string (E.Telemetry.report ());
   Printf.printf "\n[experiments complete in %.1f s wall]\n%!"
     (Unix.gettimeofday () -. wall0);
   result

@@ -32,6 +32,19 @@ let full_t =
            samples/point, 500 yield samples) instead of the fast bench \
            scale.  Equivalent to HIEROPT_FULL=1.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel evaluation engine.  Defaults \
+           to HIEROPT_JOBS, or the machine's recommended domain count.  \
+           Results are bit-identical for any worker count; -j 1 forces \
+           fully serial evaluation.")
+
+let setup_jobs jobs = Option.iter Repro_engine.Config.set_jobs jobs
+
 let scale_of_flag full =
   if full then Hieropt.Hierarchy.paper_scale else Hieropt.Hierarchy.scale_of_env ()
 
@@ -156,8 +169,9 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full nominal_only model_dir verbose =
+  let run seed full jobs nominal_only model_dir verbose =
     setup_logging verbose;
+    setup_jobs jobs;
     let cfg =
       {
         (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
@@ -179,30 +193,35 @@ let flow_cmd =
       Fmt.pr "%s@."
         (Hieropt.Experiments.fig8_locking result.Hieropt.Hierarchy.pll_config row)
     | None -> Fmt.pr "no design met the specification@.");
-    match result.Hieropt.Hierarchy.yield with
+    (match result.Hieropt.Hierarchy.yield with
     | Some y ->
       Fmt.pr "%s@."
         (Hieropt.Experiments.yield_report y
            ~verification:result.Hieropt.Hierarchy.verification)
-    | None -> ()
+    | None -> ());
+    Fmt.pr "%s@." (Repro_engine.Telemetry.line ())
   in
   let info =
     Cmd.info "flow"
       ~doc:"Run the complete hierarchical flow (Figure 4 of the paper)."
   in
   Cmd.v info
-    Term.(const run $ seed_t $ full_t $ ablation_t $ model_dir_t $ verbose_t)
+    Term.(
+      const run $ seed_t $ full_t $ jobs_t $ ablation_t $ model_dir_t
+      $ verbose_t)
 
 (* ---- system ---- *)
 
 let system_cmd =
-  let run seed full model_dir verbose =
+  let run seed full jobs model_dir verbose =
     setup_logging verbose;
+    setup_jobs jobs;
     let model = Hieropt.Perf_table.load ~dir:model_dir in
     let cfg =
       {
         (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
         Hieropt.Hierarchy.seed;
+        model_dir = Some model_dir;
       }
     in
     let result =
@@ -218,7 +237,8 @@ let system_cmd =
     Cmd.info "system"
       ~doc:"Re-run the system-level optimisation over a saved table model."
   in
-  Cmd.v info Term.(const run $ seed_t $ full_t $ model_dir_t $ verbose_t)
+  Cmd.v info
+    Term.(const run $ seed_t $ full_t $ jobs_t $ model_dir_t $ verbose_t)
 
 (* ---- yield ---- *)
 
@@ -241,8 +261,9 @@ let yield_cmd =
   let samples_t =
     Arg.(value & opt int 500 & info [ "samples" ] ~doc:"MC sample count.")
   in
-  let run model_dir kvco ivco c1 c2 r1 samples seed verbose =
+  let run model_dir kvco ivco c1 c2 r1 samples seed jobs verbose =
     setup_logging verbose;
+    setup_jobs jobs;
     let model = Hieropt.Perf_table.load ~dir:model_dir in
     let cfg = Hieropt.Pll_problem.default_config ~model in
     let p = Repro_util.Si.parse in
@@ -271,7 +292,7 @@ let yield_cmd =
       $ filt_t "c1" ~doc:"Loop filter C1." ~default:"10p"
       $ filt_t "c2" ~doc:"Loop filter C2." ~default:"0.6p"
       $ filt_t "r1" ~doc:"Loop filter R1." ~default:"6k"
-      $ samples_t $ seed_t $ verbose_t)
+      $ samples_t $ seed_t $ jobs_t $ verbose_t)
 
 let main_cmd =
   let doc =

@@ -1,6 +1,7 @@
 module V = Repro_spice.Vco_measure
 module Nsga2 = Repro_moo.Nsga2
 module Prng = Repro_util.Prng
+module E = Repro_engine
 
 type scale = {
   vco_population : int;
@@ -34,10 +35,7 @@ let bench_scale =
     yield_samples = 200;
   }
 
-let scale_of_env () =
-  match Sys.getenv_opt "HIEROPT_FULL" with
-  | Some v when v <> "" && v <> "0" -> paper_scale
-  | Some _ | None -> bench_scale
+let scale_of_env () = if E.Config.full () then paper_scale else bench_scale
 
 type config = {
   seed : int;
@@ -79,6 +77,38 @@ type result = {
 
 let say progress fmt = Printf.ksprintf (fun s -> progress s) fmt
 
+(* ---- evaluation-engine wiring ------------------------------------ *)
+
+let cache_path cfg =
+  Option.map (fun dir -> Filename.concat dir "eval.cache") cfg.model_dir
+
+(* The cache persists across runs, so keys must change whenever the
+   ambient configuration captured by the objective closures changes. *)
+let config_salt cfg =
+  Printf.sprintf "%08x"
+    (Hashtbl.hash_param 256 256
+       (cfg.spec, cfg.measure, cfg.process, cfg.use_variation))
+
+let load_cache cfg =
+  match cache_path cfg with
+  | None -> E.Cache.create ()
+  | Some path -> (
+    match E.Cache.load_if_exists path with
+    | Some cache -> cache
+    | None -> E.Cache.create ())
+
+let save_cache cfg cache progress =
+  match cache_path cfg with
+  | None -> ()
+  | Some path -> (
+    try
+      E.Cache.save cache path;
+      say progress "engine: %s saved to %s" (E.Cache.stats_line cache) path
+    with Sys_error _ -> ())
+
+let evaluator_of cfg cache =
+  Repro_moo.Problem.parallel_evaluator ~cache ~salt:(config_salt cfg) ()
+
 let pll_config_of cfg model =
   {
     (Pll_problem.default_config ~model) with
@@ -105,8 +135,8 @@ let verify_design cfg ~model (row : Pll_problem.table2_row) =
   in
   { requested; mapped; measured }
 
-let run_system_level_inner ?(progress = fun _ -> ()) cfg ~model ~front ~entries
-    =
+let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator cfg ~model
+    ~front ~entries =
   let scale = cfg.scale in
   let pll_cfg = pll_config_of cfg model in
   say progress "system level: NSGA-II %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
@@ -116,6 +146,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) cfg ~model ~front ~entries
   let prng = Prng.create (cfg.seed + 77) in
   let pll_problem = Pll_problem.problem pll_cfg in
   let pll_pop =
+    E.Telemetry.time "phase.system-ga" @@ fun () ->
     Nsga2.optimise
       ~options:
         {
@@ -123,7 +154,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) cfg ~model ~front ~entries
           population = scale.pll_population;
           generations = scale.pll_generations;
         }
-      pll_problem prng
+      ?evaluator pll_problem prng
   in
   let pll_front = Nsga2.pareto_front pll_pop in
   say progress "system level: %d Pareto solutions" (Array.length pll_front);
@@ -140,28 +171,43 @@ let run_system_level_inner ?(progress = fun _ -> ()) cfg ~model ~front ~entries
     Option.map
       (fun row ->
         say progress "yield: %d behavioural MC samples" scale.yield_samples;
+        E.Telemetry.time "phase.yield" @@ fun () ->
         Yield.behavioural ~n:scale.yield_samples
           ~prng:(Prng.create (cfg.seed + 99))
           pll_cfg row)
       selected
   in
+  say progress "engine: %s" (E.Telemetry.line ());
   { front; entries; model; rows; selected; verification; yield;
     pll_config = pll_cfg }
 
-let run_system_level ?progress cfg ~model =
-  run_system_level_inner ?progress cfg ~model
-    ~front:
-      (Array.map (fun e -> e.Variation_model.design) (Perf_table.entries model))
-    ~entries:(Perf_table.entries model)
+let run_system_level ?(progress = fun _ -> ()) cfg ~model =
+  let cache = load_cache cfg in
+  let result =
+    run_system_level_inner ~progress ~evaluator:(evaluator_of cfg cache) cfg
+      ~model
+      ~front:
+        (Array.map
+           (fun e -> e.Variation_model.design)
+           (Perf_table.entries model))
+      ~entries:(Perf_table.entries model)
+  in
+  save_cache cfg cache progress;
+  result
 
 let run ?(progress = fun _ -> ()) cfg =
   let scale = cfg.scale in
+  let cache = load_cache cfg in
+  let evaluator = evaluator_of cfg cache in
+  say progress "engine: %d worker(s), %s" (E.Config.jobs ())
+    (E.Cache.stats_line cache);
   (* step 1: circuit-level MOO *)
   say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
     scale.vco_population scale.vco_generations;
   let prng = Prng.create cfg.seed in
   let vco_problem = Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec () in
   let pop =
+    E.Telemetry.time "phase.circuit-ga" @@ fun () ->
     Nsga2.optimise
       ~options:
         {
@@ -169,7 +215,7 @@ let run ?(progress = fun _ -> ()) cfg =
           population = scale.vco_population;
           generations = scale.vco_generations;
         }
-      vco_problem prng
+      ~evaluator vco_problem prng
   in
   let full_front = Vco_problem.front_designs pop in
   if Array.length full_front < 2 then
@@ -183,6 +229,7 @@ let run ?(progress = fun _ -> ()) cfg =
   say progress "variation model: %d MC samples x %d designs" scale.mc_samples
     (Array.length front);
   let entries =
+    E.Telemetry.time "phase.variation-mc" @@ fun () ->
     Variation_model.analyse_front
       ~options:
         {
@@ -202,4 +249,8 @@ let run ?(progress = fun _ -> ()) cfg =
     say progress "table model saved to %s" dir
   | None -> ());
   (* steps 4-5 *)
-  run_system_level_inner ~progress cfg ~model ~front ~entries
+  let result =
+    run_system_level_inner ~progress ~evaluator cfg ~model ~front ~entries
+  in
+  save_cache cfg cache progress;
+  result

@@ -33,8 +33,8 @@ val bench_scale : scale
     Every code path is identical; only loop counts differ. *)
 
 val scale_of_env : unit -> scale
-(** [paper_scale] when the environment variable HIEROPT_FULL is set to a
-    non-empty value other than "0", else [bench_scale]. *)
+(** [paper_scale] when {!Repro_engine.Config.full} reports that
+    HIEROPT_FULL is set, else [bench_scale]. *)
 
 type config = {
   seed : int;
@@ -69,7 +69,15 @@ type result = {
 }
 
 val run : ?progress:(string -> unit) -> config -> result
-(** @raise Failure when the circuit-level front is empty (no oscillating
+(** Evaluations run through the {!Repro_engine} subsystem: NSGA-II
+    generations, Monte-Carlo trials and yield samples are spread over
+    the shared domain pool ([-j] / HIEROPT_JOBS) and memoised in a
+    content-addressed cache; when [model_dir] is set the cache is
+    loaded from / saved to [model_dir ^ "/eval.cache"] next to the
+    [.tbl] artefacts.  Results are bit-identical for any worker count
+    and with a cold or warm cache.  Engine telemetry is emitted through
+    [progress].
+    @raise Failure when the circuit-level front is empty (no oscillating
     design found — should not happen at the default scales). *)
 
 val run_system_level :

@@ -30,12 +30,19 @@ let check_sample cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
          else "current over budget");
     }
 
-let behavioural ?(n = 500) ~prng cfg (row : Pll_problem.table2_row) =
+let count_passes outcomes =
+  Array.fold_left (fun acc pass -> if pass then acc + 1 else acc) 0 outcomes
+
+let behavioural ?(n = 500) ?pool ~prng cfg (row : Pll_problem.table2_row) =
+  let module E = Repro_engine in
   let m = cfg.Pll_problem.model in
   let dk = Perf_table.kvco_delta m row.Pll_problem.kv in
   let di = Perf_table.ivco_delta m row.Pll_problem.iv in
-  let pass = ref 0 in
-  for _ = 1 to n do
+  (* the (Kvco, Ivco) perturbations are drawn serially, in the same
+     order as the historical loop; only the pure PLL re-evaluations run
+     on the pool, so the estimate is worker-count independent *)
+  let draws = Array.make n (0.0, 0.0) in
+  for i = 0 to n - 1 do
     let kvco =
       Prng.gaussian prng ~mean:row.Pll_problem.kv
         ~sigma:(dk *. row.Pll_problem.kv)
@@ -44,33 +51,41 @@ let behavioural ?(n = 500) ~prng cfg (row : Pll_problem.table2_row) =
       Prng.gaussian prng ~mean:row.Pll_problem.iv
         ~sigma:(di *. row.Pll_problem.iv)
     in
-    let o =
-      check_sample cfg ~kvco ~ivco ~c1:row.Pll_problem.c1
-        ~c2:row.Pll_problem.c2 ~r1:row.Pll_problem.r1
-    in
-    if o.pass then incr pass
+    draws.(i) <- (kvco, ivco)
   done;
-  Repro_util.Stats.yield ~pass:!pass ~total:n
+  let outcomes =
+    E.Telemetry.time "yield.wall" @@ fun () ->
+    E.Parmap.map ?pool
+      (fun (kvco, ivco) ->
+        (check_sample cfg ~kvco ~ivco ~c1:row.Pll_problem.c1
+           ~c2:row.Pll_problem.c2 ~r1:row.Pll_problem.r1)
+          .pass)
+      draws
+  in
+  E.Telemetry.incr "yield.samples" ~by:n;
+  Repro_util.Stats.yield ~pass:(count_passes outcomes) ~total:n
 
-let transistor ?(n = 20) ?(process = Repro_circuit.Process.default)
+let transistor ?(n = 20) ?pool ?(process = Repro_circuit.Process.default)
     ?(measure = V.default_options) ~prng cfg ~sizing
     ~(row : Pll_problem.table2_row) =
+  let module E = Repro_engine in
   let net =
     T.ring_vco ~stages:measure.V.stages ~vdd:measure.V.vdd
       ~vctl:measure.V.vctl_lo sizing
   in
-  let pass = ref 0 in
-  for _ = 1 to n do
-    let perturbed =
-      Repro_circuit.Process.sample process (Prng.split prng) net
-    in
-    match V.characterise_netlist ~options:measure perturbed with
-    | Error _ -> () (* dead oscillator: counted as a fail *)
-    | Ok perf ->
-      let o =
-        check_sample cfg ~kvco:perf.V.kvco ~ivco:perf.V.ivco
-          ~c1:row.Pll_problem.c1 ~c2:row.Pll_problem.c2 ~r1:row.Pll_problem.r1
-      in
-      if o.pass then incr pass
-  done;
-  Repro_util.Stats.yield ~pass:!pass ~total:n
+  let outcomes =
+    E.Telemetry.time "yield.wall" @@ fun () ->
+    E.Parmap.map_seeded ?pool ~prng
+      (fun stream () ->
+        let perturbed = Repro_circuit.Process.sample process stream net in
+        match V.characterise_netlist ~options:measure perturbed with
+        | Error _ -> false (* dead oscillator: counted as a fail *)
+        | Ok perf ->
+          (check_sample cfg ~kvco:perf.V.kvco ~ivco:perf.V.ivco
+             ~c1:row.Pll_problem.c1 ~c2:row.Pll_problem.c2
+             ~r1:row.Pll_problem.r1)
+            .pass)
+      (Array.make n ())
+  in
+  E.Telemetry.incr "yield.samples" ~by:n;
+  Repro_util.Stats.yield ~pass:(count_passes outcomes) ~total:n

@@ -31,14 +31,19 @@ val check_sample :
 
 val behavioural :
   ?n:int ->
+  ?pool:Repro_engine.Pool.t ->
   prng:Repro_util.Prng.t ->
   Pll_problem.config ->
   Pll_problem.table2_row ->
   Repro_util.Stats.yield_estimate
-(** [n] defaults to 500 (the paper's count). *)
+(** [n] defaults to 500 (the paper's count).  Samples are evaluated in
+    parallel over [pool] (default: the shared engine pool); all
+    perturbations are drawn before dispatch, so the estimate is
+    bit-identical for any worker count. *)
 
 val transistor :
   ?n:int ->
+  ?pool:Repro_engine.Pool.t ->
   ?process:Repro_circuit.Process.spec ->
   ?measure:Repro_spice.Vco_measure.options ->
   prng:Repro_util.Prng.t ->

@@ -1,0 +1,30 @@
+(** Order-preserving parallel map with a bit-reproducibility guarantee.
+
+    Results are assembled by index, work is dispatched in chunks over a
+    {!Pool}, and all randomness is pre-split per element on the calling
+    domain ({!map_seeded}), so for a {e pure} per-element function the
+    output is byte-identical whether the pool has 1 worker or 64.
+
+    When [?pool] is omitted the shared {!Pool.get_default} pool is used,
+    i.e. parallelism follows [-j] / [HIEROPT_JOBS]. *)
+
+val map : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map].  The first exception raised by [f] is
+    re-raised on the calling domain (remaining items may or may not have
+    been evaluated). *)
+
+val mapi : ?pool:Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val init : ?pool:Pool.t -> int -> (int -> 'b) -> 'b array
+(** Parallel [Array.init].  @raise Invalid_argument on negative size. *)
+
+val map_seeded :
+  ?pool:Pool.t ->
+  prng:Repro_util.Prng.t ->
+  (Repro_util.Prng.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [map_seeded ~prng f arr] splits one independent child stream per
+    element from [prng] (advancing it exactly [Array.length arr] times,
+    same as the serial split-per-iteration idiom) and maps [f] in
+    parallel.  Stream assignment depends only on the element index. *)

@@ -1,0 +1,46 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    A pool of size [s] spawns [s - 1] worker domains blocked on a
+    mutex/condition task queue; the calling domain itself participates
+    in every parallel region, so size 1 means "fully serial, no domains
+    spawned".  The pool is the execution substrate for {!Parmap}; both
+    are engineered so results are {e bit-identical for any worker
+    count} (see [Parmap] for the PRNG pre-splitting discipline). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ()] sizes the pool from {!Config.jobs} (i.e. [-j] /
+    [HIEROPT_JOBS] / the machine's core count).  [size] values < 1 are
+    clamped to 1. *)
+
+val size : t -> int
+(** Worker count (including the calling domain). *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task for the worker domains.  Exceptions escaping the task
+    are swallowed (wrap your own error channel).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val run_items : t -> int -> (int -> unit) -> unit
+(** [run_items t n body] runs [body i] for every [i] in [0..n-1] across
+    the pool, chunked, returning when all items completed.  [body] must
+    not raise and must only write per-index state.  Runs inline and
+    serially when the pool has one worker or when called from inside a
+    pool task (nested parallelism falls back to serial rather than
+    deadlocking). *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** Scoped create/shutdown. *)
+
+val get_default : unit -> t
+(** The process-wide shared pool, created lazily at first use from
+    {!Config.jobs} and shut down via [at_exit].  Recreated if it was
+    explicitly shut down. *)
+
+val inside_worker : unit -> bool
+(** [true] when executing inside a pool task (used to serialise nested
+    parallel regions). *)

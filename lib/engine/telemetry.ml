@@ -1,0 +1,87 @@
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int) Hashtbl.t;
+  timers : (string, float) Hashtbl.t;
+}
+
+let registry =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 32;
+    timers = Hashtbl.create 16;
+  }
+
+let locked f =
+  Mutex.lock registry.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry.mutex) f
+
+let incr ?(by = 1) name =
+  locked (fun () ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt registry.counters name) in
+      Hashtbl.replace registry.counters name (cur + by))
+
+let set name v = locked (fun () -> Hashtbl.replace registry.counters name v)
+
+let counter name =
+  locked (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt registry.counters name))
+
+let add_time name seconds =
+  locked (fun () ->
+      let cur = Option.value ~default:0.0 (Hashtbl.find_opt registry.timers name) in
+      Hashtbl.replace registry.timers name (cur +. seconds))
+
+let timer name =
+  locked (fun () ->
+      Option.value ~default:0.0 (Hashtbl.find_opt registry.timers name))
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> add_time name (Unix.gettimeofday () -. t0))
+    f
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset registry.counters;
+      Hashtbl.reset registry.timers)
+
+let warn ~key fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr key;
+      Printf.eprintf "WARNING [%s]: %s\n%!" key msg)
+    fmt
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  locked (fun () -> (sorted registry.counters, sorted registry.timers))
+
+let line () =
+  let counters, timers = snapshot () in
+  let parts =
+    List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters
+    @ List.map (fun (k, v) -> Printf.sprintf "%s=%.2fs" k v) timers
+  in
+  match parts with
+  | [] -> "telemetry: (empty)"
+  | _ -> "telemetry: " ^ String.concat " " parts
+
+let report () =
+  let counters, timers = snapshot () in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "telemetry report\n";
+  if counters = [] && timers = [] then Buffer.add_string buf "  (empty)\n"
+  else begin
+    List.iter
+      (fun (k, v) -> Printf.ksprintf (Buffer.add_string buf) "  %-32s %12d\n" k v)
+      counters;
+    List.iter
+      (fun (k, v) ->
+        Printf.ksprintf (Buffer.add_string buf) "  %-32s %10.3f s\n" k v)
+      timers
+  end;
+  Buffer.contents buf

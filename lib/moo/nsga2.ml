@@ -59,7 +59,14 @@ let select_best target pop =
     order;
   Array.init target (fun k -> pop.(order.(k)))
 
-let optimise ?(options = default_options) ?on_generation problem prng =
+(* batch-evaluate raw decision vectors into individuals, via the
+   injected evaluation strategy (parallel pools, caches, ...) *)
+let eval_batch evaluator problem xs =
+  let evs = Problem.evaluate_all ~evaluator problem xs in
+  Array.map2 (fun x evaluation -> { x; evaluation }) xs evs
+
+let optimise ?(options = default_options)
+    ?(evaluator = Problem.serial_evaluator) ?on_generation problem prng =
   if options.population < 4 || options.population mod 2 <> 0 then
     invalid_arg "Nsga2.optimise: population must be even and >= 4";
   let nv = Problem.n_vars problem in
@@ -67,12 +74,13 @@ let optimise ?(options = default_options) ?on_generation problem prng =
     if options.mutation_prob > 0.0 then options.mutation_prob
     else 1.0 /. float_of_int nv
   in
-  let eval x = { x; evaluation = problem.Problem.evaluate x } in
-  let pop =
-    ref
-      (Array.init options.population (fun _ ->
-           eval (Problem.random_point problem prng)))
-  in
+  (* decision vectors are drawn serially (PRNG order is part of the
+     reproducibility contract); only the pure evaluations are batched *)
+  let initial = Array.make options.population [||] in
+  for i = 0 to options.population - 1 do
+    initial.(i) <- Problem.random_point problem prng
+  done;
+  let pop = ref (eval_batch evaluator problem initial) in
   (match on_generation with Some f -> f 0 !pop | None -> ());
   for gen = 1 to options.generations do
     let evals = evaluations !pop in
@@ -94,9 +102,10 @@ let optimise ?(options = default_options) ?on_generation problem prng =
       in
       mutate c1;
       mutate c2;
-      children := eval c1 :: eval c2 :: !children
+      children := c1 :: c2 :: !children
     done;
-    let combined = Array.append !pop (Array.of_list !children) in
+    let offspring = eval_batch evaluator problem (Array.of_list !children) in
+    let combined = Array.append !pop offspring in
     pop := select_best options.population combined;
     match on_generation with Some f -> f gen !pop | None -> ()
   done;

@@ -23,13 +23,19 @@ val default_options : options
 
 val optimise :
   ?options:options ->
+  ?evaluator:Problem.evaluator ->
   ?on_generation:(int -> individual array -> unit) ->
   Problem.t ->
   Repro_util.Prng.t ->
   individual array
-(** Run the GA and return the final population.  [on_generation] is
-    called after each generation with the current population (for
-    progress logging and convergence traces). *)
+(** Run the GA and return the final population.  Each generation's
+    offspring are evaluated as one batch through [evaluator] (default:
+    the serial path; pass {!Problem.parallel_evaluator} to spread
+    evaluations over a domain pool and/or a cache — results are
+    identical because all variation randomness is drawn before the
+    batch is dispatched).  [on_generation] is called after each
+    generation with the current population (for progress logging and
+    convergence traces). *)
 
 val pareto_front : individual array -> individual array
 (** Feasible rank-0 subset of a population, deduplicated on objective

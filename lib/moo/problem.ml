@@ -43,3 +43,58 @@ let infeasible_evaluation t ~penalty =
     objectives = Array.make (n_objectives t) infinity;
     constraint_violation = Float.max penalty 1.0;
   }
+
+(* ---- batch evaluation -------------------------------------------- *)
+
+type evaluator = t -> float array array -> evaluation array
+
+let serial_evaluator t xs =
+  let n = Array.length xs in
+  let out = Array.make n { objectives = [||]; constraint_violation = 0.0 } in
+  for i = 0 to n - 1 do
+    out.(i) <- t.evaluate xs.(i)
+  done;
+  out
+
+let evaluate_all ?(evaluator = serial_evaluator) t xs = evaluator t xs
+
+(* evaluation <-> flat float array, for the content-addressed cache *)
+let pack e = Array.append [| e.constraint_violation |] e.objectives
+
+let unpack v =
+  {
+    constraint_violation = v.(0);
+    objectives = Array.sub v 1 (Array.length v - 1);
+  }
+
+let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
+  let module E = Repro_engine in
+  let n = Array.length xs in
+  let kind = "eval:" ^ t.name ^ if salt = "" then "" else ":" ^ salt in
+  E.Telemetry.time "eval.wall" @@ fun () ->
+  match cache with
+  | None ->
+    E.Telemetry.incr "eval.runs" ~by:n;
+    E.Parmap.map ?pool t.evaluate xs
+  | Some cache ->
+    (* consult the cache on the calling domain, dispatch only misses;
+       results land back by index so output order (and content) is
+       independent of the worker count *)
+    let keys = Array.map (fun x -> E.Cache.key ~kind x) xs in
+    let out = Array.make n None in
+    let miss_idx = ref [] in
+    for i = n - 1 downto 0 do
+      match E.Cache.find cache keys.(i) with
+      | Some v -> out.(i) <- Some (unpack v)
+      | None -> miss_idx := i :: !miss_idx
+    done;
+    let misses = Array.of_list !miss_idx in
+    E.Telemetry.incr "eval.runs" ~by:(Array.length misses);
+    E.Telemetry.incr "eval.cache_hits" ~by:(n - Array.length misses);
+    let fresh = E.Parmap.map ?pool (fun i -> t.evaluate xs.(i)) misses in
+    Array.iteri
+      (fun k i ->
+        E.Cache.store cache keys.(i) (pack fresh.(k));
+        out.(i) <- Some fresh.(k))
+      misses;
+    Array.map (function Some e -> e | None -> assert false) out

@@ -42,3 +42,30 @@ val violation_of_bounds : lo:float -> hi:float -> float -> float
 val infeasible_evaluation : t -> penalty:float -> evaluation
 (** An evaluation marking a failed (un-simulatable) design: worst-case
     objectives and the given violation. *)
+
+type evaluator = t -> float array array -> evaluation array
+(** Batch evaluation strategy.  Must return one evaluation per input, in
+    input order, equal to what [t.evaluate] would return — optimisers
+    inject these to parallelise/memoise without changing results. *)
+
+val serial_evaluator : evaluator
+(** The reference strategy: [t.evaluate] applied left to right. *)
+
+val evaluate_all : ?evaluator:evaluator -> t -> float array array -> evaluation array
+(** Batch entry point; defaults to {!serial_evaluator}. *)
+
+val parallel_evaluator :
+  ?pool:Repro_engine.Pool.t ->
+  ?cache:Repro_engine.Cache.t ->
+  ?salt:string ->
+  unit ->
+  evaluator
+(** Evaluate batches across a domain pool (default: the shared pool, so
+    [-j] / [HIEROPT_JOBS] applies), optionally memoised through a
+    content-addressed {!Repro_engine.Cache} keyed on (decision vector,
+    problem name, [salt]).  [salt] should fingerprint any ambient
+    configuration the objective closure captures (spec, measurement
+    options) so persisted caches cannot alias across set-ups.  For pure
+    objectives the result is bit-identical to {!serial_evaluator} for
+    any worker count.  Reports [eval.runs] / [eval.cache_hits] /
+    [eval.wall] telemetry. *)

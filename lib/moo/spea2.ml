@@ -123,19 +123,23 @@ let binary_tournament prng fit n =
   let a = Prng.int prng n and b = Prng.int prng n in
   if fit.(a) <= fit.(b) then a else b
 
-let optimise ?(options = default_options) ?on_generation problem prng =
+let optimise ?(options = default_options)
+    ?(evaluator = Problem.serial_evaluator) ?on_generation problem prng =
   if options.population < 4 || options.archive < 2 then
     invalid_arg "Spea2.optimise: population >= 4 and archive >= 2 required";
   let pm =
     if options.mutation_prob > 0.0 then options.mutation_prob
     else 1.0 /. float_of_int (Problem.n_vars problem)
   in
-  let eval x = { Nsga2.x; evaluation = problem.Problem.evaluate x } in
-  let population =
-    ref
-      (Array.init options.population (fun _ ->
-           eval (Problem.random_point problem prng)))
+  let eval_batch xs =
+    let evs = Problem.evaluate_all ~evaluator problem xs in
+    Array.map2 (fun x evaluation -> { Nsga2.x; evaluation }) xs evs
   in
+  let initial = Array.make options.population [||] in
+  for i = 0 to options.population - 1 do
+    initial.(i) <- Problem.random_point problem prng
+  done;
+  let population = ref (eval_batch initial) in
   let archive = ref [||] in
   (match on_generation with Some f -> f 0 !population | None -> ());
   for gen = 1 to options.generations do
@@ -158,11 +162,14 @@ let optimise ?(options = default_options) ?on_generation problem prng =
         ~mutation_prob:pm ~eta_mutation:options.eta_mutation c1;
       Variation.mutate_in_place prng ~bounds:problem.Problem.bounds
         ~mutation_prob:pm ~eta_mutation:options.eta_mutation c2;
-      children := eval c1 :: eval c2 :: !children
+      children := c1 :: c2 :: !children
     done;
+    let offspring = eval_batch (Array.of_list !children) in
     population :=
       Array.of_list
-        (List.filteri (fun i _ -> i < options.population) !children);
+        (List.filteri
+           (fun i _ -> i < options.population)
+           (Array.to_list offspring));
     match on_generation with Some f -> f gen !archive | None -> ()
   done;
   !archive

@@ -24,9 +24,11 @@ val default_options : options
 
 val optimise :
   ?options:options ->
+  ?evaluator:Problem.evaluator ->
   ?on_generation:(int -> Nsga2.individual array -> unit) ->
   Problem.t ->
   Repro_util.Prng.t ->
   Nsga2.individual array
 (** Run SPEA2 and return the final archive (use {!Nsga2.pareto_front} to
-    extract the feasible non-dominated subset). *)
+    extract the feasible non-dominated subset).  [evaluator] batches
+    each generation's evaluations exactly as in {!Nsga2.optimise}. *)

@@ -10,17 +10,41 @@ type 'a run_result = {
   seeds_used : int;
 }
 
-let run ?(spec = Process.default) ~n ~prng net trial =
+(* Above this failure fraction a run is considered degenerate: the
+   surviving samples no longer estimate the spread of the population the
+   caller asked about, so we shout instead of silently reporting a
+   too-small [failures] field. *)
+let default_warn_threshold = 0.5
+
+let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshold)
+    ~n ~prng net trial =
   if n <= 0 then invalid_arg "Monte_carlo.run: n must be positive";
+  (* per-trial streams are split before dispatch, and outcomes are
+     collected in trial order, so results are identical to the serial
+     loop for any pool size *)
+  let module E = Repro_engine in
+  let outcomes =
+    E.Telemetry.time "mc.wall" @@ fun () ->
+    E.Parmap.map_seeded ?pool ~prng
+      (fun stream () -> trial (Process.sample spec stream net))
+      (Array.make n ())
+  in
   let ok = ref [] and failures = ref 0 in
-  for _ = 1 to n do
-    let stream = Prng.split prng in
-    let perturbed = Process.sample spec stream net in
-    match trial perturbed with
+  for i = n - 1 downto 0 do
+    match outcomes.(i) with
     | Ok x -> ok := x :: !ok
     | Error _ -> incr failures
   done;
-  { samples = Array.of_list (List.rev !ok); failures = !failures; seeds_used = n }
+  E.Telemetry.incr "mc.trials" ~by:n;
+  E.Telemetry.incr "mc.failures" ~by:!failures;
+  let rate = float_of_int !failures /. float_of_int n in
+  if rate > warn_threshold then
+    E.Telemetry.warn ~key:"mc.degenerate_runs"
+      "Monte-Carlo run lost %d/%d trials (%.0f%% > %.0f%% threshold) — the \
+       surviving spread statistics describe only the non-degenerate corner"
+      !failures n (100.0 *. rate)
+      (100.0 *. warn_threshold);
+  { samples = Array.of_list !ok; failures = !failures; seeds_used = n }
 
 type spread = {
   nominal : float;

@@ -13,6 +13,8 @@ type 'a run_result = {
 
 val run :
   ?spec:Repro_circuit.Process.spec ->
+  ?pool:Repro_engine.Pool.t ->
+  ?warn_threshold:float ->
   n:int ->
   prng:Repro_util.Prng.t ->
   Repro_circuit.Netlist.t ->
@@ -20,7 +22,16 @@ val run :
   'a run_result
 (** [run ~n ~prng net trial] draws [n] process instances of [net] (each
     from an independent PRNG split) and collects the successful
-    measurements. *)
+    measurements.
+
+    Trials execute in parallel over [pool] (default: the shared engine
+    pool, sized by [-j] / [HIEROPT_JOBS]); streams are pre-split per
+    trial so the result is bit-identical for any worker count.  Trial
+    and failure counts are reported to {!Repro_engine.Telemetry}
+    ([mc.trials] / [mc.failures] / [mc.wall]), and when the failure
+    fraction exceeds [warn_threshold] (default 0.5) a loud
+    [mc.degenerate_runs] warning is emitted so a degenerate corner
+    cannot masquerade as a valid spread. *)
 
 type spread = {
   nominal : float;      (** measurement of the unperturbed netlist *)

@@ -43,6 +43,40 @@ let split t =
   let seed = Int64.to_int (bits64 t) land max_int in
   create seed
 
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
+(* xoshiro256 jump polynomial: advances the state by 2^128 steps, giving
+   2^128 non-overlapping subsequences. *)
+let jump_constants =
+  [| 0x180ec6d33cfd0abaL; 0xd5a61266f0c9392cL; 0xa9582618e03fc9aaL;
+     0x39abdc4529b1661cL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun c ->
+      for b = 0 to 63 do
+        if Int64.logand c (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (bits64 t)
+      done)
+    jump_constants;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3;
+  t.spare <- None
+
 let copy t = { t with spare = t.spare }
 
 (* 53-bit mantissa from the top bits, uniform in [0,1). *)

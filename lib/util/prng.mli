@@ -16,6 +16,18 @@ val split : t -> t
 (** [split t] derives an independent child stream and advances [t].
     Used to give each Monte-Carlo sample / GA island its own stream. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] pre-splits [n] independent child streams in index
+    order, advancing [t] exactly [n] times.  This is the primitive the
+    parallel evaluation engine uses: streams are split {e before}
+    dispatch so results are bit-identical for any worker count. *)
+
+val jump : t -> unit
+(** [jump t] advances [t] by 2^128 steps of the underlying xoshiro256
+    sequence (the standard jump polynomial), yielding non-overlapping
+    subsequences when interleaved with {!copy}.  Any buffered Gaussian
+    deviate is discarded. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (the copy and the original then
     evolve independently). *)

@@ -1,0 +1,366 @@
+(* repro_engine: domain pool, deterministic parallel map, eval cache,
+   telemetry — and the cross-stack determinism guarantee (NSGA-II /
+   Monte-Carlo / yield identical at 1 vs 4 workers). *)
+
+module E = Repro_engine
+module Prng = Repro_util.Prng
+module T = Repro_circuit.Topologies
+
+let check = Alcotest.(check bool)
+
+(* ---- config ------------------------------------------------------ *)
+
+let test_config_jobs () =
+  Unix.putenv "HIEROPT_JOBS" "3";
+  E.Config.set_jobs 0;
+  Alcotest.(check int) "env var honoured" 3 (E.Config.jobs ());
+  E.Config.set_jobs 5;
+  Alcotest.(check int) "override wins" 5 (E.Config.jobs ());
+  E.Config.set_jobs 0;
+  Unix.putenv "HIEROPT_JOBS" "not-a-number";
+  check "garbage falls back to domain count" true (E.Config.jobs () >= 1);
+  Unix.putenv "HIEROPT_JOBS" ""
+
+let test_config_flag () =
+  Unix.putenv "HIEROPT_FULL" "1";
+  check "set" true (E.Config.full ());
+  Unix.putenv "HIEROPT_FULL" "0";
+  check "zero is off" false (E.Config.full ());
+  Unix.putenv "HIEROPT_FULL" "";
+  check "empty is off" false (E.Config.full ())
+
+(* ---- pool / parmap ----------------------------------------------- *)
+
+let test_parmap_matches_serial () =
+  let input = Array.init 1000 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  let expect = Array.map f input in
+  List.iter
+    (fun size ->
+      E.Pool.with_pool ~size (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "map @ %d workers" size)
+            expect
+            (E.Parmap.map ~pool f input);
+          Alcotest.(check (array int))
+            (Printf.sprintf "init @ %d workers" size)
+            expect
+            (E.Parmap.init ~pool 1000 f)))
+    [ 1; 2; 4 ]
+
+let test_parmap_order_preserved () =
+  E.Pool.with_pool ~size:4 (fun pool ->
+      let out = E.Parmap.mapi ~pool (fun i x -> (i, x * 2)) [| 5; 6; 7; 8 |] in
+      Alcotest.(check (list (pair int int)))
+        "indexed order"
+        [ (0, 10); (1, 12); (2, 14); (3, 16) ]
+        (Array.to_list out))
+
+let test_parmap_empty_and_exception () =
+  E.Pool.with_pool ~size:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (E.Parmap.map ~pool succ [||]);
+      Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+          ignore
+            (E.Parmap.map ~pool
+               (fun i -> if i = 17 then failwith "boom" else i)
+               (Array.init 64 Fun.id))))
+
+let test_parmap_nested () =
+  (* nested parallel regions serialise instead of deadlocking *)
+  E.Pool.with_pool ~size:4 (fun pool ->
+      let out =
+        E.Parmap.map ~pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (E.Parmap.map ~pool (fun j -> i + j) (Array.init 8 Fun.id)))
+          (Array.init 16 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "nested result"
+        (Array.init 16 (fun i -> (8 * i) + 28))
+        out)
+
+let test_pool_shutdown () =
+  let pool = E.Pool.create ~size:3 () in
+  Alcotest.(check int) "size" 3 (E.Pool.size pool);
+  E.Pool.shutdown pool;
+  E.Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      E.Pool.submit pool (fun () -> ()))
+
+let test_map_seeded_deterministic () =
+  let draw stream () = Prng.uniform stream in
+  let run size =
+    E.Pool.with_pool ~size (fun pool ->
+        E.Parmap.map_seeded ~pool ~prng:(Prng.create 99) draw
+          (Array.make 50 ()))
+  in
+  let serial = run 1 and parallel = run 4 in
+  check "seeded map identical at 1 vs 4 workers" true (serial = parallel);
+  (* and identical to the historical serial split-per-iteration idiom *)
+  let prng = Prng.create 99 in
+  let reference =
+    Array.init 50 (fun _ ->
+        let stream = Prng.split prng in
+        Prng.uniform stream)
+  in
+  check "matches split-per-iteration loop" true (serial = reference)
+
+(* ---- cache ------------------------------------------------------- *)
+
+let test_cache_key_canonical () =
+  let k1 = E.Cache.key ~kind:"m" [| 1.0; 0.0 |] in
+  let k2 = E.Cache.key ~kind:"m" [| 1.0; -0.0 |] in
+  let k3 = E.Cache.key ~kind:"m" [| 1.0; nan |] in
+  let k4 = E.Cache.key ~kind:"m" [| 1.0; Float.nan |] in
+  let cache = E.Cache.create () in
+  E.Cache.store cache k1 [| 42.0 |];
+  check "-0.0 aliases 0.0" true (E.Cache.find cache k2 = Some [| 42.0 |]);
+  E.Cache.store cache k3 [| 7.0 |];
+  check "nan payloads collapse" true (E.Cache.find cache k4 = Some [| 7.0 |]);
+  check "kind distinguishes" true
+    (E.Cache.find cache (E.Cache.key ~kind:"other" [| 1.0; 0.0 |]) = None);
+  check "sample distinguishes" true
+    (E.Cache.find cache (E.Cache.key ~sample:3 ~kind:"m" [| 1.0; 0.0 |])
+    = None);
+  check "vector distinguishes" true
+    (E.Cache.find cache (E.Cache.key ~kind:"m" [| 1.0; 2.0 |]) = None);
+  Alcotest.(check (option string))
+    "kind accessor" (Some "m")
+    (Some (E.Cache.key_kind k1));
+  check "sample accessor" true
+    (E.Cache.key_sample k1 = None
+    && E.Cache.key_sample (E.Cache.key ~sample:3 ~kind:"m" [||]) = Some 3)
+
+let test_cache_counters_eviction () =
+  let cache = E.Cache.create ~capacity:4 () in
+  for i = 0 to 5 do
+    E.Cache.store cache
+      (E.Cache.key ~kind:"k" [| float_of_int i |])
+      [| float_of_int (i * 10) |]
+  done;
+  Alcotest.(check int) "capacity respected" 4 (E.Cache.length cache);
+  Alcotest.(check int) "evictions counted" 2 (E.Cache.evictions cache);
+  check "oldest evicted" true
+    (E.Cache.find cache (E.Cache.key ~kind:"k" [| 0.0 |]) = None);
+  check "newest kept" true
+    (E.Cache.find cache (E.Cache.key ~kind:"k" [| 5.0 |]) = Some [| 50.0 |]);
+  Alcotest.(check int) "hits" 1 (E.Cache.hits cache);
+  Alcotest.(check int) "misses" 1 (E.Cache.misses cache);
+  let v =
+    E.Cache.find_or_compute cache
+      (E.Cache.key ~kind:"k" [| 9.0 |])
+      (fun () -> [| 90.0 |])
+  in
+  check "find_or_compute computes" true (v = [| 90.0 |]);
+  check "then caches" true
+    (E.Cache.find cache (E.Cache.key ~kind:"k" [| 9.0 |]) = Some [| 90.0 |])
+
+let test_cache_roundtrip () =
+  let cache = E.Cache.create () in
+  let entries =
+    [
+      (E.Cache.key ~kind:"vco" [| 1.5e-6; 0.12e-6 |], [| 1.0; -2.5; 3.25e-12 |]);
+      (E.Cache.key ~sample:7 ~kind:"mc" [| 0.0 |], [| infinity; 1e308 |]);
+      (E.Cache.key ~kind:"empty" [||], [||]);
+    ]
+  in
+  List.iter (fun (k, v) -> E.Cache.store cache k v) entries;
+  let path = Filename.temp_file "hieropt" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      E.Cache.save cache path;
+      let loaded = E.Cache.load path in
+      Alcotest.(check int) "all entries survive" 3 (E.Cache.length loaded);
+      List.iter
+        (fun (k, v) ->
+          check "value roundtrips losslessly" true
+            (E.Cache.find loaded k = Some v))
+        entries;
+      check "load_if_exists hit" true (E.Cache.load_if_exists path <> None));
+  check "load_if_exists miss" true
+    (E.Cache.load_if_exists "/nonexistent/eval.cache" = None)
+
+(* ---- telemetry --------------------------------------------------- *)
+
+let test_telemetry () =
+  E.Telemetry.reset ();
+  E.Telemetry.incr "a";
+  E.Telemetry.incr ~by:4 "a";
+  E.Telemetry.set "b" 9;
+  Alcotest.(check int) "incr" 5 (E.Telemetry.counter "a");
+  Alcotest.(check int) "set" 9 (E.Telemetry.counter "b");
+  Alcotest.(check int) "unknown reads 0" 0 (E.Telemetry.counter "nope");
+  let x = E.Telemetry.time "t" (fun () -> 41 + 1) in
+  Alcotest.(check int) "time passes result through" 42 x;
+  check "timer accumulated" true (E.Telemetry.timer "t" >= 0.0);
+  E.Telemetry.warn ~key:"w" "threshold %d exceeded" 3;
+  Alcotest.(check int) "warn counts" 1 (E.Telemetry.counter "w");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "line mentions counters" true (contains (E.Telemetry.line ()) "a=5");
+  E.Telemetry.reset ();
+  Alcotest.(check int) "reset" 0 (E.Telemetry.counter "a")
+
+(* ---- cross-stack determinism: 1 worker vs 4 workers -------------- *)
+
+let zdt1 =
+  Repro_moo.Problem.create ~name:"zdt1-engine"
+    ~bounds:(Array.make 6 (0.0, 1.0))
+    ~objective_names:[| "f1"; "f2" |]
+    (fun v ->
+      let f1 = v.(0) in
+      let s = ref 0.0 in
+      for i = 1 to 5 do
+        s := !s +. v.(i)
+      done;
+      let g = 1.0 +. (9.0 *. !s /. 5.0) in
+      {
+        Repro_moo.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
+        constraint_violation = 0.0;
+      })
+
+let population_fingerprint pop =
+  Array.to_list pop
+  |> List.concat_map (fun ind ->
+         Array.to_list ind.Repro_moo.Nsga2.x
+         @ Array.to_list ind.Repro_moo.Nsga2.evaluation.Repro_moo.Problem.objectives)
+
+let test_nsga2_deterministic_under_parallelism () =
+  let optimise evaluator =
+    Repro_moo.Nsga2.optimise
+      ~options:
+        {
+          Repro_moo.Nsga2.default_options with
+          population = 12;
+          generations = 3;
+        }
+      ?evaluator zdt1 (Prng.create 4242)
+  in
+  let serial = optimise None in
+  let run size =
+    E.Pool.with_pool ~size (fun pool ->
+        let cache = E.Cache.create () in
+        let ev = Repro_moo.Problem.parallel_evaluator ~pool ~cache () in
+        let pop = optimise (Some ev) in
+        check "cache saw traffic" true (E.Cache.misses cache > 0);
+        pop)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "serial = 1 worker"
+    (population_fingerprint serial)
+    (population_fingerprint (run 1));
+  Alcotest.(check (list (float 0.0)))
+    "serial = 4 workers"
+    (population_fingerprint serial)
+    (population_fingerprint (run 4));
+  (* SPEA2 goes through the same injected-evaluator path *)
+  let spea evaluator =
+    Repro_moo.Spea2.optimise
+      ~options:
+        {
+          Repro_moo.Spea2.default_options with
+          population = 12;
+          archive = 8;
+          generations = 2;
+        }
+      ?evaluator zdt1 (Prng.create 17)
+  in
+  let spea_serial = spea None in
+  E.Pool.with_pool ~size:4 (fun pool ->
+      let ev = Repro_moo.Problem.parallel_evaluator ~pool () in
+      Alcotest.(check (list (float 0.0)))
+        "spea2 serial = 4 workers"
+        (population_fingerprint spea_serial)
+        (population_fingerprint (spea (Some ev))))
+
+let test_monte_carlo_deterministic_under_parallelism () =
+  let net = T.ring_vco ~vctl:0.5 T.vco_default in
+  let trial perturbed =
+    let s = Repro_circuit.Netlist.to_spice perturbed in
+    if Hashtbl.hash s mod 5 = 0 then Error "synthetic failure" else Ok s
+  in
+  let run size =
+    E.Pool.with_pool ~size (fun pool ->
+        Repro_spice.Monte_carlo.run ~pool ~n:40 ~prng:(Prng.create 2009) net
+          trial)
+  in
+  let a = run 1 and b = run 4 in
+  check "samples byte-identical" true
+    (a.Repro_spice.Monte_carlo.samples = b.Repro_spice.Monte_carlo.samples);
+  Alcotest.(check int)
+    "failures identical" a.Repro_spice.Monte_carlo.failures
+    b.Repro_spice.Monte_carlo.failures;
+  Alcotest.(check int) "all seeds used" 40 a.Repro_spice.Monte_carlo.seeds_used
+
+let test_monte_carlo_degenerate_warning () =
+  E.Telemetry.reset ();
+  let net = T.ring_vco ~vctl:0.5 T.vco_default in
+  let r =
+    Repro_spice.Monte_carlo.run ~n:10 ~prng:(Prng.create 1) net (fun _ ->
+        Error "dead")
+  in
+  Alcotest.(check int) "all trials failed" 10 r.Repro_spice.Monte_carlo.failures;
+  Alcotest.(check int)
+    "loud warning recorded" 1
+    (E.Telemetry.counter "mc.degenerate_runs");
+  (* healthy runs stay quiet *)
+  ignore
+    (Repro_spice.Monte_carlo.run ~n:10 ~prng:(Prng.create 1) net (fun _ ->
+         Ok ()));
+  Alcotest.(check int)
+    "no new warning" 1
+    (E.Telemetry.counter "mc.degenerate_runs");
+  E.Telemetry.reset ()
+
+let test_yield_deterministic_under_parallelism () =
+  let row =
+    match
+      Hieropt.Pll_problem.evaluate_point Test_core.pll_cfg ~kvco:600e6
+        ~ivco:6e-3 ~c1:10e-12 ~c2:0.5e-12 ~r1:4e3
+    with
+    | Ok row -> row
+    | Error e -> Alcotest.fail ("evaluate_point failed: " ^ e)
+  in
+  let run size =
+    E.Pool.with_pool ~size (fun pool ->
+        Hieropt.Yield.behavioural ~n:24 ~pool ~prng:(Prng.create 55)
+          Test_core.pll_cfg row)
+  in
+  check "yield estimate identical at 1 vs 4 workers" true (run 1 = run 4)
+
+let suite =
+  [
+    Alcotest.test_case "config: jobs resolution" `Quick test_config_jobs;
+    Alcotest.test_case "config: HIEROPT_FULL flag" `Quick test_config_flag;
+    Alcotest.test_case "parmap matches serial map" `Quick
+      test_parmap_matches_serial;
+    Alcotest.test_case "parmap preserves order" `Quick
+      test_parmap_order_preserved;
+    Alcotest.test_case "parmap empty + exception" `Quick
+      test_parmap_empty_and_exception;
+    Alcotest.test_case "parmap nested regions serialise" `Quick
+      test_parmap_nested;
+    Alcotest.test_case "pool shutdown" `Quick test_pool_shutdown;
+    Alcotest.test_case "seeded map worker-count independent" `Quick
+      test_map_seeded_deterministic;
+    Alcotest.test_case "cache key canonicalisation" `Quick
+      test_cache_key_canonical;
+    Alcotest.test_case "cache counters + FIFO eviction" `Quick
+      test_cache_counters_eviction;
+    Alcotest.test_case "cache save/load roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "telemetry registry" `Quick test_telemetry;
+    Alcotest.test_case "nsga2/spea2 identical at 1 vs 4 workers" `Quick
+      test_nsga2_deterministic_under_parallelism;
+    Alcotest.test_case "monte-carlo identical at 1 vs 4 workers" `Quick
+      test_monte_carlo_deterministic_under_parallelism;
+    Alcotest.test_case "monte-carlo degenerate-run warning" `Quick
+      test_monte_carlo_degenerate_warning;
+    Alcotest.test_case "yield identical at 1 vs 4 workers" `Quick
+      test_yield_deterministic_under_parallelism;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("moo-extra", Test_moo_extra.suite);
       ("behave", Test_behave.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
     ]

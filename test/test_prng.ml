@@ -30,6 +30,49 @@ let test_split_independent () =
   check "split differs from parent continuation" true
     (Prng.bits64 child <> Prng.bits64 a)
 
+let test_split_n_matches_sequential_splits () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let children = Prng.split_n a 5 in
+  for i = 0 to 4 do
+    let expect = Prng.split b in
+    Alcotest.(check int64)
+      (Printf.sprintf "child %d identical" i)
+      (Prng.bits64 expect)
+      (Prng.bits64 children.(i))
+  done;
+  (* parent streams advanced identically *)
+  Alcotest.(check int64) "parent continuation identical" (Prng.bits64 b)
+    (Prng.bits64 a);
+  check "split_n 0 allowed" true (Prng.split_n a 0 = [||]);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Prng.split_n: negative count") (fun () ->
+      ignore (Prng.split_n a (-1)))
+
+let test_split_streams_uncorrelated () =
+  (* crude independence check: mean of pairwise-product of uniforms from
+     sibling streams should be near E[u]E[v] = 0.25 *)
+  let parent = Prng.create 123 in
+  let streams = Prng.split_n parent 2 in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. (Prng.uniform streams.(0) *. Prng.uniform streams.(1))
+  done;
+  check "sibling streams uncorrelated" true
+    (Float.abs ((!acc /. float_of_int n) -. 0.25) < 0.01)
+
+let test_jump () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  Prng.jump a;
+  (* deterministic: jumping two equal states lands on equal states *)
+  Prng.jump b;
+  Alcotest.(check int64) "jump deterministic" (Prng.bits64 a) (Prng.bits64 b);
+  (* a jumped stream differs from the un-jumped continuation *)
+  let c = Prng.create 7 in
+  let d = Prng.copy c in
+  Prng.jump d;
+  check "jump moves the stream" true (Prng.bits64 c <> Prng.bits64 d)
+
 let test_uniform_range () =
   let t = Prng.create 3 in
   for _ = 1 to 10_000 do
@@ -119,6 +162,11 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "split_n pre-splitting" `Quick
+      test_split_n_matches_sequential_splits;
+    Alcotest.test_case "split-stream independence" `Quick
+      test_split_streams_uncorrelated;
+    Alcotest.test_case "jump" `Quick test_jump;
     Alcotest.test_case "uniform range" `Quick test_uniform_range;
     Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
     Alcotest.test_case "range bounds" `Quick test_range;
