@@ -182,15 +182,56 @@ let engine_bench (result : H.Hierarchy.result) =
     (cold = warm);
   Printf.printf "  %s\n" (E.Cache.stats_line cache)
 
+(* cold checkpointed run vs resume-from-completed-snapshot: the resumed
+   run replays every phase from the snapshot, so it measures pure
+   restore overhead — and must reproduce the artefacts byte-for-byte. *)
+let checkpoint_bench (result : H.Hierarchy.result) =
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hieropt_ckpt_bench" in
+  rm_rf dir;
+  let cfg ~resume =
+    H.Hierarchy.make_config ~scale:H.Hierarchy.tiny_scale ~model_dir:dir
+      ~checkpoint_every:1 ~resume ()
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let model = result.H.Hierarchy.model in
+  let cold, t_cold =
+    timed (fun () -> H.Hierarchy.run_system_level (cfg ~resume:false) ~model)
+  in
+  let resumed, t_resumed =
+    timed (fun () -> H.Hierarchy.run_system_level (cfg ~resume:true) ~model)
+  in
+  Printf.printf
+    "system-level run (tiny scale), snapshot flushed every generation:\n";
+  Printf.printf "  cold    %7.2f s\n" t_cold;
+  Printf.printf "  resumed %7.2f s   speedup %.1fx   bit-identical: %b\n"
+    t_resumed
+    (t_cold /. Float.max t_resumed 1e-9)
+    (compare
+       ( cold.H.Hierarchy.rows,
+         cold.H.Hierarchy.selected,
+         cold.H.Hierarchy.yield )
+       ( resumed.H.Hierarchy.rows,
+         resumed.H.Hierarchy.selected,
+         resumed.H.Hierarchy.yield )
+    = 0);
+  rm_rf dir
+
 let run_experiments () =
   let scale = H.Hierarchy.scale_of_env () in
   let full = scale = H.Hierarchy.paper_scale in
-  let cfg =
-    {
-      (H.Hierarchy.default_config ~scale ()) with
-      H.Hierarchy.model_dir = Some "hieropt_model";
-    }
-  in
+  let cfg = H.Hierarchy.make_config ~scale ~model_dir:"hieropt_model" () in
   section
     (Printf.sprintf "hierarchical flow — %s scale (seed %d, %d worker(s)); spec: %s"
        (if full then "paper" else "bench")
@@ -230,7 +271,10 @@ let run_experiments () =
   | None -> print_endline "(no selected design)");
   telemetry_line ();
   section "Ablation — variation-aware vs nominal-only system optimisation";
-  let ablation_cfg = { cfg with H.Hierarchy.use_variation = false } in
+  let ablation_cfg =
+    H.Hierarchy.make_config ~scale ~model_dir:"hieropt_model"
+      ~use_variation:false ()
+  in
   let without =
     H.Hierarchy.run_system_level ~progress ablation_cfg
       ~model:result.H.Hierarchy.model
@@ -248,6 +292,9 @@ let run_experiments () =
   telemetry_line ();
   section "Engine — deterministic parallel evaluation + cache";
   engine_bench result;
+  telemetry_line ();
+  section "Run lifecycle — cold vs resumed checkpointed run";
+  checkpoint_bench result;
   telemetry_line ();
   section "Engine — full telemetry";
   print_string (E.Telemetry.report ());

@@ -30,7 +30,29 @@ let full_t =
         ~doc:
           "Use the paper-scale workload (100x30 circuit GA, 100 MC \
            samples/point, 500 yield samples) instead of the fast bench \
-           scale.  Equivalent to HIEROPT_FULL=1.")
+           scale.  Equivalent to HIEROPT_FULL=1 or --scale paper.")
+
+let scale_t =
+  Arg.(
+    value
+    & opt (some (enum [ ("tiny", `Tiny); ("bench", `Bench); ("paper", `Paper) ]))
+        None
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:
+          "Workload scale: $(b,tiny) (seconds; also narrows the spec to \
+           the smoke-test band), $(b,bench) (minutes) or $(b,paper) (the \
+           paper's settings).  Overrides --full.")
+
+(* --scale wins over --full; tiny swaps in the smoke-test spec too *)
+let resolve_scale full scale =
+  match scale with
+  | Some `Tiny -> (Hieropt.Hierarchy.tiny_scale, Some Hieropt.Hierarchy.tiny_spec)
+  | Some `Bench -> (Hieropt.Hierarchy.bench_scale, None)
+  | Some `Paper -> (Hieropt.Hierarchy.paper_scale, None)
+  | None ->
+    ( (if full then Hieropt.Hierarchy.paper_scale
+       else Hieropt.Hierarchy.scale_of_env ()),
+      None )
 
 let jobs_t =
   Arg.(
@@ -45,8 +67,53 @@ let jobs_t =
 
 let setup_jobs jobs = Option.iter Repro_engine.Config.set_jobs jobs
 
-let scale_of_flag full =
-  if full then Hieropt.Hierarchy.paper_scale else Hieropt.Hierarchy.scale_of_env ()
+(* ---- run-lifecycle flags ---- *)
+
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot run state into the model directory every $(docv) GA \
+           generations / Monte-Carlo chunks (and at every phase \
+           boundary).  Snapshots are written atomically; Ctrl-C flushes \
+           a final snapshot and exits cleanly (a second Ctrl-C kills \
+           immediately).")
+
+let resume_t =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the model directory's snapshot.  A missing, \
+           corrupt or configuration-mismatched snapshot warns and \
+           restarts cold.  An interrupted-then-resumed run produces \
+           byte-identical artefacts to an uninterrupted one.")
+
+let interrupt_after_t =
+  let phases =
+    List.map
+      (fun p -> (Hieropt.Hierarchy.phase_name p, p))
+      Hieropt.Hierarchy.[ Circuit_ga; Variation; Model; System_ga ]
+  in
+  Arg.(
+    value
+    & opt (some (enum phases)) None
+    & info [ "interrupt-after" ] ~docv:"PHASE"
+        ~doc:
+          "Testing hook: flush the snapshot and stop (exit 130) once \
+           $(docv) completes, as an external interrupt at that boundary \
+           would.")
+
+let exit_interrupted () =
+  Fmt.epr "interrupted — snapshot flushed; re-run with --resume to continue@.";
+  exit 130
+
+let with_lifecycle ~checkpoint_every f =
+  if checkpoint_every <> None then
+    Repro_engine.Checkpoint.install_signal_handler ();
+  try f () with Repro_engine.Checkpoint.Interrupted -> exit_interrupted ()
 
 (* ---- simulate ---- *)
 
@@ -79,13 +146,26 @@ let simulate_cmd =
     setup_logging verbose;
     let net = Repro_circuit.Parser.parse_file deck in
     let cm = Repro_spice.Mna.compile net in
-    let dc = Repro_spice.Dcop.solve cm in
+    let dc =
+      match Repro_spice.Dcop.solve_result cm with
+      | Ok dc -> dc
+      | Error e ->
+        Fmt.epr "DC operating point failed: %s@."
+          (Repro_spice.Solver_error.to_string e);
+        exit 1
+    in
     Fmt.pr "DC operating point (%s, %d iterations)@." dc.Repro_spice.Dcop.strategy
       dc.Repro_spice.Dcop.iterations;
     let t_stop = Repro_util.Si.parse tstop and dt = Repro_util.Si.parse dt in
     let res =
-      Repro_spice.Transient.run cm
-        (Repro_spice.Transient.default_options ~t_stop ~dt)
+      match
+        Repro_spice.Transient.run_result cm
+          (Repro_spice.Transient.default_options ~t_stop ~dt)
+      with
+      | Ok res -> res
+      | Error e ->
+        Fmt.epr "transient failed: %s@." (Repro_spice.Solver_error.to_string e);
+        exit 1
     in
     let probes =
       if probes <> [] then probes
@@ -169,19 +249,21 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full jobs nominal_only model_dir verbose =
+  let run seed full scale jobs nominal_only model_dir checkpoint_every resume
+      interrupt_after verbose =
     setup_logging verbose;
     setup_jobs jobs;
+    let scale, spec = resolve_scale full scale in
     let cfg =
-      {
-        (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
-        Hieropt.Hierarchy.seed;
-        use_variation = not nominal_only;
-        model_dir = Some model_dir;
-      }
+      Hieropt.Hierarchy.make_config ~seed ~scale ?spec
+        ~use_variation:(not nominal_only) ~model_dir ?checkpoint_every ~resume
+        ()
     in
+    with_lifecycle ~checkpoint_every @@ fun () ->
     let result =
-      Hieropt.Hierarchy.run ~progress:(fun s -> Fmt.pr "[flow] %s@." s) cfg
+      Hieropt.Hierarchy.run
+        ~progress:(fun s -> Fmt.pr "[flow] %s@." s)
+        ?interrupt_after cfg
     in
     Fmt.pr "@.%s@." (Hieropt.Experiments.fig7_front result.Hieropt.Hierarchy.front);
     Fmt.pr "%s@." (Hieropt.Experiments.table1 result.Hieropt.Hierarchy.entries);
@@ -207,23 +289,22 @@ let flow_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ full_t $ jobs_t $ ablation_t $ model_dir_t
-      $ verbose_t)
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ ablation_t $ model_dir_t
+      $ checkpoint_every_t $ resume_t $ interrupt_after_t $ verbose_t)
 
 (* ---- system ---- *)
 
 let system_cmd =
-  let run seed full jobs model_dir verbose =
+  let run seed full scale jobs model_dir checkpoint_every resume verbose =
     setup_logging verbose;
     setup_jobs jobs;
     let model = Hieropt.Perf_table.load ~dir:model_dir in
+    let scale, spec = resolve_scale full scale in
     let cfg =
-      {
-        (Hieropt.Hierarchy.default_config ~scale:(scale_of_flag full) ()) with
-        Hieropt.Hierarchy.seed;
-        model_dir = Some model_dir;
-      }
+      Hieropt.Hierarchy.make_config ~seed ~scale ?spec ~model_dir
+        ?checkpoint_every ~resume ()
     in
+    with_lifecycle ~checkpoint_every @@ fun () ->
     let result =
       Hieropt.Hierarchy.run_system_level
         ~progress:(fun s -> Fmt.pr "[system] %s@." s)
@@ -238,7 +319,9 @@ let system_cmd =
       ~doc:"Re-run the system-level optimisation over a saved table model."
   in
   Cmd.v info
-    Term.(const run $ seed_t $ full_t $ jobs_t $ model_dir_t $ verbose_t)
+    Term.(
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ model_dir_t
+      $ checkpoint_every_t $ resume_t $ verbose_t)
 
 (* ---- yield ---- *)
 

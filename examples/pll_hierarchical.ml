@@ -5,22 +5,29 @@
 
    Run with:             dune exec examples/pll_hierarchical.exe
    Paper-scale workload: HIEROPT_FULL=1 dune exec examples/pll_hierarchical.exe
+   After a Ctrl-C:       dune exec examples/pll_hierarchical.exe -- --resume
 
    The table model is written to ./hieropt_model/ in the same .tbl format
-   the Verilog-A listings of the paper consume. *)
+   the Verilog-A listings of the paper consume; run state is snapshotted
+   there too, so an interrupted run resumes from the last completed
+   boundary and still produces byte-identical artefacts. *)
 
 module H = Hieropt
 
 let () =
+  let resume = Array.exists (( = ) "--resume") Sys.argv in
   let cfg =
-    {
-      (H.Hierarchy.default_config ~scale:(H.Hierarchy.scale_of_env ()) ()) with
-      H.Hierarchy.model_dir = Some "hieropt_model";
-    }
+    H.Hierarchy.make_config
+      ~scale:(H.Hierarchy.scale_of_env ())
+      ~model_dir:"hieropt_model" ~checkpoint_every:1 ~resume ()
   in
+  Repro_engine.Checkpoint.install_signal_handler ();
   Format.printf "spec: %a@.@." H.Spec.pp cfg.H.Hierarchy.spec;
   let result =
-    H.Hierarchy.run ~progress:(fun s -> Format.printf "[flow] %s@." s) cfg
+    try H.Hierarchy.run ~progress:(fun s -> Format.printf "[flow] %s@." s) cfg
+    with Repro_engine.Checkpoint.Interrupted ->
+      Format.eprintf "interrupted — re-run with --resume to continue@.";
+      exit 130
   in
   Format.printf "@.%s@." (H.Experiments.fig7_front result.H.Hierarchy.front);
   Format.printf "%s@." (H.Experiments.table1 result.H.Hierarchy.entries);

@@ -35,6 +35,29 @@ let bench_scale =
     yield_samples = 200;
   }
 
+let tiny_scale =
+  {
+    vco_population = 12;
+    vco_generations = 4;
+    mc_samples = 4;
+    front_max = 4;
+    pll_population = 12;
+    pll_generations = 3;
+    yield_samples = 30;
+  }
+
+(* a narrowed band the tiny GA can cover reliably — the smoke-test spec
+   used by CI and the checkpoint tests *)
+let tiny_spec =
+  {
+    Spec.default with
+    Spec.f_out_low = 200e6;
+    f_out_high = 280e6;
+    f_target = 250e6;
+    fref = 50e6;
+    n_div = 5;
+  }
+
 let scale_of_env () = if E.Config.full () then paper_scale else bench_scale
 
 type config = {
@@ -45,6 +68,8 @@ type config = {
   process : Repro_circuit.Process.spec;
   use_variation : bool;
   model_dir : string option;
+  checkpoint_every : int option;
+  resume : bool;
 }
 
 let default_config ?(scale = bench_scale) () =
@@ -56,7 +81,70 @@ let default_config ?(scale = bench_scale) () =
     process = Repro_circuit.Process.default;
     use_variation = true;
     model_dir = None;
+    checkpoint_every = None;
+    resume = false;
   }
+
+let validate_scale s =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let even_pop name v =
+    if v < 4 || v mod 2 <> 0 then
+      fail "Hierarchy.make_config: %s must be even and >= 4 (got %d)" name v
+  in
+  let positive name v =
+    if v <= 0 then fail "Hierarchy.make_config: %s must be positive (got %d)" name v
+  in
+  even_pop "vco_population" s.vco_population;
+  even_pop "pll_population" s.pll_population;
+  positive "vco_generations" s.vco_generations;
+  positive "pll_generations" s.pll_generations;
+  positive "mc_samples" s.mc_samples;
+  positive "yield_samples" s.yield_samples;
+  if s.front_max < 2 then
+    fail "Hierarchy.make_config: front_max must be >= 2 (got %d)" s.front_max
+
+let make_config ?(seed = 2009) ?(scale = bench_scale) ?(spec = Spec.default)
+    ?(measure = V.default_options) ?(process = Repro_circuit.Process.default)
+    ?(use_variation = true) ?model_dir ?checkpoint_every ?(resume = false) () =
+  validate_scale scale;
+  Spec.validate spec;
+  (match checkpoint_every with
+  | Some n when n < 1 ->
+    Printf.ksprintf invalid_arg
+      "Hierarchy.make_config: checkpoint_every must be >= 1 (got %d)" n
+  | _ -> ());
+  if (resume || checkpoint_every <> None) && model_dir = None then
+    invalid_arg
+      "Hierarchy.make_config: resume/checkpointing requires a model_dir to \
+       hold the snapshot";
+  { seed; scale; spec; measure; process; use_variation; model_dir;
+    checkpoint_every; resume }
+
+exception Degenerate_front of { stage : string; found : int; minimum : int }
+
+let () =
+  Printexc.register_printer (function
+    | Degenerate_front { stage; found; minimum } ->
+      Some
+        (Printf.sprintf
+           "Hierarchy: %s Pareto front is degenerate (%d designs, need >= %d)"
+           stage found minimum)
+    | _ -> None)
+
+type phase = Circuit_ga | Variation | Model | System_ga
+
+let phase_name = function
+  | Circuit_ga -> "circuit-ga"
+  | Variation -> "variation"
+  | Model -> "model"
+  | System_ga -> "system-ga"
+
+let phase_of_string = function
+  | "circuit-ga" -> Some Circuit_ga
+  | "variation" -> Some Variation
+  | "model" -> Some Model
+  | "system-ga" -> Some System_ga
+  | _ -> None
 
 type verification = {
   requested : V.performance;
@@ -109,6 +197,126 @@ let save_cache cfg cache progress =
 let evaluator_of cfg cache =
   Repro_moo.Problem.parallel_evaluator ~cache ~salt:(config_salt cfg) ()
 
+(* ---- checkpoint wiring ------------------------------------------- *)
+
+(* Unlike the cache salt, the snapshot fingerprint also covers seed and
+   scale: a snapshot replays intermediate state, so it must bind to the
+   exact run.  Worker count is deliberately excluded — results are
+   bit-identical for any [-j], so resuming with a different worker count
+   is sound.  [extra] binds standalone system-level snapshots to their
+   input model. *)
+let fingerprint ?(extra = "") cfg =
+  Printf.sprintf "%08x%s"
+    (Hashtbl.hash_param 256 256
+       (cfg.seed, cfg.scale, cfg.spec, cfg.measure, cfg.process,
+        cfg.use_variation))
+    extra
+
+let setup_checkpoint ?extra ~file cfg progress =
+  if cfg.checkpoint_every = None && not cfg.resume then None
+  else
+    match cfg.model_dir with
+    | None ->
+      (* reachable only through hand-built config records;
+         [make_config] rejects this combination *)
+      E.Telemetry.warn ~key:"checkpoint.no_model_dir"
+        "checkpointing requested without a model_dir — running without \
+         snapshots";
+      None
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir file in
+      let every = Option.value ~default:1 cfg.checkpoint_every in
+      let fp = fingerprint ?extra cfg in
+      if cfg.resume then begin
+        match E.Checkpoint.resume ~every ~fingerprint:fp path with
+        | Ok ck ->
+          say progress "checkpoint: resuming from %s" path;
+          Some ck
+        | Error reason ->
+          E.Telemetry.warn ~key:"checkpoint.cold_start"
+            "cannot resume from %s (%s) — starting cold" path reason;
+          Some (E.Checkpoint.create ~every ~fingerprint:fp path)
+      end
+      else Some (E.Checkpoint.create ~every ~fingerprint:fp path)
+
+let snapshot_of = Option.map E.Checkpoint.snapshot
+
+(* flush-and-raise at a phase boundary when the testing hook asks for it *)
+let maybe_stop_after ~interrupt_after ck phase =
+  match interrupt_after with
+  | Some p when p = phase ->
+    Option.iter E.Checkpoint.flush ck;
+    raise E.Checkpoint.Interrupted
+  | _ -> ()
+
+(* one checkpointable NSGA-II run: restore a paused generation loop when
+   the snapshot has one under [key], then step to completion, saving
+   state each generation and flushing every [every] *)
+let run_ga ~progress ~label ~key ~options ~evaluator ~ck problem prng =
+  let st =
+    match
+      Option.bind (snapshot_of ck) (fun snap ->
+          Nsga2.restore_state ~options problem snap ~key)
+    with
+    | Some st ->
+      say progress "%s level: resumed GA at generation %d/%d" label
+        (Nsga2.generation st) options.Nsga2.generations;
+      st
+    | None -> Nsga2.init ~options ~evaluator problem prng
+  in
+  while Nsga2.generation st < options.Nsga2.generations do
+    Nsga2.step ~evaluator problem st;
+    match ck with
+    | None -> ()
+    | Some c ->
+      Nsga2.save_state st (E.Checkpoint.snapshot c) ~key;
+      if Nsga2.generation st mod E.Checkpoint.every c = 0
+         || Nsga2.generation st = options.Nsga2.generations
+      then E.Checkpoint.flush c;
+      E.Checkpoint.guard (Some c)
+  done;
+  Nsga2.population st
+
+(* ---- phase persistence ------------------------------------------- *)
+
+let store_front snap front =
+  E.Snapshot.set_rows snap "front"
+    (Array.map Vco_problem.vector_of_design front);
+  E.Snapshot.set_int snap "front.done" 1
+
+let restore_front snap =
+  match snap with
+  | None -> None
+  | Some snap ->
+    if E.Snapshot.get_int snap "front.done" <> Some 1 then None
+    else
+      Option.bind (E.Snapshot.get_rows snap "front") (fun rows ->
+          let designs = Array.map Vco_problem.design_of_vector rows in
+          if Array.exists Option.is_none designs then None
+          else Some (Array.map Option.get designs))
+
+let store_entry_prefix snap entries =
+  E.Snapshot.set_rows snap "entries"
+    (Array.map Variation_model.row_of_entry entries)
+
+let restore_entries snap ~expect =
+  match snap with
+  | None -> (false, [||])
+  | Some snap -> (
+    match E.Snapshot.get_rows snap "entries" with
+    | None -> (false, [||])
+    | Some rows ->
+      let entries = Array.map Variation_model.entry_of_row rows in
+      if Array.exists Option.is_none entries || Array.length entries > expect
+      then (false, [||])
+      else
+        ( E.Snapshot.get_int snap "entries.done" = Some 1
+          && Array.length entries = expect,
+          Array.map Option.get entries ))
+
+(* ---- the flow ----------------------------------------------------- *)
+
 let pll_config_of cfg model =
   {
     (Pll_problem.default_config ~model) with
@@ -135,8 +343,8 @@ let verify_design cfg ~model (row : Pll_problem.table2_row) =
   in
   { requested; mapped; measured }
 
-let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator cfg ~model
-    ~front ~entries =
+let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
+    ?interrupt_after cfg ~model ~front ~entries =
   let scale = cfg.scale in
   let pll_cfg = pll_config_of cfg model in
   say progress "system level: NSGA-II %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
@@ -147,17 +355,21 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator cfg ~model
   let pll_problem = Pll_problem.problem pll_cfg in
   let pll_pop =
     E.Telemetry.time "phase.system-ga" @@ fun () ->
-    Nsga2.optimise
+    run_ga ~progress ~label:"system" ~key:"ga.system"
       ~options:
         {
           Nsga2.default_options with
           population = scale.pll_population;
           generations = scale.pll_generations;
         }
-      ?evaluator pll_problem prng
+      ~evaluator:(Option.value evaluator ~default:Repro_moo.Problem.serial_evaluator)
+      ~ck pll_problem prng
   in
+  maybe_stop_after ~interrupt_after ck System_ga;
   let pll_front = Nsga2.pareto_front pll_pop in
   say progress "system level: %d Pareto solutions" (Array.length pll_front);
+  (* rows, selection and verification are cheap, pure functions of the
+     GA output and the model — recomputed rather than persisted *)
   let rows =
     Array.to_list pll_front
     |> List.filter_map (Pll_problem.row_of_individual pll_cfg)
@@ -174,83 +386,178 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator cfg ~model
         E.Telemetry.time "phase.yield" @@ fun () ->
         Yield.behavioural ~n:scale.yield_samples
           ~prng:(Prng.create (cfg.seed + 99))
+          ?checkpoint:(Option.map (fun c -> (c, "yield")) ck)
           pll_cfg row)
       selected
   in
+  (match ck with
+  | Some c ->
+    E.Snapshot.set_int (E.Checkpoint.snapshot c) "run.done" 1;
+    E.Checkpoint.flush c
+  | None -> ());
   say progress "engine: %s" (E.Telemetry.line ());
   { front; entries; model; rows; selected; verification; yield;
     pll_config = pll_cfg }
 
 let run_system_level ?(progress = fun _ -> ()) cfg ~model =
   let cache = load_cache cfg in
-  let result =
-    run_system_level_inner ~progress ~evaluator:(evaluator_of cfg cache) cfg
-      ~model
-      ~front:
-        (Array.map
-           (fun e -> e.Variation_model.design)
-           (Perf_table.entries model))
-      ~entries:(Perf_table.entries model)
+  (* bind the snapshot to the input model too: the same config re-run
+     over a different saved model must not resume from stale state *)
+  let extra =
+    Printf.sprintf "-%08x"
+      (Hashtbl.hash_param 1000 1000 (Perf_table.entries model))
   in
-  save_cache cfg cache progress;
-  result
+  let ck = setup_checkpoint ~extra ~file:"system.snapshot" cfg progress in
+  let finish () =
+    let result =
+      run_system_level_inner ~progress ~evaluator:(evaluator_of cfg cache) ?ck
+        cfg ~model
+        ~front:
+          (Array.map
+             (fun e -> e.Variation_model.design)
+             (Perf_table.entries model))
+        ~entries:(Perf_table.entries model)
+    in
+    save_cache cfg cache progress;
+    result
+  in
+  try finish ()
+  with E.Checkpoint.Interrupted as e ->
+    save_cache cfg cache progress;
+    raise e
 
-let run ?(progress = fun _ -> ()) cfg =
+let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
   let scale = cfg.scale in
   let cache = load_cache cfg in
   let evaluator = evaluator_of cfg cache in
+  let ck = setup_checkpoint ~file:"run.snapshot" cfg progress in
+  let snap = snapshot_of ck in
   say progress "engine: %d worker(s), %s" (E.Config.jobs ())
     (E.Cache.stats_line cache);
-  (* step 1: circuit-level MOO *)
-  say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
-    scale.vco_population scale.vco_generations;
-  let prng = Prng.create cfg.seed in
-  let vco_problem = Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec () in
-  let pop =
-    E.Telemetry.time "phase.circuit-ga" @@ fun () ->
-    Nsga2.optimise
-      ~options:
-        {
-          Nsga2.default_options with
-          population = scale.vco_population;
-          generations = scale.vco_generations;
-        }
-      ~evaluator vco_problem prng
+  let body () =
+    (* step 1: circuit-level MOO *)
+    let front =
+      match restore_front snap with
+      | Some front ->
+        say progress "circuit level: restored %d Pareto designs from snapshot"
+          (Array.length front);
+        front
+      | None ->
+        say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
+          scale.vco_population scale.vco_generations;
+        let prng = Prng.create cfg.seed in
+        let vco_problem =
+          Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec ()
+        in
+        let pop =
+          E.Telemetry.time "phase.circuit-ga" @@ fun () ->
+          run_ga ~progress ~label:"circuit" ~key:"ga.circuit"
+            ~options:
+              {
+                Nsga2.default_options with
+                population = scale.vco_population;
+                generations = scale.vco_generations;
+              }
+            ~evaluator ~ck vco_problem prng
+        in
+        let full_front = Vco_problem.front_designs pop in
+        if Array.length full_front < 2 then
+          raise
+            (Degenerate_front
+               {
+                 stage = "circuit-level";
+                 found = Array.length full_front;
+                 minimum = 2;
+               });
+        say progress "circuit level: %d Pareto designs"
+          (Array.length full_front);
+        let front =
+          if scale.front_max = max_int then full_front
+          else Vco_problem.thin_front full_front ~max_points:scale.front_max
+        in
+        (match ck with
+        | Some c ->
+          let s = E.Checkpoint.snapshot c in
+          store_front s front;
+          (* GA state is superseded by the stored front *)
+          Nsga2.clear_state s ~key:"ga.circuit";
+          E.Checkpoint.flush c
+        | None -> ());
+        front
+    in
+    maybe_stop_after ~interrupt_after ck Circuit_ga;
+    (* step 2: variation modelling *)
+    let entries =
+      let n_front = Array.length front in
+      let complete, already = restore_entries snap ~expect:n_front in
+      if complete then begin
+        say progress "variation model: restored %d entries from snapshot"
+          (Array.length already);
+        already
+      end
+      else begin
+        if Array.length already > 0 then
+          say progress "variation model: %d/%d designs restored from snapshot"
+            (Array.length already) n_front;
+        say progress "variation model: %d MC samples x %d designs"
+          scale.mc_samples n_front;
+        let prefix = ref already in
+        let on_entry =
+          Option.map
+            (fun c i entry ->
+              let s = E.Checkpoint.snapshot c in
+              prefix := Array.append !prefix [| entry |];
+              store_entry_prefix s !prefix;
+              (* per-sample MC rows are superseded by the entry *)
+              E.Snapshot.remove s ("mc." ^ string_of_int i);
+              E.Checkpoint.flush c;
+              E.Checkpoint.guard (Some c))
+            ck
+        in
+        let entries =
+          E.Telemetry.time "phase.variation-mc" @@ fun () ->
+          Variation_model.analyse_front
+            ~options:
+              {
+                Variation_model.samples = scale.mc_samples;
+                process = cfg.process;
+                measure = cfg.measure;
+              }
+            ~progress:(fun i n ->
+              say progress "variation model: design %d/%d" (i + 1) n)
+            ~already ?on_entry ?checkpoint:ck
+            ~prng:(Prng.create (cfg.seed + 13))
+            front
+        in
+        (match ck with
+        | Some c ->
+          let s = E.Checkpoint.snapshot c in
+          store_entry_prefix s entries;
+          E.Snapshot.set_int s "entries.done" 1;
+          E.Checkpoint.flush c
+        | None -> ());
+        entries
+      end
+    in
+    maybe_stop_after ~interrupt_after ck Variation;
+    (* step 3: combined table model (cheap, pure — rebuilt every run) *)
+    let model = Perf_table.build entries in
+    (match cfg.model_dir with
+    | Some dir ->
+      Perf_table.save ~dir model;
+      say progress "table model saved to %s" dir
+    | None -> ());
+    maybe_stop_after ~interrupt_after ck Model;
+    (* steps 4-5 *)
+    let result =
+      run_system_level_inner ~progress ~evaluator ?ck ?interrupt_after cfg
+        ~model ~front ~entries
+    in
+    save_cache cfg cache progress;
+    result
   in
-  let full_front = Vco_problem.front_designs pop in
-  if Array.length full_front < 2 then
-    failwith "Hierarchy.run: circuit-level Pareto front is degenerate";
-  say progress "circuit level: %d Pareto designs" (Array.length full_front);
-  let front =
-    if scale.front_max = max_int then full_front
-    else Vco_problem.thin_front full_front ~max_points:scale.front_max
-  in
-  (* step 2: variation modelling *)
-  say progress "variation model: %d MC samples x %d designs" scale.mc_samples
-    (Array.length front);
-  let entries =
-    E.Telemetry.time "phase.variation-mc" @@ fun () ->
-    Variation_model.analyse_front
-      ~options:
-        {
-          Variation_model.samples = scale.mc_samples;
-          process = cfg.process;
-          measure = cfg.measure;
-        }
-      ~progress:(fun i n -> say progress "variation model: design %d/%d" (i + 1) n)
-      ~prng:(Prng.create (cfg.seed + 13))
-      front
-  in
-  (* step 3: combined table model *)
-  let model = Perf_table.build entries in
-  (match cfg.model_dir with
-  | Some dir ->
-    Perf_table.save ~dir model;
-    say progress "table model saved to %s" dir
-  | None -> ());
-  (* steps 4-5 *)
-  let result =
-    run_system_level_inner ~progress ~evaluator cfg ~model ~front ~entries
-  in
-  save_cache cfg cache progress;
-  result
+  try body ()
+  with E.Checkpoint.Interrupted as e ->
+    (* keep the warm cache for the resumed run *)
+    save_cache cfg cache progress;
+    raise e

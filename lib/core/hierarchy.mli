@@ -11,7 +11,18 @@
     [run] executes the whole flow deterministically from a seed;
     [ablation] re-runs step 4–5 with the variation model ignored during
     optimisation (the method of the paper's reference [10]) for the
-    improvement comparison. *)
+    improvement comparison.
+
+    {2 Run lifecycle}
+
+    With [checkpoint_every = Some n] the flow snapshots its state into
+    [model_dir ^ "/run.snapshot"] at every phase boundary and every [n]
+    GA generations / MC samples, using atomic tmp-file+rename writes.
+    With [resume = true] a matching snapshot (same format version and
+    config fingerprint) restarts the flow from the last completed
+    boundary; a missing, corrupt or mismatched snapshot degrades to a
+    loudly-warned cold start.  An interrupted-then-resumed run produces
+    byte-identical artefacts to an uninterrupted one. *)
 
 type scale = {
   vco_population : int;
@@ -32,6 +43,16 @@ val bench_scale : scale
     20 MC samples over ≤ 10 points, 24×8 system GA, 200 yield samples.
     Every code path is identical; only loop counts differ. *)
 
+val tiny_scale : scale
+(** Smoke-test workload (seconds): 12×4 circuit GA, 4 MC samples over
+    ≤ 4 points, 12×3 system GA, 30 yield samples.  Pair with
+    {!tiny_spec} — the default spec's band is too wide for a GA this
+    small to cover reliably. *)
+
+val tiny_spec : Spec.t
+(** A narrowed 200–280 MHz band spec sized for {!tiny_scale}; used by
+    the checkpoint tests and the CI interrupt-resume smoke job. *)
+
 val scale_of_env : unit -> scale
 (** [paper_scale] when {!Repro_engine.Config.full} reports that
     HIEROPT_FULL is set, else [bench_scale]. *)
@@ -44,9 +65,41 @@ type config = {
   process : Repro_circuit.Process.spec;
   use_variation : bool;
   model_dir : string option;  (** where to save the .tbl model files *)
+  checkpoint_every : int option;
+      (** flush a snapshot every N generations / MC chunks; [None]
+          disables checkpointing *)
+  resume : bool;  (** restart from [model_dir]'s snapshot if compatible *)
 }
 
 val default_config : ?scale:scale -> unit -> config
+
+val make_config :
+  ?seed:int ->
+  ?scale:scale ->
+  ?spec:Spec.t ->
+  ?measure:Repro_spice.Vco_measure.options ->
+  ?process:Repro_circuit.Process.spec ->
+  ?use_variation:bool ->
+  ?model_dir:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  unit ->
+  config
+(** Validating constructor — prefer this over record literals.
+    @raise Invalid_argument when a count is non-positive, a population
+    is odd or < 4, [front_max < 2], [checkpoint_every < 1], the spec is
+    inconsistent (see {!Spec.validate}), or resume/checkpointing is
+    requested without a [model_dir] to hold the snapshot. *)
+
+exception Degenerate_front of { stage : string; found : int; minimum : int }
+(** The named Pareto front has too few designs to build a model from. *)
+
+type phase = Circuit_ga | Variation | Model | System_ga
+
+val phase_name : phase -> string
+(** ["circuit-ga"], ["variation"], ["model"], ["system-ga"]. *)
+
+val phase_of_string : string -> phase option
 
 type verification = {
   requested : Repro_spice.Vco_measure.performance;
@@ -68,7 +121,7 @@ type result = {
   pll_config : Pll_problem.config;
 }
 
-val run : ?progress:(string -> unit) -> config -> result
+val run : ?progress:(string -> unit) -> ?interrupt_after:phase -> config -> result
 (** Evaluations run through the {!Repro_engine} subsystem: NSGA-II
     generations, Monte-Carlo trials and yield samples are spread over
     the shared domain pool ([-j] / HIEROPT_JOBS) and memoised in a
@@ -77,8 +130,17 @@ val run : ?progress:(string -> unit) -> config -> result
     [.tbl] artefacts.  Results are bit-identical for any worker count
     and with a cold or warm cache.  Engine telemetry is emitted through
     [progress].
-    @raise Failure when the circuit-level front is empty (no oscillating
-    design found — should not happen at the default scales). *)
+
+    [interrupt_after] is a testing hook: flush the snapshot and raise
+    {!Repro_engine.Checkpoint.Interrupted} once the given phase
+    completes, exactly as an external interrupt at that boundary would.
+    The same exception is raised mid-phase when
+    {!Repro_engine.Checkpoint.request_interrupt} fires (e.g. from the
+    CLI's SIGINT handler) — in both cases the eval cache is saved
+    before re-raising, so the resumed run starts warm.
+    @raise Degenerate_front when the circuit-level front has fewer than
+    2 designs (no oscillating design found — should not happen at the
+    default scales). *)
 
 val run_system_level :
   ?progress:(string -> unit) ->
@@ -87,7 +149,9 @@ val run_system_level :
   result
 (** Steps 4–5 only, over an existing model — used by the ablation bench
     to compare variation-aware vs nominal-only optimisation without
-    re-running the expensive circuit level. *)
+    re-running the expensive circuit level.  Checkpoints (if enabled)
+    go to [model_dir ^ "/system.snapshot"], fingerprinted by config
+    {e and} the input model. *)
 
 val verify_design :
   config -> model:Perf_table.t -> Pll_problem.table2_row -> verification

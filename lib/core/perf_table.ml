@@ -161,10 +161,29 @@ let save ~dir t =
     (Filename.concat dir "pareto.tbl")
     (I.Datafile.of_rows pareto_rows)
 
+exception
+  Invalid_table_file of {
+    path : string;
+    expected_columns : int;
+    found_columns : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_table_file { path; expected_columns; found_columns } ->
+      Some
+        (Printf.sprintf
+           "Perf_table.load: %s has %d input columns, expected %d" path
+           found_columns expected_columns)
+    | _ -> None)
+
 let load ~dir =
-  let file = I.Datafile.load (Filename.concat dir "pareto.tbl") in
-  if I.Datafile.columns file <> 18 then
-    failwith "Perf_table.load: pareto.tbl must have 18 input columns";
+  let path = Filename.concat dir "pareto.tbl" in
+  let file = I.Datafile.load path in
+  let found = I.Datafile.columns file in
+  if found <> 18 then
+    raise
+      (Invalid_table_file { path; expected_columns = 18; found_columns = found });
   let entries =
     Array.mapi
       (fun r row ->

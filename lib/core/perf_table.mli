@@ -61,6 +61,17 @@ val save : dir:string -> t -> unit
     p1_data.tbl .. p7_data.tbl and pareto.tbl into [dir] (created if
     missing). *)
 
+exception
+  Invalid_table_file of {
+    path : string;           (** the offending file *)
+    expected_columns : int;
+    found_columns : int;     (** what the file actually contains *)
+  }
+(** Structured rejection of an archive file with the wrong shape. *)
+
 val load : dir:string -> t
 (** Rebuild a model from a saved directory.
-    @raise Sys_error / Failure on missing or malformed files. *)
+    @raise Invalid_table_file when [dir/pareto.tbl] does not have the 18
+    input columns the archive format requires.
+    @raise Sys_error / Failure on missing or otherwise malformed
+    files. *)

@@ -25,18 +25,36 @@ val default_options : options
 
 val analyse_design :
   ?options:options ->
+  ?checkpoint:Repro_engine.Checkpoint.t * string ->
   prng:Repro_util.Prng.t ->
   Vco_problem.sized_design ->
   entry
 (** MC-characterise one design.  Failed trials (non-oscillating corners)
     are counted but excluded from the spread statistics; when fewer than
-    3 trials survive the spreads fall back to 0. *)
+    3 trials survive the spreads fall back to 0.  [checkpoint:(ck, key)]
+    persists/restores the completed Monte-Carlo sample prefix under
+    [key] (see {!Repro_spice.Monte_carlo.run}). *)
 
 val analyse_front :
   ?options:options ->
   ?progress:(int -> int -> unit) ->
+  ?already:entry array ->
+  ?on_entry:(int -> entry -> unit) ->
+  ?checkpoint:Repro_engine.Checkpoint.t ->
   prng:Repro_util.Prng.t ->
   Vco_problem.sized_design array ->
   entry array
 (** The paper's loop over the whole Pareto front; [progress i n] is
-    called before analysing design [i] of [n]. *)
+    called before analysing design [i] of [n].
+
+    Resume support: [already] supplies the completed entry prefix
+    (restored designs still consume their PRNG splits, so the remaining
+    designs see the same streams as an uninterrupted run), [on_entry] is
+    called after each {e freshly} analysed design (the caller persists
+    the growing prefix there), and [checkpoint] threads per-design
+    Monte-Carlo sample checkpoints under keys ["mc.<i>"]. *)
+
+val row_of_entry : entry -> float array
+(** Flat 19-float snapshot encoding; round-trips losslessly. *)
+
+val entry_of_row : float array -> entry option

@@ -32,6 +32,7 @@ val check_sample :
 val behavioural :
   ?n:int ->
   ?pool:Repro_engine.Pool.t ->
+  ?checkpoint:Repro_engine.Checkpoint.t * string ->
   prng:Repro_util.Prng.t ->
   Pll_problem.config ->
   Pll_problem.table2_row ->
@@ -39,7 +40,10 @@ val behavioural :
 (** [n] defaults to 500 (the paper's count).  Samples are evaluated in
     parallel over [pool] (default: the shared engine pool); all
     perturbations are drawn before dispatch, so the estimate is
-    bit-identical for any worker count. *)
+    bit-identical for any worker count.  [checkpoint:(ck, key)]
+    persists/restores the completed-sample prefix under [key] and may
+    raise {!Repro_engine.Checkpoint.Interrupted} at a sample
+    boundary. *)
 
 val transistor :
   ?n:int ->

@@ -1,0 +1,191 @@
+type value =
+  | Int of int
+  | Str of string
+  | Floats of float array
+  | Rows of float array array
+  | Bits of int64 array
+
+type t = {
+  fp : string;
+  table : (string, value) Hashtbl.t;
+}
+
+let magic = "hieropt-snapshot"
+let format_version = 1
+
+let create ~fingerprint = { fp = fingerprint; table = Hashtbl.create 64 }
+let fingerprint t = t.fp
+
+let set_int t k v = Hashtbl.replace t.table k (Int v)
+let set_string t k v = Hashtbl.replace t.table k (Str v)
+let set_floats t k v = Hashtbl.replace t.table k (Floats (Array.copy v))
+let set_rows t k v = Hashtbl.replace t.table k (Rows (Array.map Array.copy v))
+let set_bits t k v = Hashtbl.replace t.table k (Bits (Array.copy v))
+
+let get_int t k =
+  match Hashtbl.find_opt t.table k with Some (Int v) -> Some v | _ -> None
+
+let get_string t k =
+  match Hashtbl.find_opt t.table k with Some (Str v) -> Some v | _ -> None
+
+let get_floats t k =
+  match Hashtbl.find_opt t.table k with
+  | Some (Floats v) -> Some (Array.copy v)
+  | _ -> None
+
+let get_rows t k =
+  match Hashtbl.find_opt t.table k with
+  | Some (Rows v) -> Some (Array.map Array.copy v)
+  | _ -> None
+
+let get_bits t k =
+  match Hashtbl.find_opt t.table k with
+  | Some (Bits v) -> Some (Array.copy v)
+  | _ -> None
+
+let mem t k = Hashtbl.mem t.table k
+let remove t k = Hashtbl.remove t.table k
+
+(* ---- persistence ------------------------------------------------- *)
+(* One entry per line: a type tag, the %S-escaped key, then a payload
+   with no embedded whitespace (floats as lossless %h, words as hex,
+   rows '|'-separated).  Keys are written sorted so equal snapshots
+   produce byte-equal files. *)
+
+let floats_payload v =
+  String.concat "," (Array.to_list (Array.map (Printf.sprintf "%h") v))
+
+let bits_payload v =
+  String.concat "," (Array.to_list (Array.map (Printf.sprintf "%Lx") v))
+
+let parse_list f s =
+  if s = "" then [||]
+  else Array.of_list (List.map f (String.split_on_char ',' s))
+
+let parse_floats s = parse_list float_of_string s
+let parse_bits s = parse_list (fun w -> Scanf.sscanf w "%Lx%!" Fun.id) s
+
+let entry_line k = function
+  | Int v -> Printf.sprintf "i %S %d" k v
+  | Str v -> Printf.sprintf "s %S %S" k v
+  | Floats v -> Printf.sprintf "f %S %s" k (floats_payload v)
+  | Bits v -> Printf.sprintf "b %S %s" k (bits_payload v)
+  | Rows v ->
+    Printf.sprintf "r %S %s" k
+      (String.concat "|" (Array.to_list (Array.map floats_payload v)))
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Printf.fprintf oc "%s %d\n" magic format_version;
+     Printf.fprintf oc "fingerprint %S\n" t.fp;
+     let keys = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.table []) in
+     List.iter
+       (fun k -> output_string oc (entry_line k (Hashtbl.find t.table k) ^ "\n"))
+       keys;
+     Printf.fprintf oc "end %d\n" (List.length keys);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+type load_error =
+  | Missing of string
+  | Corrupt of string
+  | Version_mismatch of { found : int; expected : int }
+  | Fingerprint_mismatch of { found : string; expected : string }
+
+let load_error_to_string = function
+  | Missing path -> Printf.sprintf "no snapshot at %s" path
+  | Corrupt detail -> Printf.sprintf "corrupt snapshot (%s)" detail
+  | Version_mismatch { found; expected } ->
+    Printf.sprintf "snapshot format version %d, this build reads %d" found
+      expected
+  | Fingerprint_mismatch { found; expected } ->
+    Printf.sprintf
+      "snapshot fingerprint %s does not match this configuration (%s)" found
+      expected
+
+exception Bad of load_error
+
+let parse_entry t line =
+  let fail detail = raise (Bad (Corrupt detail)) in
+  if String.length line < 2 then fail ("malformed entry: " ^ line);
+  let tag = line.[0] in
+  let rest = String.sub line 2 (String.length line - 2) in
+  try
+    match tag with
+    | 'i' -> Scanf.sscanf rest "%S %d%!" (fun k v -> set_int t k v)
+    | 's' -> Scanf.sscanf rest "%S %S%!" (fun k v -> set_string t k v)
+    | 'f' ->
+      Scanf.sscanf rest "%S %s%!" (fun k p -> set_floats t k (parse_floats p))
+    | 'b' ->
+      Scanf.sscanf rest "%S %s%!" (fun k p -> set_bits t k (parse_bits p))
+    | 'r' ->
+      Scanf.sscanf rest "%S %s%!" (fun k p ->
+          let rows =
+            if p = "" then [||]
+            else
+              Array.of_list
+                (List.map parse_floats (String.split_on_char '|' p))
+          in
+          set_rows t k rows)
+    | _ -> fail (Printf.sprintf "unknown entry tag %C" tag)
+  with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    fail ("malformed entry: " ^ line)
+
+let load ~fingerprint path =
+  if not (Sys.file_exists path) then Error (Missing path)
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          let line () =
+            match input_line ic with
+            | l -> l
+            | exception End_of_file -> raise (Bad (Corrupt "truncated file"))
+          in
+          let found_magic, version =
+            try Scanf.sscanf (line ()) "%s %d%!" (fun m v -> (m, v))
+            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+              raise (Bad (Corrupt "bad header"))
+          in
+          if found_magic <> magic then raise (Bad (Corrupt "bad magic"));
+          if version <> format_version then
+            raise
+              (Bad (Version_mismatch { found = version; expected = format_version }));
+          let found_fp =
+            try Scanf.sscanf (line ()) "fingerprint %S%!" Fun.id
+            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+              raise (Bad (Corrupt "bad fingerprint line"))
+          in
+          if found_fp <> fingerprint then
+            raise
+              (Bad (Fingerprint_mismatch { found = found_fp; expected = fingerprint }));
+          let t = create ~fingerprint in
+          let count = ref 0 in
+          let rec entries () =
+            let l = line () in
+            match Scanf.sscanf l "end %d%!" Fun.id with
+            | n ->
+              if n <> !count then
+                raise
+                  (Bad
+                     (Corrupt
+                        (Printf.sprintf "entry count mismatch: %d read, %d declared"
+                           !count n)))
+            | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+              parse_entry t l;
+              incr count;
+              entries ()
+          in
+          entries ();
+          Ok t
+        with Bad e -> Error e)
+  end

@@ -1,0 +1,74 @@
+(** Versioned, self-describing run snapshots.
+
+    A snapshot is a typed key/value store persisted as plain text:
+
+    {v
+    hieropt-snapshot <format version>
+    fingerprint "<config fingerprint>"
+    <typed entries, one per line, keys sorted>
+    end <entry count>
+    v}
+
+    The header makes a file self-describing (magic + format version), the
+    fingerprint ties it to the configuration that produced it (same
+    config-salting idea as the eval cache, so a snapshot can never be
+    replayed against a different setup), and the trailing [end] line
+    detects truncation.  Floats are stored with the lossless [%h]
+    representation, PRNG states as raw hex words, so a save/load
+    round-trip is bit-exact.
+
+    {!save} is atomic: the file is written to [path ^ ".tmp"] and then
+    renamed over [path], so a crash ([kill -9] included) at any instant
+    leaves either the previous or the next complete snapshot on disk,
+    never a torn one. *)
+
+type t
+
+val format_version : int
+(** Current on-disk format version (1). *)
+
+val create : fingerprint:string -> t
+(** Fresh, empty snapshot bound to a config fingerprint. *)
+
+val fingerprint : t -> string
+
+(* ---- typed entries ---- *)
+
+val set_int : t -> string -> int -> unit
+val get_int : t -> string -> int option
+
+val set_string : t -> string -> string -> unit
+val get_string : t -> string -> string option
+
+val set_floats : t -> string -> float array -> unit
+val get_floats : t -> string -> float array option
+(** Lossless ([%h] text) float vectors. *)
+
+val set_rows : t -> string -> float array array -> unit
+val get_rows : t -> string -> float array array option
+(** A list of float vectors (GA populations, completed-sample
+    prefixes, ...); each row round-trips losslessly. *)
+
+val set_bits : t -> string -> int64 array -> unit
+val get_bits : t -> string -> int64 array option
+(** Raw 64-bit words (PRNG state captures). *)
+
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+
+(* ---- persistence ---- *)
+
+val save : t -> string -> unit
+(** Atomic write: tmp file + rename.  @raise Sys_error on I/O failure. *)
+
+type load_error =
+  | Missing of string  (** no snapshot file at this path *)
+  | Corrupt of string  (** bad magic, torn/truncated body, malformed entry *)
+  | Version_mismatch of { found : int; expected : int }
+  | Fingerprint_mismatch of { found : string; expected : string }
+
+val load_error_to_string : load_error -> string
+
+val load : fingerprint:string -> string -> (t, load_error) result
+(** Load and validate a snapshot.  Every failure mode is an [Error] —
+    callers are expected to warn and cold-start, never crash. *)

@@ -65,51 +65,135 @@ let eval_batch evaluator problem xs =
   let evs = Problem.evaluate_all ~evaluator problem xs in
   Array.map2 (fun x evaluation -> { x; evaluation }) xs evs
 
-let optimise ?(options = default_options)
-    ?(evaluator = Problem.serial_evaluator) ?on_generation problem prng =
+(* ---- step-wise API ------------------------------------------------ *)
+
+type state = {
+  options : options;
+  prng : Prng.t;
+  mutable generation : int;
+  mutable population : individual array;
+}
+
+let generation st = st.generation
+let population st = st.population
+
+let init ?(options = default_options) ?(evaluator = Problem.serial_evaluator)
+    problem prng =
   if options.population < 4 || options.population mod 2 <> 0 then
     invalid_arg "Nsga2.optimise: population must be even and >= 4";
-  let nv = Problem.n_vars problem in
-  let pm =
-    if options.mutation_prob > 0.0 then options.mutation_prob
-    else 1.0 /. float_of_int nv
-  in
   (* decision vectors are drawn serially (PRNG order is part of the
      reproducibility contract); only the pure evaluations are batched *)
   let initial = Array.make options.population [||] in
   for i = 0 to options.population - 1 do
     initial.(i) <- Problem.random_point problem prng
   done;
-  let pop = ref (eval_batch evaluator problem initial) in
-  (match on_generation with Some f -> f 0 !pop | None -> ());
-  for gen = 1 to options.generations do
-    let evals = evaluations !pop in
-    let ranks, fronts = Pareto.non_dominated_sort evals in
-    let crowd = population_crowding evals fronts in
-    (* offspring *)
-    let children = ref [] in
-    for _ = 1 to options.population / 2 do
-      let p1 = !pop.(tournament prng ranks crowd !pop).x in
-      let p2 = !pop.(tournament prng ranks crowd !pop).x in
-      let c1, c2 =
-        Variation.crossover_pair prng ~bounds:problem.Problem.bounds
-          ~crossover_prob:options.crossover_prob
-          ~eta_crossover:options.eta_crossover p1 p2
-      in
-      let mutate c =
-        Variation.mutate_in_place prng ~bounds:problem.Problem.bounds
-          ~mutation_prob:pm ~eta_mutation:options.eta_mutation c
-      in
-      mutate c1;
-      mutate c2;
-      children := c1 :: c2 :: !children
-    done;
-    let offspring = eval_batch evaluator problem (Array.of_list !children) in
-    let combined = Array.append !pop offspring in
-    pop := select_best options.population combined;
-    match on_generation with Some f -> f gen !pop | None -> ()
+  { options; prng; generation = 0;
+    population = eval_batch evaluator problem initial }
+
+let step ?(evaluator = Problem.serial_evaluator) problem st =
+  let options = st.options and prng = st.prng in
+  let pm =
+    if options.mutation_prob > 0.0 then options.mutation_prob
+    else 1.0 /. float_of_int (Problem.n_vars problem)
+  in
+  let pop = st.population in
+  let evals = evaluations pop in
+  let ranks, fronts = Pareto.non_dominated_sort evals in
+  let crowd = population_crowding evals fronts in
+  (* offspring *)
+  let children = ref [] in
+  for _ = 1 to options.population / 2 do
+    let p1 = pop.(tournament prng ranks crowd pop).x in
+    let p2 = pop.(tournament prng ranks crowd pop).x in
+    let c1, c2 =
+      Variation.crossover_pair prng ~bounds:problem.Problem.bounds
+        ~crossover_prob:options.crossover_prob
+        ~eta_crossover:options.eta_crossover p1 p2
+    in
+    let mutate c =
+      Variation.mutate_in_place prng ~bounds:problem.Problem.bounds
+        ~mutation_prob:pm ~eta_mutation:options.eta_mutation c
+    in
+    mutate c1;
+    mutate c2;
+    children := c1 :: c2 :: !children
   done;
-  !pop
+  let offspring = eval_batch evaluator problem (Array.of_list !children) in
+  let combined = Array.append pop offspring in
+  st.population <- select_best options.population combined;
+  st.generation <- st.generation + 1
+
+let optimise ?options ?evaluator ?on_generation problem prng =
+  let st = init ?options ?evaluator problem prng in
+  (match on_generation with Some f -> f 0 st.population | None -> ());
+  while st.generation < st.options.generations do
+    step ?evaluator problem st;
+    match on_generation with
+    | Some f -> f st.generation st.population
+    | None -> ()
+  done;
+  st.population
+
+(* ---- state serialisation ------------------------------------------ *)
+(* An individual is one flat row: x | constraint_violation | objectives.
+   The split points are recovered from the problem's n_vars, so a row of
+   the wrong arity fails decoding instead of mis-slicing. *)
+
+let encode_individual ind =
+  Array.concat
+    [ ind.x; [| ind.evaluation.Problem.constraint_violation |];
+      ind.evaluation.Problem.objectives ]
+
+let decode_individual ~n_vars row =
+  let len = Array.length row in
+  if len < n_vars + 1 then None
+  else
+    Some
+      {
+        x = Array.sub row 0 n_vars;
+        evaluation =
+          {
+            Problem.constraint_violation = row.(n_vars);
+            objectives = Array.sub row (n_vars + 1) (len - n_vars - 1);
+          };
+      }
+
+module Snapshot = Repro_engine.Snapshot
+
+let save_state st snap ~key =
+  Snapshot.set_int snap (key ^ ".generation") st.generation;
+  Snapshot.set_bits snap (key ^ ".prng") (Prng.to_bits st.prng);
+  Snapshot.set_rows snap (key ^ ".population")
+    (Array.map encode_individual st.population)
+
+let clear_state snap ~key =
+  Snapshot.remove snap (key ^ ".generation");
+  Snapshot.remove snap (key ^ ".prng");
+  Snapshot.remove snap (key ^ ".population")
+
+let restore_state ~options problem snap ~key =
+  match
+    ( Snapshot.get_int snap (key ^ ".generation"),
+      Snapshot.get_bits snap (key ^ ".prng"),
+      Snapshot.get_rows snap (key ^ ".population") )
+  with
+  | Some generation, Some bits, Some rows -> (
+    match Prng.of_bits bits with
+    | None -> None
+    | Some prng ->
+      let n_vars = Problem.n_vars problem in
+      let inds = Array.map (decode_individual ~n_vars) rows in
+      if
+        generation < 0
+        || generation > options.generations
+        || Array.length inds <> options.population
+        || Array.exists Option.is_none inds
+      then None
+      else
+        Some
+          { options; prng; generation;
+            population = Array.map Option.get inds })
+  | _ -> None
 
 let pareto_front pop =
   let evals = evaluations pop in

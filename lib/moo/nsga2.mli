@@ -35,7 +35,54 @@ val optimise :
     identical because all variation randomness is drawn before the
     batch is dispatched).  [on_generation] is called after each
     generation with the current population (for progress logging and
-    convergence traces). *)
+    convergence traces).
+
+    [optimise] is [init] followed by [generations] calls to [step] —
+    the step-wise API below gives callers the same loop one generation
+    at a time, for checkpointing. *)
+
+(* ---- step-wise API (checkpointable generation loop) ---- *)
+
+type state
+(** A paused GA: options, the evolving PRNG, the generation counter and
+    the current (already evaluated) population. *)
+
+val init :
+  ?options:options ->
+  ?evaluator:Problem.evaluator ->
+  Problem.t ->
+  Repro_util.Prng.t ->
+  state
+(** Draw and evaluate the initial population (generation 0).
+    @raise Invalid_argument unless the population is even and >= 4. *)
+
+val step : ?evaluator:Problem.evaluator -> Problem.t -> state -> unit
+(** Advance one generation.  [optimise] ≡ [init] + [generations] × [step]
+    bit-exactly. *)
+
+val generation : state -> int
+val population : state -> individual array
+
+(* ---- state serialisation (resume support) ---- *)
+
+val save_state : state -> Repro_engine.Snapshot.t -> key:string -> unit
+(** Store generation counter, PRNG state and population under
+    [key ^ ".generation" / ".prng" / ".population"].  A restored state
+    continues bit-identically to the saved one. *)
+
+val restore_state :
+  options:options ->
+  Problem.t ->
+  Repro_engine.Snapshot.t ->
+  key:string ->
+  state option
+(** [None] when the keys are absent or the stored state is malformed /
+    inconsistent with [options] and the problem's arity (callers then
+    cold-start). *)
+
+val clear_state : Repro_engine.Snapshot.t -> key:string -> unit
+(** Drop the three state keys (after the phase's final artefact has been
+    persisted, to keep snapshots small). *)
 
 val pareto_front : individual array -> individual array
 (** Feasible rank-0 subset of a population, deduplicated on objective

@@ -11,7 +11,10 @@ exception No_convergence of string
 let try_newton ?max_iter c x ~gmin ~source_scale =
   Mna.newton ?max_iter c ~x ~time:0.0 ~gmin ~source_scale ~cap_mode:Mna.Dc
 
-let solve ?x0 c =
+let fail detail =
+  Error (Solver_error.No_convergence { stage = "dcop"; detail })
+
+let solve_result ?x0 c =
   let n = Mna.size c in
   let fresh () =
     match x0 with
@@ -25,7 +28,8 @@ let solve ?x0 c =
   let x = fresh () in
   let r = try_newton c x ~gmin:1e-12 ~source_scale:1.0 in
   total := !total + r.Mna.iterations;
-  if r.Mna.converged then { solution = x; iterations = !total; strategy = "direct" }
+  if r.Mna.converged then
+    Ok { solution = x; iterations = !total; strategy = "direct" }
   else begin
     (* 2: gmin stepping, reusing each stage's solution *)
     let x = fresh () in
@@ -38,7 +42,7 @@ let solve ?x0 c =
           r.Mna.converged)
         gmins
     in
-    if ok then { solution = x; iterations = !total; strategy = "gmin" }
+    if ok then Ok { solution = x; iterations = !total; strategy = "gmin" }
     else begin
       (* 3: source stepping at a mild gmin *)
       let x = Vec.create n in
@@ -56,12 +60,21 @@ let solve ?x0 c =
         let r = try_newton c x ~gmin:1e-12 ~source_scale:1.0 in
         total := !total + r.Mna.iterations;
         if r.Mna.converged then
-          { solution = x; iterations = !total; strategy = "source" }
-        else raise (No_convergence "source stepping converged but polish failed")
+          Ok { solution = x; iterations = !total; strategy = "source" }
+        else fail "source stepping converged but polish failed"
       end
-      else raise (No_convergence "direct, gmin and source stepping all failed")
+      else fail "direct, gmin and source stepping all failed"
     end
   end
+
+let solve ?x0 c =
+  match solve_result ?x0 c with
+  | Ok r -> r
+  | Error (Solver_error.No_convergence { detail; _ }) ->
+    raise (No_convergence detail)
+  | Error (Solver_error.Step_underflow _ as e) ->
+    (* unreachable from DC analysis, but keep the wrapper total *)
+    raise (No_convergence (Solver_error.to_string e))
 
 let node_voltage c result name =
   let node = Mna.node_of_name c name in

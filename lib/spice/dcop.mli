@@ -9,10 +9,21 @@ type result = {
 
 exception No_convergence of string
 
-val solve : ?x0:Repro_linalg.Vec.t -> Mna.compiled -> result
+val solve_result :
+  ?x0:Repro_linalg.Vec.t ->
+  Mna.compiled ->
+  (result, Solver_error.t) Stdlib.result
 (** Find the DC operating point.  [x0] seeds the Newton iteration (e.g.
-    a previous solution during a sweep). @raise No_convergence when all
-    continuation strategies fail. *)
+    a previous solution during a sweep).  Non-convergence of every
+    continuation strategy is an [Error] carrying the structured
+    {!Solver_error.t} — this is the primary entry point; {!solve} is a
+    thin raising wrapper kept for compatibility.
+    @raise Invalid_argument on an [x0] size mismatch (a programming
+    error, not a solver failure). *)
+
+val solve : ?x0:Repro_linalg.Vec.t -> Mna.compiled -> result
+(** Raising wrapper over {!solve_result}.
+    @raise No_convergence when all continuation strategies fail. *)
 
 val node_voltage : Mna.compiled -> result -> string -> float
 (** Voltage of a named node in a solved operating point.

@@ -16,8 +16,28 @@ type 'a run_result = {
    too-small [failures] field. *)
 let default_warn_threshold = 0.5
 
+type 'a codec = {
+  encode : 'a -> float array;
+  decode : float array -> 'a;
+}
+
+(* checkpoint rows: [| 1.0; payload... |] for Ok, [| 0.0 |] for Error.
+   Failure messages are not persisted — only successful samples and the
+   failure count feed the statistics, so a placeholder restores the run
+   bit-identically. *)
+let encode_outcome codec = function
+  | Ok a -> Array.append [| 1.0 |] (codec.encode a)
+  | Error _ -> [| 0.0 |]
+
+let decode_outcome codec row =
+  if Array.length row >= 1 && row.(0) = 1.0 then
+    Ok (codec.decode (Array.sub row 1 (Array.length row - 1)))
+  else if Array.length row = 1 && row.(0) = 0.0 then
+    Error "failed trial (restored from checkpoint)"
+  else failwith "Monte_carlo: malformed checkpoint row"
+
 let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshold)
-    ~n ~prng net trial =
+    ?checkpoint ~n ~prng net trial =
   if n <= 0 then invalid_arg "Monte_carlo.run: n must be positive";
   (* per-trial streams are split before dispatch, and outcomes are
      collected in trial order, so results are identical to the serial
@@ -25,9 +45,20 @@ let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshol
   let module E = Repro_engine in
   let outcomes =
     E.Telemetry.time "mc.wall" @@ fun () ->
-    E.Parmap.map_seeded ?pool ~prng
-      (fun stream () -> trial (Process.sample spec stream net))
-      (Array.make n ())
+    match checkpoint with
+    | None ->
+      E.Parmap.map_seeded ?pool ~prng
+        (fun stream () -> trial (Process.sample spec stream net))
+        (Array.make n ())
+    | Some (ck, key, codec) ->
+      (* same index-stable streams as map_seeded, but evaluated in
+         resumable chunks with the completed prefix persisted under
+         [key] — bit-identical to the un-checkpointed path *)
+      let streams = Prng.split_n prng n in
+      E.Checkpoint.resumable_map ?pool ck ~key
+        ~encode:(encode_outcome codec) ~decode:(decode_outcome codec)
+        (fun stream -> trial (Process.sample spec stream net))
+        streams
   in
   let ok = ref [] and failures = ref 0 in
   for i = n - 1 downto 0 do

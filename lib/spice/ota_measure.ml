@@ -25,9 +25,9 @@ let characterise ?(vdd = 1.2) ?(cload = 1e-12) ?(f_start = 10.0)
     ?(f_stop = 50e9) ?(points = 160) params =
   let net = T.two_stage_ota ~vdd ~cload params in
   let compiled = Mna.compile net in
-  match Dcop.solve compiled with
-  | exception Dcop.No_convergence msg -> Error (Bias_failure msg)
-  | op ->
+  match Dcop.solve_result compiled with
+  | Error e -> Error (Bias_failure (Solver_error.to_string e))
+  | Ok op ->
     let ac = Ac.linearise compiled op in
     let sweep =
       Ac.logsweep ac ~input:"Vinp" ~output:"out" ~f_start ~f_stop ~points

@@ -1,0 +1,9 @@
+type t =
+  | No_convergence of { stage : string; detail : string }
+  | Step_underflow of { time : float }
+
+let to_string = function
+  | No_convergence { stage; detail } -> Printf.sprintf "%s: %s" stage detail
+  | Step_underflow { time } -> Printf.sprintf "step failure at t=%g" time
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

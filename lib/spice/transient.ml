@@ -39,13 +39,21 @@ let source_current_wave r name = wave_of_index r (Mna.branch_index r.compiled na
 let final_solution r = r.states.(Array.length r.states - 1)
 let total_newton_iterations r = r.newton_total
 
-let run compiled opts =
+(* internal control-flow escape for the result-based driver *)
+exception Abort of Solver_error.t
+
+let run_result compiled opts =
   if opts.t_stop <= 0.0 || opts.dt <= 0.0 then
     invalid_arg "Transient.run: t_stop and dt must be positive";
+  match
+    begin
   let n = Mna.size compiled in
   let x =
     if opts.skip_dcop then Vec.create n
-    else Vec.copy (Dcop.solve compiled).Dcop.solution
+    else
+      match Dcop.solve_result compiled with
+      | Ok dc -> Vec.copy dc.Dcop.solution
+      | Error e -> raise (Abort e)
   in
   (* start-up kick: override chosen node voltages *)
   List.iter
@@ -108,7 +116,8 @@ let run compiled opts =
       if report.Mna.converged then Some x_try else None
     in
     let rec attempt h_try =
-      if h_try < opts.dt_min then raise (Step_failure !t);
+      if h_try < opts.dt_min then
+        raise (Abort (Solver_error.Step_underflow { time = !t }));
       match step_ok h_try with
       | Some x_new -> (h_try, x_new)
       | None -> attempt (h_try /. 2.0)
@@ -135,3 +144,14 @@ let run compiled opts =
     states = Array.of_list (List.rev !rec_states);
     newton_total = !newton_total;
   }
+    end
+  with
+  | r -> Ok r
+  | exception Abort e -> Error e
+
+let run compiled opts =
+  match run_result compiled opts with
+  | Ok r -> r
+  | Error (Solver_error.Step_underflow { time }) -> raise (Step_failure time)
+  | Error (Solver_error.No_convergence { detail; _ }) ->
+    raise (Dcop.No_convergence detail)

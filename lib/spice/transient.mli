@@ -24,7 +24,19 @@ exception Step_failure of float
 
 type result
 
+val run_result :
+  Mna.compiled -> options -> (result, Solver_error.t) Stdlib.result
+(** Run the transient analysis.  DC-start non-convergence and step-size
+    underflow are returned as structured {!Solver_error.t} values — this
+    is the primary entry point; {!run} is a thin raising wrapper kept
+    for compatibility.
+    @raise Invalid_argument on non-positive [t_stop]/[dt] or an [ic]
+    override of ground (programming errors, not solver failures). *)
+
 val run : Mna.compiled -> options -> result
+(** Raising wrapper over {!run_result}.
+    @raise Step_failure on step-size underflow.
+    @raise Dcop.No_convergence when the starting DC solve fails. *)
 
 val times : result -> float array
 

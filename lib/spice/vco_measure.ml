@@ -97,11 +97,12 @@ let run_osc opts net vctl =
         Transient.ic = startup_ic opts;
       }
     in
-    match Transient.run compiled tr_opts with
-    | exception Dcop.No_convergence msg -> Error (Analysis_error msg)
-    | exception Transient.Step_failure t ->
-      Error (Analysis_error (Printf.sprintf "step failure at t=%g" t))
-    | res ->
+    match Transient.run_result compiled tr_opts with
+    | Error (Solver_error.No_convergence { detail; _ }) ->
+      Error (Analysis_error detail)
+    | Error (Solver_error.Step_underflow _ as e) ->
+      Error (Analysis_error (Solver_error.to_string e))
+    | Ok res ->
       let t_start = 0.5 *. t_stop in
       let stage_wave i =
         Waveform.window

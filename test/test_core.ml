@@ -334,32 +334,64 @@ let test_variation_entry_pp () =
   in
   Alcotest.(check bool) "pp mentions spread" true (contains s "∆")
 
-(* micro integration run: the full 5-step flow at a tiny scale *)
+(* ---- config construction ---- *)
+
+let test_make_config_validation () =
+  let rejected f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  (* the defaults are fine *)
+  ignore (H.Hierarchy.make_config ());
+  ignore (H.Hierarchy.make_config ~scale:H.Hierarchy.tiny_scale ());
+  Alcotest.(check bool) "odd population" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~scale:{ H.Hierarchy.tiny_scale with H.Hierarchy.vco_population = 13 }
+           ()));
+  Alcotest.(check bool) "tiny population" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~scale:{ H.Hierarchy.tiny_scale with H.Hierarchy.pll_population = 2 }
+           ()));
+  Alcotest.(check bool) "zero generations" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~scale:{ H.Hierarchy.tiny_scale with H.Hierarchy.vco_generations = 0 }
+           ()));
+  Alcotest.(check bool) "negative samples" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~scale:{ H.Hierarchy.tiny_scale with H.Hierarchy.mc_samples = -1 }
+           ()));
+  Alcotest.(check bool) "front_max of 1" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~scale:{ H.Hierarchy.tiny_scale with H.Hierarchy.front_max = 1 }
+           ()));
+  Alcotest.(check bool) "invalid spec" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config
+           ~spec:{ H.Spec.default with H.Spec.f_out_high = 1e6 }
+           ()));
+  Alcotest.(check bool) "checkpoint_every 0" true
+    (rejected (fun () ->
+         H.Hierarchy.make_config ~model_dir:"m" ~checkpoint_every:0 ()));
+  Alcotest.(check bool) "checkpointing needs model_dir" true
+    (rejected (fun () -> H.Hierarchy.make_config ~checkpoint_every:1 ()));
+  Alcotest.(check bool) "resume needs model_dir" true
+    (rejected (fun () -> H.Hierarchy.make_config ~resume:true ()))
+
+(* micro integration run: the full 5-step flow at a tiny scale —
+   tiny_spec narrows the band to what random sizings reach in two
+   generations (they cluster around fmax ~ 200-400 MHz) *)
 let test_micro_flow () =
-  let scale =
-    {
-      H.Hierarchy.vco_population = 12;
-      vco_generations = 4;
-      mc_samples = 4;
-      front_max = 4;
-      pll_population = 12;
-      pll_generations = 3;
-      yield_samples = 30;
-    }
+  let cfg =
+    H.Hierarchy.make_config ~scale:H.Hierarchy.tiny_scale
+      ~spec:H.Hierarchy.tiny_spec ()
   in
-  (* a band matched to what random sizings reach in two generations
-     (random designs cluster around fmax ~ 200-400 MHz) *)
-  let spec =
-    {
-      H.Spec.default with
-      H.Spec.f_out_low = 200e6;
-      f_out_high = 280e6;
-      f_target = 250e6;
-      fref = 50e6;
-      n_div = 5;
-    }
-  in
-  let cfg = { (H.Hierarchy.default_config ~scale ()) with H.Hierarchy.spec } in
   let result = H.Hierarchy.run cfg in
   Alcotest.(check bool) "front non-empty" true
     (Array.length result.H.Hierarchy.front >= 2);
@@ -392,6 +424,7 @@ let suite =
     Alcotest.test_case "table2 rendering" `Quick test_table2_rendering;
     Alcotest.test_case "fig8 rendering" `Quick test_fig8_rendering;
     Alcotest.test_case "scales" `Quick test_scales;
+    Alcotest.test_case "make_config validation" `Quick test_make_config_validation;
     Alcotest.test_case "variation entry pp" `Quick test_variation_entry_pp;
     Alcotest.test_case "micro end-to-end flow" `Slow test_micro_flow;
   ]

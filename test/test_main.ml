@@ -17,4 +17,5 @@ let () =
       ("behave", Test_behave.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
+      ("checkpoint", Test_checkpoint.suite);
     ]

@@ -259,6 +259,32 @@ let test_spread_of_samples () =
   checkf 1e-9 "nominal kept" 10.0 s.S.Monte_carlo.nominal;
   checkf 1e-9 "rel spread" 0.1 s.S.Monte_carlo.rel_spread
 
+(* ---- result-based solver API ---- *)
+
+let test_solve_result_matches_solve () =
+  let net = C.Topologies.voltage_divider ~r1:1e3 ~r2:3e3 ~vin:2.0 in
+  let cm = S.Mna.compile net in
+  (match S.Dcop.solve_result cm with
+  | Error e -> Alcotest.failf "solve_result: %s" (S.Solver_error.to_string e)
+  | Ok r ->
+    Alcotest.(check bool) "same solution as the raising API" true
+      (compare r (S.Dcop.solve cm) = 0));
+  let opts = S.Transient.default_options ~t_stop:1e-6 ~dt:1e-8 in
+  match S.Transient.run_result cm opts with
+  | Error e -> Alcotest.failf "run_result: %s" (S.Solver_error.to_string e)
+  | Ok res ->
+    Alcotest.(check bool) "same transient as the raising API" true
+      (compare res (S.Transient.run cm opts) = 0)
+
+let test_solver_error_rendering () =
+  Alcotest.(check string) "no-convergence"
+    "dcop: direct, gmin and source stepping all failed"
+    (S.Solver_error.to_string
+       (S.Solver_error.No_convergence
+          { stage = "dcop"; detail = "direct, gmin and source stepping all failed" }));
+  Alcotest.(check string) "step underflow" "step failure at t=1e-09"
+    (S.Solver_error.to_string (S.Solver_error.Step_underflow { time = 1e-9 }))
+
 let suite =
   [
     Alcotest.test_case "voltage divider" `Quick test_voltage_divider;
@@ -281,4 +307,6 @@ let suite =
     Alcotest.test_case "monte carlo counts" `Quick test_monte_carlo_counts;
     Alcotest.test_case "monte carlo failures" `Quick test_monte_carlo_failures_counted;
     Alcotest.test_case "spread of samples" `Quick test_spread_of_samples;
+    Alcotest.test_case "result-based solver API" `Quick test_solve_result_matches_solve;
+    Alcotest.test_case "solver error rendering" `Quick test_solver_error_rendering;
   ]
