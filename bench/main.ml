@@ -228,6 +228,82 @@ let checkpoint_bench (result : H.Hierarchy.result) =
     = 0);
   rm_rf dir
 
+(* loopback model server under load: queries/sec and latency quantiles
+   at several worker counts, plus the served-vs-local bit-identity
+   check that justifies offloading evaluation at all *)
+let serve_bench (result : H.Hierarchy.result) =
+  let module S = Repro_serve in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "hieropt_serve_bench"
+  in
+  rm_rf dir;
+  H.Perf_table.save ~dir result.H.Hierarchy.model;
+  let local = H.Perf_table.load ~dir in
+  let klo, khi = H.Perf_table.kvco_range local in
+  let ilo, ihi = H.Perf_table.ivco_range local in
+  let batch =
+    Array.init 16 (fun i ->
+        let f = float_of_int i /. 15.0 in
+        (klo +. (f *. (khi -. klo)), ilo +. (f *. (ihi -. ilo))))
+  in
+  let expected = H.Perf_table.eval_points local batch in
+  let clients = 4 and requests_per_client = 64 in
+  let bench_workers workers =
+    let registry = S.Registry.create ~root:dir () in
+    let api = S.Api.create ~registry in
+    let server = S.Server.start ~port:0 ~workers ~api () in
+    let port = S.Server.port server in
+    Fun.protect
+      ~finally:(fun () ->
+        S.Server.stop ~drain_timeout:2. server;
+        S.Server.wait server)
+    @@ fun () ->
+    let identical = Atomic.make true in
+    let lats =
+      Array.make (clients * requests_per_client) Float.infinity
+    in
+    let client_loop c () =
+      let client = S.Client.create ~port () in
+      for r = 0 to requests_per_client - 1 do
+        let t0 = Unix.gettimeofday () in
+        (match S.Client.query_points client ~model:"default" batch with
+        | Ok got -> if got <> expected then Atomic.set identical false
+        | Error _ -> Atomic.set identical false);
+        lats.((c * requests_per_client) + r) <- Unix.gettimeofday () -. t0
+      done
+    in
+    (* warm the registry so the load leg measures queries, not loads *)
+    client_loop 0 ();
+    Array.fill lats 0 (Array.length lats) Float.infinity;
+    let wall0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun c -> Thread.create (client_loop c) ()) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. wall0 in
+    Array.sort compare lats;
+    let n = Array.length lats in
+    let pct p = lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    Printf.printf
+      "  %d worker(s)  %8.0f queries/s   p50 %6.2f ms   p99 %6.2f ms   \
+       bit-identical: %b\n"
+      workers
+      (float_of_int n /. wall)
+      (1e3 *. pct 0.50) (1e3 *. pct 0.99)
+      (Atomic.get identical)
+  in
+  Printf.printf
+    "loopback HTTP load: %d clients x %d requests, %d points per batch:\n"
+    clients requests_per_client (Array.length batch);
+  List.iter bench_workers [ 1; 2; max 2 (E.Config.jobs ()) ];
+  rm_rf dir
+
 let run_experiments () =
   let scale = H.Hierarchy.scale_of_env () in
   let full = scale = H.Hierarchy.paper_scale in
@@ -295,6 +371,9 @@ let run_experiments () =
   telemetry_line ();
   section "Run lifecycle — cold vs resumed checkpointed run";
   checkpoint_bench result;
+  telemetry_line ();
+  section "Serve — model server throughput and latency";
+  serve_bench result;
   telemetry_line ();
   section "Engine — full telemetry";
   print_string (E.Telemetry.report ());

@@ -6,9 +6,36 @@
      characterise  measure a ring-VCO sizing (the paper's testbench)
      flow          run the full hierarchical flow (Figure 4)
      system        re-run the system level over a saved table model
-     yield         Monte-Carlo a design point from a saved table model *)
+     yield         Monte-Carlo a design point from a saved table model
+     serve         serve saved table models over HTTP
+     query         query a table model (local dir or running server)
+
+   Exit codes: 0 success; 1 generic failure; 3 circuit solver error;
+   4 invalid/unloadable table model; 5 model-server error (bind,
+   unreachable, bad response); 130 interrupted. *)
 
 open Cmdliner
+
+let exit_solver = 3
+let exit_model = 4
+let exit_serve = 5
+
+let die code fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "%s@." msg;
+      exit code)
+    fmt
+
+let load_model dir =
+  match Hieropt.Perf_table.load ~dir with
+  | model -> model
+  | exception Hieropt.Perf_table.Invalid_table_file
+      { path; expected_columns; found_columns } ->
+    die exit_model "invalid table model: %s has %d columns, expected %d" path
+      found_columns expected_columns
+  | exception Sys_error msg -> die exit_model "cannot load table model: %s" msg
+  | exception Failure msg -> die exit_model "cannot load table model: %s" msg
 
 let setup_logging verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -152,7 +179,7 @@ let simulate_cmd =
       | Error e ->
         Fmt.epr "DC operating point failed: %s@."
           (Repro_spice.Solver_error.to_string e);
-        exit 1
+        exit exit_solver
     in
     Fmt.pr "DC operating point (%s, %d iterations)@." dc.Repro_spice.Dcop.strategy
       dc.Repro_spice.Dcop.iterations;
@@ -165,7 +192,7 @@ let simulate_cmd =
       | Ok res -> res
       | Error e ->
         Fmt.epr "transient failed: %s@." (Repro_spice.Solver_error.to_string e);
-        exit 1
+        exit exit_solver
     in
     let probes =
       if probes <> [] then probes
@@ -223,7 +250,7 @@ let characterise_cmd =
     | Error f ->
       Fmt.epr "characterisation failed: %s@."
         (Repro_spice.Vco_measure.failure_to_string f);
-      exit 1
+      exit exit_solver
   in
   let info =
     Cmd.info "characterise"
@@ -294,11 +321,38 @@ let flow_cmd =
 
 (* ---- system ---- *)
 
+let remote_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"HOST:PORT[/MODEL]"
+        ~doc:
+          "Evaluate candidates against a running $(b,hieropt serve) \
+           instance instead of the in-process table (MODEL defaults to \
+           $(b,default)).  The server runs the same interpolation code \
+           and floats cross the wire losslessly, so results are \
+           bit-identical to a local run; if the server becomes \
+           unreachable the run falls back to the local model.")
+
+let pll_query_of_remote ~fallback remote =
+  match remote with
+  | None -> None
+  | Some spec -> (
+    match Repro_serve.Remote.parse_endpoint spec with
+    | Error msg -> die exit_serve "--remote %s: %s" spec msg
+    | Ok (host, port, model) ->
+      let client = Repro_serve.Client.create ~host ~port () in
+      if not (Repro_serve.Client.wait_ready ~deadline:5. client) then
+        die exit_serve "--remote %s: server not reachable" spec;
+      Some (Repro_serve.Remote.model_query ~fallback ~client ~model ()))
+
 let system_cmd =
-  let run seed full scale jobs model_dir checkpoint_every resume verbose =
+  let run seed full scale jobs model_dir remote checkpoint_every resume verbose
+      =
     setup_logging verbose;
     setup_jobs jobs;
-    let model = Hieropt.Perf_table.load ~dir:model_dir in
+    let model = load_model model_dir in
+    let pll_query = pll_query_of_remote ~fallback:model remote in
     let scale, spec = resolve_scale full scale in
     let cfg =
       Hieropt.Hierarchy.make_config ~seed ~scale ?spec ~model_dir
@@ -308,7 +362,7 @@ let system_cmd =
     let result =
       Hieropt.Hierarchy.run_system_level
         ~progress:(fun s -> Fmt.pr "[system] %s@." s)
-        cfg ~model
+        ?pll_query cfg ~model
     in
     Fmt.pr "%s@."
       (Hieropt.Experiments.table2 ?selected:result.Hieropt.Hierarchy.selected
@@ -320,7 +374,7 @@ let system_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ full_t $ scale_t $ jobs_t $ model_dir_t
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ model_dir_t $ remote_t
       $ checkpoint_every_t $ resume_t $ verbose_t)
 
 (* ---- yield ---- *)
@@ -347,7 +401,7 @@ let yield_cmd =
   let run model_dir kvco ivco c1 c2 r1 samples seed jobs verbose =
     setup_logging verbose;
     setup_jobs jobs;
-    let model = Hieropt.Perf_table.load ~dir:model_dir in
+    let model = load_model model_dir in
     let cfg = Hieropt.Pll_problem.default_config ~model in
     let p = Repro_util.Si.parse in
     match
@@ -377,12 +431,229 @@ let yield_cmd =
       $ filt_t "r1" ~doc:"Loop filter R1." ~default:"6k"
       $ samples_t $ seed_t $ jobs_t $ verbose_t)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let addr_t =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_t =
+    Arg.(
+      value & opt int 8190
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks a free one).")
+  in
+  let workers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains handling requests.")
+  in
+  let timeout_t =
+    Arg.(
+      value & opt float 10.
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection socket read timeout.")
+  in
+  let run model_dir addr port workers request_timeout verbose =
+    setup_logging verbose;
+    let registry = Repro_serve.Registry.create ~root:model_dir () in
+    let api = Repro_serve.Api.create ~registry in
+    let server =
+      match
+        Repro_serve.Server.start ~addr ~port ~workers ~request_timeout ~api ()
+      with
+      | server -> server
+      | exception Unix.Unix_error (code, _, _) ->
+        die exit_serve "cannot bind %s:%d: %s" addr port
+          (Unix.error_message code)
+      | exception Failure msg -> die exit_serve "cannot start server: %s" msg
+    in
+    Repro_serve.Server.install_signal_handlers server;
+    Fmt.pr "serving %s on http://%s:%d (%d workers)@." model_dir addr
+      (Repro_serve.Server.port server)
+      workers;
+    Repro_serve.Server.wait server;
+    Fmt.pr "%s@." (Repro_engine.Telemetry.line ())
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Serve saved table models over HTTP (SIGTERM drains gracefully)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_dir_t $ addr_t $ port_t $ workers_t $ timeout_t
+      $ verbose_t)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let point_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "point" ] ~docv:"KVCO,IVCO"
+          ~doc:
+            "Query point with SPICE suffixes, e.g. '400meg,8m' \
+             (repeatable; one request carries the whole batch).")
+  in
+  let metrics_t =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the telemetry snapshot (server's when --remote).")
+  in
+  let verify_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verify" ] ~docv:"KVCO,IVCO,JVCO,FMIN,FMAX"
+          ~doc:
+            "Map a 5-performance point back to the 7 transistor \
+             dimensions instead of querying performances.")
+  in
+  let wait_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wait-ready" ] ~docv:"SECONDS"
+          ~doc:"Poll the server's /healthz up to $(docv) before querying.")
+  in
+  let parse_fields ~what ~n s =
+    let fields = String.split_on_char ',' s in
+    if List.length fields <> n then
+      die 124 "%s: expected %d comma-separated values, got %S" what n s;
+    match List.map Repro_util.Si.parse fields with
+    | values -> Array.of_list values
+    | exception Invalid_argument msg -> die 124 "%s: %s" what msg
+  in
+  let print_json j = Fmt.pr "%s@." (Repro_serve.Json.to_string j) in
+  let run model_dir remote points metrics verify wait_ready verbose =
+    setup_logging verbose;
+    let points =
+      List.map
+        (fun s ->
+          let v = parse_fields ~what:"--point" ~n:2 s in
+          (v.(0), v.(1)))
+        points
+      |> Array.of_list
+    in
+    let perf =
+      Option.map
+        (fun s ->
+          let v = parse_fields ~what:"--verify" ~n:5 s in
+          {
+            Repro_spice.Vco_measure.kvco = v.(0);
+            ivco = v.(1);
+            jvco = v.(2);
+            fmin = v.(3);
+            fmax = v.(4);
+          })
+        verify
+    in
+    if points = [||] && perf = None && not metrics then
+      die 124 "nothing to do: pass --point, --verify and/or --metrics";
+    match remote with
+    | Some spec -> (
+      let host, port, model =
+        match Repro_serve.Remote.parse_endpoint spec with
+        | Ok v -> v
+        | Error msg -> die exit_serve "--remote %s: %s" spec msg
+      in
+      let client = Repro_serve.Client.create ~host ~port () in
+      (match wait_ready with
+      | Some deadline
+        when not (Repro_serve.Client.wait_ready ~deadline client) ->
+        die exit_serve "--remote %s: server not ready after %gs" spec deadline
+      | _ -> ());
+      let check = function
+        | Ok v -> v
+        | Error e ->
+          die exit_serve "%s" (Repro_serve.Client.error_to_string e)
+      in
+      if Array.length points > 0 then begin
+        let results = check (Repro_serve.Client.query_points client ~model points) in
+        print_json
+          (Repro_serve.Json.Obj
+             [
+               ( "results",
+                 Repro_serve.Json.Arr
+                   (Array.to_list
+                      (Array.map Repro_serve.Api.point_eval_to_json results)) );
+             ])
+      end;
+      (match perf with
+      | Some perf ->
+        let params = check (Repro_serve.Client.verify_point client ~model perf) in
+        print_json
+          (Repro_serve.Json.Obj
+             [
+               ( "params",
+                 Repro_serve.Json.Obj
+                   (List.map
+                      (fun (k, v) -> (k, Repro_serve.Json.Num v))
+                      params) );
+             ])
+      | None -> ());
+      if metrics then
+        print_json (check (Repro_serve.Client.get_json client "/metrics")))
+    | None ->
+      (* local mode shares the remote path's JSON rendering, so the CI
+         smoke test can diff the two outputs byte-for-byte *)
+      let model = if points = [||] && perf = None then None
+        else Some (load_model model_dir)
+      in
+      Option.iter
+        (fun table ->
+          if Array.length points > 0 then
+            print_json
+              (Repro_serve.Json.Obj
+                 [
+                   ( "results",
+                     Repro_serve.Json.Arr
+                       (Array.to_list
+                          (Array.map Repro_serve.Api.point_eval_to_json
+                             (Hieropt.Perf_table.eval_points table points))) );
+                 ]);
+          match perf with
+          | Some perf ->
+            print_json
+              (Repro_serve.Json.Obj
+                 [
+                   ( "params",
+                     Repro_serve.Api.params_to_json
+                       (Hieropt.Perf_table.params_of_perf table perf) );
+                 ])
+          | None -> ())
+        model;
+      if metrics then Fmt.pr "%s@." (Repro_engine.Telemetry.to_json_string ())
+  in
+  let info =
+    Cmd.info "query"
+      ~doc:
+        "Query a table model — a local directory, or a running $(b,hieropt \
+         serve) via --remote — with byte-identical output either way."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_dir_t $ remote_t $ point_t $ metrics_t $ verify_t
+      $ wait_t $ verbose_t)
+
 let main_cmd =
   let doc =
     "hierarchical performance-and-variation optimisation of analogue \
      circuits (DATE 2009 reproduction)"
   in
   Cmd.group (Cmd.info "hieropt" ~version:"1.0.0" ~doc)
-    [ simulate_cmd; characterise_cmd; flow_cmd; system_cmd; yield_cmd ]
+    [
+      simulate_cmd;
+      characterise_cmd;
+      flow_cmd;
+      system_cmd;
+      yield_cmd;
+      serve_cmd;
+      query_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

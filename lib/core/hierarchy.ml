@@ -317,11 +317,12 @@ let restore_entries snap ~expect =
 
 (* ---- the flow ----------------------------------------------------- *)
 
-let pll_config_of cfg model =
+let pll_config_of ?pll_query cfg model =
   {
     (Pll_problem.default_config ~model) with
     Pll_problem.spec = cfg.spec;
     use_variation = cfg.use_variation;
+    query = pll_query;
   }
 
 let verify_design cfg ~model (row : Pll_problem.table2_row) =
@@ -344,9 +345,9 @@ let verify_design cfg ~model (row : Pll_problem.table2_row) =
   { requested; mapped; measured }
 
 let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
-    ?interrupt_after cfg ~model ~front ~entries =
+    ?interrupt_after ?pll_query cfg ~model ~front ~entries =
   let scale = cfg.scale in
-  let pll_cfg = pll_config_of cfg model in
+  let pll_cfg = pll_config_of ?pll_query cfg model in
   say progress "system level: NSGA-II %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
     scale.pll_population scale.pll_generations
     (if cfg.use_variation then " with variation model"
@@ -399,10 +400,13 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
   { front; entries; model; rows; selected; verification; yield;
     pll_config = pll_cfg }
 
-let run_system_level ?(progress = fun _ -> ()) cfg ~model =
+let run_system_level ?(progress = fun _ -> ()) ?pll_query cfg ~model =
   let cache = load_cache cfg in
   (* bind the snapshot to the input model too: the same config re-run
-     over a different saved model must not resume from stale state *)
+     over a different saved model must not resume from stale state.
+     [pll_query] is deliberately excluded, like the worker count: a
+     faithful remote oracle produces bit-identical results, so resuming
+     a local run against a served model (or vice versa) is sound. *)
   let extra =
     Printf.sprintf "-%08x"
       (Hashtbl.hash_param 1000 1000 (Perf_table.entries model))
@@ -411,7 +415,7 @@ let run_system_level ?(progress = fun _ -> ()) cfg ~model =
   let finish () =
     let result =
       run_system_level_inner ~progress ~evaluator:(evaluator_of cfg cache) ?ck
-        cfg ~model
+        ?pll_query cfg ~model
         ~front:
           (Array.map
              (fun e -> e.Variation_model.design)

@@ -144,6 +144,7 @@ val run : ?progress:(string -> unit) -> ?interrupt_after:phase -> config -> resu
 
 val run_system_level :
   ?progress:(string -> unit) ->
+  ?pll_query:Pll_problem.model_query ->
   config ->
   model:Perf_table.t ->
   result
@@ -151,7 +152,13 @@ val run_system_level :
     to compare variation-aware vs nominal-only optimisation without
     re-running the expensive circuit level.  Checkpoints (if enabled)
     go to [model_dir ^ "/system.snapshot"], fingerprinted by config
-    {e and} the input model. *)
+    {e and} the input model.
+
+    [pll_query] routes every table-model interpolation through an
+    external oracle (e.g. [Repro_serve.Remote] against a running model
+    server) instead of [model]; a faithful oracle yields bit-identical
+    results, so it is excluded from the snapshot fingerprint just like
+    the worker count. *)
 
 val verify_design :
   config -> model:Perf_table.t -> Pll_problem.table2_row -> verification

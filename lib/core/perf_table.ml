@@ -84,6 +84,31 @@ let ivco_range t = range_of (fun p -> p.V.ivco) t
 let min_max_of_delta ~nominal ~delta =
   (nominal -. (delta *. nominal), nominal +. (delta *. nominal))
 
+type point_eval = {
+  q_kvco : float * float * float;
+  q_ivco : float * float * float;
+  q_jvco : float * float * float;
+  q_fmin : float;
+  q_fmax : float;
+}
+
+let eval_point t ~kvco ~ivco =
+  let bracket nominal delta =
+    let lo, hi = min_max_of_delta ~nominal ~delta in
+    (nominal, lo, hi)
+  in
+  let jvco = jvco_of t ~kvco ~ivco in
+  {
+    q_kvco = bracket kvco (kvco_delta t kvco);
+    q_ivco = bracket ivco (ivco_delta t ivco);
+    q_jvco = bracket jvco (jvco_delta t jvco);
+    q_fmin = fmin_of t ~kvco ~ivco;
+    q_fmax = fmax_of t ~kvco ~ivco;
+  }
+
+let eval_points t points =
+  Array.map (fun (kvco, ivco) -> eval_point t ~kvco ~ivco) points
+
 (* ---- persistence in the paper's .tbl layout ---- *)
 
 let datafile_of_cols inputs output =

@@ -55,6 +55,36 @@ val ivco_range : t -> float * float
 val min_max_of_delta : nominal:float -> delta:float -> float * float
 (** The paper's §4.5 bracketing: nominal ∓ delta·nominal. *)
 
+(* combined query entry points (the model-server / remote-evaluation
+   surface).
+
+   A built table is immutable and every interpolation below is pure, so
+   [eval_point]/[eval_points] — like all the query functions above —
+   are safe to call concurrently from any number of domains or threads
+   on a shared [t] without external locking. *)
+
+type point_eval = {
+  q_kvco : float * float * float;
+      (** (nominal, min, max) — the ∆-table bracketing of the queried
+          gain, Listing 1's [kvco_var] pair around the nominal *)
+  q_ivco : float * float * float;  (** same bracketing for the current *)
+  q_jvco : float * float * float;
+      (** nominal jitter interpolated at (kvco, ivco), bracketed by the
+          jitter ∆ table *)
+  q_fmin : float;  (** interpolated band bottom at (kvco, ivco) *)
+  q_fmax : float;  (** interpolated band top *)
+}
+
+val eval_point : t -> kvco:float -> ivco:float -> point_eval
+(** Everything the system level needs about one (kvco, ivco) operating
+    point in a single call: exactly the floats the individual
+    [jvco_of]/[fmin_of]/[fmax_of]/[*_delta]/[min_max_of_delta] calls
+    produce — served and local evaluation are bit-identical. *)
+
+val eval_points : t -> (float * float) array -> point_eval array
+(** Batched [eval_point] over (kvco, ivco) pairs, preserving order —
+    the payload shape of the model server's [POST /models/:id/query]. *)
+
 val save : dir:string -> t -> unit
 (** Write kvco_delta.tbl, jvco_delta.tbl, ivco_delta.tbl, fmin_delta.tbl,
     fmax_delta.tbl, data.tbl (jvco), fmin_data.tbl, fmax_data.tbl,

@@ -33,6 +33,8 @@ let pp_row ppf r =
     (r.lock *. 1e6) (r.jit *. 1e12) (r.jit_min *. 1e12) (r.jit_max *. 1e12)
     (r.curr *. 1e3) (r.curr_min *. 1e3) (r.curr_max *. 1e3)
 
+type model_query = (float * float) array -> Perf_table.point_eval array
+
 type config = {
   spec : Spec.t;
   model : Perf_table.t;
@@ -42,6 +44,7 @@ type config = {
   c1_bounds : float * float;
   c2_bounds : float * float;
   r1_bounds : float * float;
+  query : model_query option;
 }
 
 let default_config ~model =
@@ -54,17 +57,26 @@ let default_config ~model =
     c1_bounds = (1e-12, 12e-12);
     c2_bounds = (0.1e-12, 1.2e-12);
     r1_bounds = (1e3, 20e3);
+    query = None;
   }
+
+let run_query cfg points =
+  match cfg.query with
+  | None -> Perf_table.eval_points cfg.model points
+  | Some q ->
+    let r = q points in
+    if Array.length r <> Array.length points then
+      invalid_arg "Pll_problem: model_query returned a wrong-sized batch";
+    r
 
 let objective_names = [| "lock_time"; "jitter_sum"; "current" |]
 
 (* one PLL variant: a (kvco, ivco) operating point with its interpolated
-   jitter and band edges *)
-let variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
-  let m = cfg.model in
-  let jvco = Perf_table.jvco_of m ~kvco ~ivco in
-  let fmin = Perf_table.fmin_of m ~kvco ~ivco in
-  let fmax = Perf_table.fmax_of m ~kvco ~ivco in
+   jitter and band edges, taken from an already-computed model query *)
+let variant_of_eval cfg (pe : Perf_table.point_eval) ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let jvco, _, _ = pe.Perf_table.q_jvco in
+  let fmin = pe.Perf_table.q_fmin in
+  let fmax = pe.Perf_table.q_fmax in
   let f0 = 0.5 *. (fmin +. fmax) in
   let vco =
     {
@@ -90,22 +102,28 @@ let variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
     fmin,
     fmax )
 
-let evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
-  let m = cfg.model in
-  let dk = Perf_table.kvco_delta m kvco in
-  let di = Perf_table.ivco_delta m ivco in
-  let kv_min, kv_max = Perf_table.min_max_of_delta ~nominal:kvco ~delta:dk in
-  let iv_min, iv_max = Perf_table.min_max_of_delta ~nominal:ivco ~delta:di in
-  let eval_variant ~kvco ~ivco =
-    let pll_cfg, jvco, fmin, fmax = variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 in
-    match B.Pll.evaluate pll_cfg with
-    | Ok perf -> Ok (perf, jvco, fmin, fmax)
-    | Error e -> Error e
+let variant_config cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let pe = (run_query cfg [| (kvco, ivco) |]).(0) in
+  variant_of_eval cfg pe ~kvco ~ivco ~c1 ~c2 ~r1
+
+(* Full nominal/min/max evaluation, also returning the nominal model
+   query so callers (the GA's constraint check) reuse its band edges
+   instead of re-querying.  Two oracle calls per candidate: the nominal
+   point, then the two worst-case variants as one batch — the shape the
+   served batch endpoint is sized for. *)
+let evaluate_point_full cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  let pe = (run_query cfg [| (kvco, ivco) |]).(0) in
+  let _, kv_min, kv_max = pe.Perf_table.q_kvco in
+  let _, iv_min, iv_max = pe.Perf_table.q_ivco in
+  let variants = run_query cfg [| (kv_min, iv_min); (kv_max, iv_max) |] in
+  let eval_variant pe ~kvco ~ivco =
+    let pll_cfg, _, _, _ = variant_of_eval cfg pe ~kvco ~ivco ~c1 ~c2 ~r1 in
+    B.Pll.evaluate pll_cfg
   in
   let ( let* ) = Result.bind in
-  let* nom, _, _, _ = eval_variant ~kvco ~ivco in
-  let* low, _, _, _ = eval_variant ~kvco:kv_min ~ivco:iv_min in
-  let* high, _, _, _ = eval_variant ~kvco:kv_max ~ivco:iv_max in
+  let* nom = eval_variant pe ~kvco ~ivco in
+  let* low = eval_variant variants.(0) ~kvco:kv_min ~ivco:iv_min in
+  let* high = eval_variant variants.(1) ~kvco:kv_max ~ivco:iv_max in
   let pick f = (f nom, f low, f high) in
   let minmax3 (a, b, c) = (Float.min a (Float.min b c), Float.max a (Float.max b c)) in
   let locks = pick (fun p -> p.B.Pll.lock_time) in
@@ -116,33 +134,37 @@ let evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
   let curr_min, curr_max = minmax3 currs in
   let (lock, _, _), (jit, _, _), (curr, _, _) = (locks, jits, currs) in
   Ok
-    {
-      kv = kvco;
-      kv_min;
-      kv_max;
-      iv = ivco;
-      iv_min;
-      iv_max;
-      c1;
-      c2;
-      r1;
-      lock;
-      lock_min;
-      lock_max;
-      jit;
-      jit_min;
-      jit_max;
-      curr;
-      curr_min;
-      curr_max;
-    }
+    ( {
+        kv = kvco;
+        kv_min;
+        kv_max;
+        iv = ivco;
+        iv_min;
+        iv_max;
+        c1;
+        c2;
+        r1;
+        lock;
+        lock_min;
+        lock_max;
+        jit;
+        jit_min;
+        jit_max;
+        curr;
+        curr_min;
+        curr_max;
+      },
+      pe )
 
-(* spec-violation amount for a row, in normalised units *)
-let violation cfg row =
+let evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 =
+  Result.map fst (evaluate_point_full cfg ~kvco ~ivco ~c1 ~c2 ~r1)
+
+(* spec-violation amount for a row, in normalised units; [pe] is the
+   nominal-point model query the row was built from *)
+let violation cfg row (pe : Perf_table.point_eval) =
   let s = cfg.spec in
-  let m = cfg.model in
-  let fmin = Perf_table.fmin_of m ~kvco:row.kv ~ivco:row.iv in
-  let fmax = Perf_table.fmax_of m ~kvco:row.kv ~ivco:row.iv in
+  let fmin = pe.Perf_table.q_fmin in
+  let fmax = pe.Perf_table.q_fmax in
   let lock_limit = if cfg.use_variation then row.lock_max else row.lock in
   let curr_limit = if cfg.use_variation then row.curr_max else row.curr in
   let over v limit = Float.max 0.0 ((v -. limit) /. limit) in
@@ -187,12 +209,13 @@ let problem cfg =
   Spec.validate cfg.spec;
   let evaluate x =
     match
-      evaluate_point cfg ~kvco:x.(0) ~ivco:x.(1) ~c1:x.(2) ~c2:x.(3) ~r1:x.(4)
+      evaluate_point_full cfg ~kvco:x.(0) ~ivco:x.(1) ~c1:x.(2) ~c2:x.(3)
+        ~r1:x.(4)
     with
-    | Ok row ->
+    | Ok (row, pe) ->
       {
         P.objectives = [| row.lock; row.jit; row.curr |];
-        constraint_violation = violation cfg row;
+        constraint_violation = violation cfg row pe;
       }
     | Error _ ->
       {

@@ -38,6 +38,14 @@ type table2_row = {
 
 val pp_row : Format.formatter -> table2_row -> unit
 
+type model_query = (float * float) array -> Perf_table.point_eval array
+(** A batched table-model oracle: (kvco, ivco) pairs in, one
+    {!Perf_table.point_eval} per pair, order preserved.  The local
+    oracle is [Perf_table.eval_points model]; [Repro_serve.Remote]
+    provides one backed by a running model server.  Evaluations may run
+    on pool worker domains, so implementations must be safe to call
+    concurrently. *)
+
 type config = {
   spec : Spec.t;
   model : Perf_table.t;
@@ -47,13 +55,21 @@ type config = {
   c1_bounds : float * float;
   c2_bounds : float * float;
   r1_bounds : float * float;
+  query : model_query option;
+      (** when set, every table-model interpolation during evaluation
+          goes through this oracle instead of [model] — the remote-model
+          path.  [model] is still used for the design-space bounds and
+          as the fallback the remote adapter degrades to.  A faithful
+          oracle (the served model of the same table files) yields
+          bit-identical optimisation results. *)
 }
 
 val default_config : model:Perf_table.t -> config
 (** Paper-like component ranges (C1 1–12 pF, C2 0.1–1.2 pF, R1 1–20 kΩ —
     R1 scaled up vs the paper's 1–3.8 kΩ because our substitute VCO has
     ~5x less gain, see DESIGN.md), Icp 200 µA, 8 mA overhead,
-    variation-aware constraints on. *)
+    variation-aware constraints on, [query = None] (direct in-process
+    interpolation). *)
 
 val objective_names : string array
 

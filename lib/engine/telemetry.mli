@@ -27,6 +27,19 @@ val warn : key:string -> ('a, unit, string, unit) format4 -> 'a
 val reset : unit -> unit
 (** Clear every counter and timer (bench sections, tests). *)
 
+val snapshot : unit -> (string * [ `Counter of int | `Timer of float ]) list
+(** A consistent point-in-time copy of the whole registry, keys sorted
+    (counters and timers interleaved by name).  This is the structured
+    export surface — [line], [report] and [to_json_string] are all
+    renderings of it; consumers should branch on the tags rather than
+    scrape the formatted strings. *)
+
+val to_json_string : unit -> string
+(** {!snapshot} as a JSON object
+    [{"counters": {name: int, ...}, "timers": {name: seconds, ...}}].
+    Timer values render with enough digits to parse back to the exact
+    float.  Served by the model server's [GET /metrics]. *)
+
 val line : unit -> string
 (** One-line ["telemetry: k=v ..."] summary, keys sorted. *)
 

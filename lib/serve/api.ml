@@ -1,0 +1,188 @@
+module Telemetry = Repro_engine.Telemetry
+module Perf_table = Hieropt.Perf_table
+
+type t = { registry : Registry.t }
+
+let create ~registry = { registry }
+let registry t = t.registry
+let max_batch = 65536
+
+(* --- wire codec ------------------------------------------------------- *)
+
+let triple_to_json (nominal, lo, hi) =
+  Json.Obj
+    [ ("nominal", Json.Num nominal); ("min", Json.Num lo); ("max", Json.Num hi) ]
+
+(* prefix accessor errors with where in the message we were looking *)
+let at path = Result.map_error (fun e -> path ^ ": " ^ e)
+
+let triple_of_json path j =
+  let ( let* ) = Result.bind in
+  let* nominal = at path (Json.get_float "nominal" j) in
+  let* lo = at path (Json.get_float "min" j) in
+  let* hi = at path (Json.get_float "max" j) in
+  Ok (nominal, lo, hi)
+
+let point_eval_to_json (pe : Perf_table.point_eval) =
+  Json.Obj
+    [
+      ("kvco", triple_to_json pe.q_kvco);
+      ("ivco", triple_to_json pe.q_ivco);
+      ("jvco", triple_to_json pe.q_jvco);
+      ("fmin", Json.Num pe.q_fmin);
+      ("fmax", Json.Num pe.q_fmax);
+    ]
+
+let point_eval_of_json j =
+  let ( let* ) = Result.bind in
+  let* kv = Json.get_field "kvco" j in
+  let* iv = Json.get_field "ivco" j in
+  let* jv = Json.get_field "jvco" j in
+  let* q_kvco = triple_of_json "kvco" kv in
+  let* q_ivco = triple_of_json "ivco" iv in
+  let* q_jvco = triple_of_json "jvco" jv in
+  let* q_fmin = Json.get_float "fmin" j in
+  let* q_fmax = Json.get_float "fmax" j in
+  Ok { Perf_table.q_kvco; q_ivco; q_jvco; q_fmin; q_fmax }
+
+let point_of_json path j =
+  let ( let* ) = Result.bind in
+  let* kvco = at path (Json.get_float "kvco" j) in
+  let* ivco = at path (Json.get_float "ivco" j) in
+  Ok (kvco, ivco)
+
+(* accept {"points":[...]} or one bare {"kvco":..,"ivco":..} object *)
+let points_of_body body =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string body in
+  match Json.member "points" j with
+  | Some (Json.Arr items) ->
+    if List.length items > max_batch then
+      Error (Printf.sprintf "batch exceeds %d points" max_batch)
+    else
+      let rec decode i acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | item :: rest ->
+          let* p = point_of_json (Printf.sprintf "points[%d]" i) item in
+          decode (i + 1) (p :: acc) rest
+      in
+      decode 0 [] items
+  | Some _ -> Error "points: expected an array"
+  | None ->
+    let* p = point_of_json "request" j in
+    Ok [| p |]
+
+let performance_of_body body =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string body in
+  let field name = Json.get_float name j in
+  let* kvco = field "kvco" in
+  let* ivco = field "ivco" in
+  let* jvco = field "jvco" in
+  let* fmin = field "fmin" in
+  let* fmax = field "fmax" in
+  Ok { Repro_spice.Vco_measure.kvco; ivco; jvco; fmin; fmax }
+
+let params_to_json (p : Repro_circuit.Topologies.vco_params) =
+  let values = [| p.wn; p.ln; p.wp; p.lp; p.wcn; p.wcp; p.lc |] in
+  Json.Obj
+    (Array.to_list
+       (Array.map2
+          (fun name v -> (name, Json.Num v))
+          Repro_circuit.Topologies.vco_param_names values))
+
+(* --- responses -------------------------------------------------------- *)
+
+let json_body j = Json.to_string j
+let error_body msg = json_body (Json.Obj [ ("error", Json.Str msg) ])
+let ok body = (200, [], body)
+let bad_request msg = (400, [], error_body msg)
+let not_found () = (404, [], error_body "not found")
+
+let method_not_allowed allow =
+  (405, [ ("Allow", allow) ], error_body "method not allowed")
+
+let registry_error = function
+  | Registry.Unknown_model _ as e -> (404, [], error_body (Registry.error_to_string e))
+  | Registry.Invalid_id _ as e -> (404, [], error_body (Registry.error_to_string e))
+  | Registry.Load_failure _ as e ->
+    (500, [], error_body (Registry.error_to_string e))
+
+(* --- endpoints -------------------------------------------------------- *)
+
+let healthz t =
+  let models = List.length (Registry.list t.registry) in
+  ok
+    (json_body
+       (Json.Obj
+          [ ("status", Json.Str "ok"); ("models", Json.Num (float_of_int models)) ]))
+
+let metrics () = ok (Telemetry.to_json_string ())
+
+let models t =
+  let infos = Registry.list t.registry in
+  let entry (i : Registry.info) =
+    Json.Obj
+      [
+        ("id", Json.Str i.id);
+        ("loaded", Json.Bool i.loaded);
+        ( "entries",
+          match i.entries with
+          | Some n -> Json.Num (float_of_int n)
+          | None -> Json.Null );
+      ]
+  in
+  ok (json_body (Json.Obj [ ("models", Json.Arr (List.map entry infos)) ]))
+
+let query t id body =
+  match Registry.get t.registry id with
+  | Error e -> registry_error e
+  | Ok table -> (
+    match points_of_body body with
+    | Error msg -> bad_request msg
+    | Ok points ->
+      let results = Perf_table.eval_points table points in
+      Telemetry.incr "serve.queries";
+      Telemetry.incr ~by:(Array.length points) "serve.points_queried";
+      ok
+        (json_body
+           (Json.Obj
+              [
+                ("model", Json.Str id);
+                ("count", Json.Num (float_of_int (Array.length results)));
+                ( "results",
+                  Json.Arr
+                    (Array.to_list (Array.map point_eval_to_json results)) );
+              ])))
+
+let verify t id body =
+  match Registry.get t.registry id with
+  | Error e -> registry_error e
+  | Ok table -> (
+    match performance_of_body body with
+    | Error msg -> bad_request msg
+    | Ok perf ->
+      let params = Perf_table.params_of_perf table perf in
+      Telemetry.incr "serve.verifies";
+      ok
+        (json_body
+           (Json.Obj [ ("model", Json.Str id); ("params", params_to_json params) ])))
+
+let handle t (req : Http.request) =
+  Telemetry.incr "serve.requests";
+  match
+    match (req.meth, req.path) with
+    | "GET", [ "healthz" ] -> healthz t
+    | "GET", [ "metrics" ] -> metrics ()
+    | "GET", [ "models" ] -> models t
+    | "POST", [ "models"; id; "query" ] -> query t id req.body
+    | "POST", [ "models"; id; "verify" ] -> verify t id req.body
+    | _, [ "healthz" ] | _, [ "metrics" ] | _, [ "models" ] ->
+      method_not_allowed "GET"
+    | _, [ "models"; _; ("query" | "verify") ] -> method_not_allowed "POST"
+    | _ -> not_found ()
+  with
+  | response -> response
+  | exception exn ->
+    Telemetry.incr "serve.handler_errors";
+    (500, [], error_body (Printexc.to_string exn))

@@ -1,0 +1,38 @@
+(** Endpoint routing and JSON (de)serialisation for the model server.
+
+    Routes (all responses [application/json]):
+
+    - [GET /healthz] — liveness + servable model count;
+    - [GET /metrics] — {!Repro_engine.Telemetry.to_json_string} snapshot;
+    - [GET /models] — servable ids with load state;
+    - [POST /models/:id/query] — batched {!Hieropt.Perf_table.eval_points}
+      over [{"points": [{"kvco": .., "ivco": ..}, ...]}] (or one bare
+      point object); floats travel in lossless decimal, so served
+      results are bit-identical to in-process evaluation;
+    - [POST /models/:id/verify] — parameter recovery: a 5-performance
+      point back to the 7 transistor dimensions
+      ({!Hieropt.Perf_table.params_of_perf}).
+
+    Unknown paths map to 404, wrong verbs on known paths to 405,
+    malformed bodies to 400, load failures and handler exceptions to
+    500.  [handle] never raises; it is called concurrently from every
+    worker domain. *)
+
+type t
+
+val create : registry:Registry.t -> t
+
+val registry : t -> Registry.t
+
+val handle : t -> Http.request -> int * (string * string) list * string
+(** [status, extra headers, body] for one parsed request. *)
+
+(* wire shape of a model query result — shared by the server, the
+   client and the CLI so all three print/parse identically *)
+
+val point_eval_to_json : Hieropt.Perf_table.point_eval -> Json.t
+val point_eval_of_json : Json.t -> (Hieropt.Perf_table.point_eval, string) result
+val params_to_json : Repro_circuit.Topologies.vco_params -> Json.t
+
+val max_batch : int
+(** Upper bound on points per [/query] request (larger batches 400). *)

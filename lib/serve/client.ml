@@ -1,0 +1,172 @@
+type t = {
+  host : string;
+  port : int;
+  timeout : float;
+  retries : int;
+}
+
+type error =
+  | Connect_failure of string
+  | Http_error of { status : int; body : string }
+  | Protocol_error of string
+
+let error_to_string = function
+  | Connect_failure msg -> "cannot reach model server: " ^ msg
+  | Http_error { status; body } ->
+    let detail =
+      match Json.of_string body with
+      | Ok j -> (
+        match Json.member "error" j with
+        | Some (Json.Str msg) -> msg
+        | _ -> body)
+      | Error _ -> body
+    in
+    Printf.sprintf "server returned %d %s: %s" status
+      (Http.reason_phrase status) detail
+  | Protocol_error msg -> "malformed server response: " ^ msg
+
+let create ?(host = "127.0.0.1") ?(port = 8190) ?(timeout = 10.) ?(retries = 2)
+    () =
+  { host; port; timeout = max 0.1 timeout; retries = max 0 retries }
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> failwith ("no address for " ^ host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> failwith ("cannot resolve " ^ host))
+
+(* one request over one fresh connection *)
+let round_trip t ~meth ~target ~body =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+  Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port));
+  Http.write_request
+    ~headers:[ ("Host", Printf.sprintf "%s:%d" t.host t.port);
+               ("Connection", "close") ]
+    ~meth ~target ~body fd;
+  Http.read_response (Http.Reader.of_fd fd)
+
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ETIMEDOUT
+  | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.EAGAIN | Unix.EWOULDBLOCK ->
+    true
+  | _ -> false
+
+let request t ~meth ~target ~body =
+  let rec attempt n =
+    let retry msg =
+      if n < t.retries then begin
+        Repro_engine.Telemetry.incr "serve.client_retries";
+        Thread.delay (0.05 *. float_of_int (n + 1));
+        attempt (n + 1)
+      end
+      else Error (Connect_failure msg)
+    in
+    match round_trip t ~meth ~target ~body with
+    | Ok resp -> Ok resp
+    | Error (`Timeout | `Eof) -> retry "timed out"
+    | Error ((`Bad_request _ | `Too_large _) as e) ->
+      Error (Protocol_error (Http.error_to_string e))
+    | exception Unix.Unix_error (code, _, _) when transient code ->
+      retry (Unix.error_message code)
+    | exception Unix.Unix_error (code, fn, _) ->
+      Error (Connect_failure (Printf.sprintf "%s: %s" fn (Unix.error_message code)))
+    | exception Failure msg -> Error (Connect_failure msg)
+  in
+  attempt 0
+
+let get t target = request t ~meth:"GET" ~target ~body:""
+let post t target ~body = request t ~meth:"POST" ~target ~body
+
+let expect_json resp =
+  match resp with
+  | Error _ as e -> e
+  | Ok { Http.status; resp_body; _ } when status <> 200 ->
+    Error (Http_error { status; body = resp_body })
+  | Ok { Http.resp_body; _ } -> (
+    match Json.of_string resp_body with
+    | Ok j -> Ok j
+    | Error msg -> Error (Protocol_error msg))
+
+let get_json t target = expect_json (get t target)
+
+let post_json t target ~body = expect_json (post t target ~body)
+
+let point_to_json (kvco, ivco) =
+  Json.Obj [ ("kvco", Json.Num kvco); ("ivco", Json.Num ivco) ]
+
+let query_points t ~model points =
+  let body =
+    Json.to_string
+      (Json.Obj
+         [ ("points",
+            Json.Arr (Array.to_list (Array.map point_to_json points))) ])
+  in
+  match post_json t (Printf.sprintf "/models/%s/query" model) ~body with
+  | Error _ as e -> e
+  | Ok j -> (
+    match Json.member "results" j with
+    | Some (Json.Arr items) ->
+      if List.length items <> Array.length points then
+        Error (Protocol_error "result count does not match the batch")
+      else begin
+        match
+          List.map
+            (fun item ->
+              match Api.point_eval_of_json item with
+              | Ok pe -> pe
+              | Error msg -> failwith msg)
+            items
+        with
+        | pes -> Ok (Array.of_list pes)
+        | exception Failure msg -> Error (Protocol_error msg)
+      end
+    | _ -> Error (Protocol_error "missing results array"))
+
+let verify_point t ~model (perf : Repro_spice.Vco_measure.performance) =
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("kvco", Json.Num perf.kvco);
+           ("ivco", Json.Num perf.ivco);
+           ("jvco", Json.Num perf.jvco);
+           ("fmin", Json.Num perf.fmin);
+           ("fmax", Json.Num perf.fmax);
+         ])
+  in
+  match post_json t (Printf.sprintf "/models/%s/verify" model) ~body with
+  | Error _ as e -> e
+  | Ok j -> (
+    match Json.member "params" j with
+    | Some (Json.Obj fields) -> (
+      let pair (name, v) =
+        match v with
+        | Json.Num x -> (name, x)
+        | _ -> failwith ("params." ^ name ^ ": expected a number")
+      in
+      match List.map pair fields with
+      | params -> Ok params
+      | exception Failure msg -> Error (Protocol_error msg))
+    | _ -> Error (Protocol_error "missing params object"))
+
+let wait_ready ?(deadline = 5.) t =
+  let stop_at = Unix.gettimeofday () +. deadline in
+  let rec poll () =
+    match get t "/healthz" with
+    | Ok { Http.status = 200; _ } -> true
+    | _ ->
+      if Unix.gettimeofday () >= stop_at then false
+      else begin
+        Thread.delay 0.05;
+        poll ()
+      end
+  in
+  poll ()

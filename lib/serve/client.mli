@@ -1,0 +1,51 @@
+(** Blocking HTTP client for the model server — one connection per
+    call, stdlib sockets only.  Transient failures (connection refused,
+    reset, timeout) are retried with linear backoff; protocol-level
+    errors (4xx/5xx, malformed JSON) are not.
+
+    Because both ends use {!Json}'s lossless float encoding,
+    {!query_points} returns floats bit-identical to calling
+    {!Hieropt.Perf_table.eval_points} on the served table directly. *)
+
+type t
+
+type error =
+  | Connect_failure of string  (** could not reach the server (after retries) *)
+  | Http_error of { status : int; body : string }
+  | Protocol_error of string   (** malformed response *)
+
+val error_to_string : error -> string
+
+val create :
+  ?host:string ->      (* default "127.0.0.1" *)
+  ?port:int ->         (* default 8190 *)
+  ?timeout:float ->    (* per-call socket timeout, seconds, default 10. *)
+  ?retries:int ->      (* transient-failure retries, default 2 *)
+  unit ->
+  t
+
+val get : t -> string -> (Http.response, error) result
+val post : t -> string -> body:string -> (Http.response, error) result
+
+val get_json : t -> string -> (Json.t, error) result
+(** GET expecting a 200 with a JSON body. *)
+
+val query_points :
+  t ->
+  model:string ->
+  (float * float) array ->
+  (Hieropt.Perf_table.point_eval array, error) result
+(** POST the (kvco, ivco) batch to [/models/:model/query] and decode
+    the results, checking count and order. *)
+
+val verify_point :
+  t ->
+  model:string ->
+  Repro_spice.Vco_measure.performance ->
+  ((string * float) list, error) result
+(** POST to [/models/:model/verify]; returns the recovered parameter
+    (name, value) pairs in vector order. *)
+
+val wait_ready : ?deadline:float -> t -> bool
+(** Poll [/healthz] until it answers 200 or [deadline] seconds
+    (default 5) elapse.  For scripts that just forked a server. *)

@@ -1,0 +1,45 @@
+(** Minimal hand-rolled JSON, sized for the model server's payloads.
+
+    The encoder renders every float with the shortest decimal string
+    that parses back to the exact same value, so a number that makes a
+    round trip through a request/response is {e bit-identical} on the
+    other side — the property the served-vs-local equivalence guarantee
+    rests on.  Non-finite floats have no JSON representation and encode
+    as [null].
+
+    The decoder is a strict recursive-descent parser over the RFC 8259
+    value grammar (objects, arrays, strings with escapes incl.
+    [\uXXXX] surrogate pairs, numbers, booleans, null), with a depth
+    limit instead of unbounded recursion. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no-whitespace) rendering. *)
+
+val float_repr : float -> string
+(** The lossless float rendering used by the encoder ("%.15g" widened
+    until [float_of_string] returns the exact input; [null] when not
+    finite).  Exposed so CLI output and tests can format floats the
+    same way the wire does. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+(* accessors — every lookup returns a result with a path-flavoured
+   message so endpoint handlers can surface precise 400s *)
+
+val member : string -> t -> t option
+(** Object field lookup ([None] on missing field or non-object). *)
+
+val get_field : string -> t -> (t, string) result
+val get_float : string -> t -> (float, string) result
+val get_string : string -> t -> (string, string) result
+val get_list : string -> t -> (t list, string) result
+val to_float : t -> (float, string) result

@@ -1,0 +1,162 @@
+module Telemetry = Repro_engine.Telemetry
+
+type error =
+  | Unknown_model of string
+  | Invalid_id of string
+  | Load_failure of { id : string; message : string }
+
+let error_to_string = function
+  | Unknown_model id -> Printf.sprintf "unknown model %S" id
+  | Invalid_id id -> Printf.sprintf "invalid model id %S" id
+  | Load_failure { id; message } ->
+    Printf.sprintf "model %S failed to load: %s" id message
+
+type entry = {
+  table : Hieropt.Perf_table.t;
+  mtime : float;
+  size : int;
+  mutable last_used : int;  (** registry tick at last access (LRU order) *)
+}
+
+type t = {
+  root : string;
+  capacity : int;
+  mutex : Mutex.t;
+  cache : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 8) ~root () =
+  {
+    root;
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    cache = Hashtbl.create 8;
+    tick = 0;
+  }
+
+let root t = t.root
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* "default", or a plain directory name: no separators, no leading dot *)
+let valid_id id =
+  id <> ""
+  && id.[0] <> '.'
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       id
+
+let dir_of t id =
+  if id = "default" then t.root else Filename.concat t.root id
+
+let archive_of dir = Filename.concat dir "pareto.tbl"
+
+let stat_archive dir =
+  match Unix.stat (archive_of dir) with
+  | { Unix.st_mtime; st_size; st_kind = Unix.S_REG; _ } ->
+    Some (st_mtime, st_size)
+  | _ -> None
+  | exception Unix.Unix_error _ -> None
+
+let evict_beyond_capacity t =
+  while Hashtbl.length t.cache > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun id e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (id, e))
+        t.cache None
+    in
+    match victim with
+    | Some (id, _) ->
+      Hashtbl.remove t.cache id;
+      Telemetry.incr "serve.model_evictions"
+    | None -> ()
+  done
+
+let load_entry t id dir (mtime, size) =
+  match Hieropt.Perf_table.load ~dir with
+  | table ->
+    Telemetry.incr "serve.model_loads";
+    let e = { table; mtime; size; last_used = t.tick } in
+    Hashtbl.replace t.cache id e;
+    evict_beyond_capacity t;
+    Ok table
+  | exception exn ->
+    let message =
+      match exn with
+      | Hieropt.Perf_table.Invalid_table_file _ -> Printexc.to_string exn
+      | Sys_error msg | Failure msg -> msg
+      | Invalid_argument msg -> msg
+      | exn -> raise exn
+    in
+    Telemetry.incr "serve.model_load_failures";
+    Error (Load_failure { id; message })
+
+let get t id =
+  if not (valid_id id) then Error (Invalid_id id)
+  else
+    locked t @@ fun () ->
+    t.tick <- t.tick + 1;
+    let dir = dir_of t id in
+    match stat_archive dir with
+    | None ->
+      (* a model that vanished from disk must also leave the cache *)
+      Hashtbl.remove t.cache id;
+      Error (Unknown_model id)
+    | Some ((mtime, size) as fp) -> (
+      match Hashtbl.find_opt t.cache id with
+      | Some e when e.mtime = mtime && e.size = size ->
+        e.last_used <- t.tick;
+        Ok e.table
+      | Some _ ->
+        Telemetry.incr "serve.model_reloads";
+        load_entry t id dir fp
+      | None -> load_entry t id dir fp)
+
+type info = {
+  id : string;
+  dir : string;
+  loaded : bool;
+  entries : int option;
+}
+
+let list t =
+  locked t @@ fun () ->
+  let candidates =
+    let subdirs =
+      match Sys.readdir t.root with
+      | names ->
+        Array.to_list names
+        |> List.filter (fun name ->
+               valid_id name && name <> "default"
+               && Sys.is_directory (Filename.concat t.root name))
+      | exception Sys_error _ -> []
+    in
+    ("default" :: subdirs) |> List.sort String.compare
+  in
+  List.filter_map
+    (fun id ->
+      let dir = dir_of t id in
+      match stat_archive dir with
+      | None -> None
+      | Some _ ->
+        let entry = Hashtbl.find_opt t.cache id in
+        Some
+          {
+            id;
+            dir;
+            loaded = entry <> None;
+            entries =
+              Option.map (fun e -> Hieropt.Perf_table.size e.table) entry;
+          })
+    candidates
+
+let loaded_count t = locked t @@ fun () -> Hashtbl.length t.cache

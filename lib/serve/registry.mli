@@ -1,0 +1,46 @@
+(** Thread-safe registry of loaded table models.
+
+    A registry serves the models under one root directory: the root
+    itself (id ["default"]) when it directly holds a [pareto.tbl]
+    archive, plus every immediate subdirectory that holds one (id =
+    directory name).  Models load lazily on first query and are kept
+    hot behind an LRU bound; each cache entry is keyed by the
+    fingerprint (mtime + size) of its [pareto.tbl], so overwriting a
+    model directory on disk invalidates the cached table on the next
+    request instead of serving stale interpolations.
+
+    All operations are mutex-protected — safe from any mix of server
+    worker domains and threads. *)
+
+type t
+
+type error =
+  | Unknown_model of string        (** no such id under the root *)
+  | Invalid_id of string           (** id fails the safe-name check *)
+  | Load_failure of { id : string; message : string }
+
+val error_to_string : error -> string
+
+val create : ?capacity:int -> root:string -> unit -> t
+(** [capacity] (default 8, min 1) bounds how many models stay loaded;
+    the least-recently-used entry is evicted beyond it. *)
+
+val root : t -> string
+
+val get : t -> string -> (Hieropt.Perf_table.t, error) result
+(** Resolve an id to a loaded model, loading/reloading as needed.
+    Ids are restricted to ["default"] or names matching
+    [[A-Za-z0-9._-]+] without leading dots — path traversal is an
+    {!Invalid_id}, not a filesystem probe. *)
+
+type info = {
+  id : string;
+  dir : string;
+  loaded : bool;
+  entries : int option;  (** Pareto entries when loaded *)
+}
+
+val list : t -> info list
+(** Every servable model id under the root (sorted), with load state. *)
+
+val loaded_count : t -> int

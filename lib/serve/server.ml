@@ -1,0 +1,184 @@
+module Telemetry = Repro_engine.Telemetry
+
+type t = {
+  api : Api.t;
+  listener : Unix.file_descr;
+  bound_port : int;
+  request_timeout : float;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  conns : Unix.file_descr Queue.t;     (* accepted, waiting for a worker *)
+  mutable inflight : Unix.file_descr list;  (* being served right now *)
+  stopping : bool Atomic.t;
+  mutable acceptor : Thread.t option;
+  mutable workers : unit Domain.t list;
+  mutable drainer : Thread.t option;
+}
+
+let port t = t.bound_port
+
+let error_body msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ])
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let safe_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_connection t fd =
+  Telemetry.incr "serve.connections";
+  let reader = Http.Reader.of_fd fd in
+  let send ?(headers = []) ~keep_alive status body =
+    match Http.write_response ~headers ~keep_alive ~status ~body fd with
+    | () -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  let rec loop () =
+    match Http.read_request reader with
+    | Error `Eof -> ()
+    | Error `Timeout -> Telemetry.incr "serve.request_timeouts"
+    | Error (`Bad_request msg) ->
+      ignore (send ~keep_alive:false 400 (error_body msg))
+    | Error (`Too_large msg) ->
+      ignore (send ~keep_alive:false 413 (error_body msg))
+    | Ok req ->
+      let status, headers, body = Api.handle t.api req in
+      (* a draining server answers the request it already accepted,
+         then closes instead of waiting for the next one *)
+      let keep_alive = Http.keep_alive req && not (Atomic.get t.stopping) in
+      if send ~headers ~keep_alive status body && keep_alive then loop ()
+  in
+  (try loop () with
+  | exn ->
+    Telemetry.incr "serve.connection_errors";
+    Telemetry.warn ~key:"serve.connection" "connection handler: %s"
+      (Printexc.to_string exn));
+  safe_close fd
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.conns && not (Atomic.get t.stopping) do
+    Condition.wait t.cond t.mutex
+  done;
+  match Queue.take_opt t.conns with
+  | None ->
+    (* stopping and nothing queued: this worker is done *)
+    Mutex.unlock t.mutex
+  | Some fd ->
+    t.inflight <- fd :: t.inflight;
+    Mutex.unlock t.mutex;
+    serve_connection t fd;
+    locked t (fun () -> t.inflight <- List.filter (fun f -> f != fd) t.inflight);
+    worker_loop t
+
+let rec accept_loop t =
+  match Unix.accept ~cloexec:true t.listener with
+  | fd, _ ->
+    (* bound reads per connection so a stalled client frees its worker *)
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.request_timeout;
+    locked t (fun () ->
+        Queue.add fd t.conns;
+        Condition.signal t.cond);
+    accept_loop t
+  | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _) ->
+    if not (Atomic.get t.stopping) then accept_loop t
+  | exception Unix.Unix_error _ ->
+    (* listener closed by [stop] — wake every worker for the drain *)
+    locked t (fun () -> Condition.broadcast t.cond)
+
+let start ?(addr = "127.0.0.1") ?(port = 8190) ?(workers = 2)
+    ?(request_timeout = 10.) ~api () =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+     Unix.listen listener 64
+   with
+  | () -> ()
+  | exception exn ->
+    safe_close listener;
+    raise exn);
+  let bound_port =
+    match Unix.getsockname listener with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    {
+      api;
+      listener;
+      bound_port;
+      request_timeout = (if request_timeout <= 0. then 10. else request_timeout);
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      conns = Queue.create ();
+      inflight = [];
+      stopping = Atomic.make false;
+      acceptor = None;
+      workers = [];
+      drainer = None;
+    }
+  in
+  let workers = max 1 workers in
+  t.workers <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  Telemetry.set "serve.workers" workers;
+  t
+
+let stop ?(drain_timeout = 5.0) t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* close alone does not wake a thread blocked in accept(2);
+       shutdown makes it return EINVAL immediately *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    safe_close t.listener;
+    locked t (fun () -> Condition.broadcast t.cond);
+    (* past the deadline, yank remaining connections out from under
+       their workers rather than hang shutdown forever *)
+    t.drainer <-
+      Some
+        (Thread.create
+           (fun () ->
+             let deadline = Unix.gettimeofday () +. max 0. drain_timeout in
+             let busy () =
+               locked t (fun () ->
+                   t.inflight <> [] || not (Queue.is_empty t.conns))
+             in
+             while busy () && Unix.gettimeofday () < deadline do
+               Thread.delay 0.02
+             done;
+             if busy () then begin
+               Telemetry.incr "serve.forced_closes";
+               locked t (fun () ->
+                   List.iter
+                     (fun fd ->
+                       try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                       with Unix.Unix_error _ -> ())
+                     t.inflight;
+                   Queue.iter safe_close t.conns;
+                   Queue.clear t.conns)
+             end)
+           ())
+  end
+
+let wait t =
+  (* poll instead of blocking in join straight away: a thread stuck in a
+     C call never runs OCaml signal handlers, so a main thread that
+     joined here directly would never see the SIGTERM that is supposed
+     to stop the server.  The delay loop gives the runtime a safepoint
+     every tick. *)
+  while not (Atomic.get t.stopping) do
+    Thread.delay 0.1
+  done;
+  Option.iter Thread.join t.acceptor;
+  List.iter Domain.join t.workers;
+  t.workers <- [];
+  Option.iter Thread.join t.drainer;
+  t.drainer <- None
+
+let install_signal_handlers t =
+  let handler _ = stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler)

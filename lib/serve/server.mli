@@ -1,0 +1,42 @@
+(** The model server: a listening socket, an accept loop and a fixed
+    pool of worker domains, each handling whole keep-alive connections
+    through {!Api.handle}.
+
+    Lifecycle: {!start} binds and returns immediately (port 0 is
+    resolved — read the bound port back from {!port}); {!stop} begins a
+    graceful drain — the listener closes, queued connections are served
+    a final [Connection: close] response, in-flight requests finish,
+    and workers exit; past [drain_timeout] remaining connections are
+    force-closed.  {!wait} blocks until the drain completes.
+    {!install_signal_handlers} maps SIGTERM/SIGINT onto {!stop}.
+
+    Per-connection reads are bounded by [request_timeout] (socket
+    receive timeout), so a stalled client cannot pin a worker. *)
+
+type t
+
+val start :
+  ?addr:string ->             (* bind address, default "127.0.0.1" *)
+  ?port:int ->                (* default 8190; 0 = ephemeral *)
+  ?workers:int ->             (* worker domains, default 2, min 1 *)
+  ?request_timeout:float ->   (* seconds, default 10. *)
+  api:Api.t ->
+  unit ->
+  t
+(** @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port (useful after [?port:0]). *)
+
+val stop : ?drain_timeout:float -> t -> unit
+(** Begin graceful shutdown; idempotent.  [drain_timeout] (default 5
+    seconds) bounds how long in-flight connections may take to finish
+    before their descriptors are closed under them. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped (call {!stop} first, or
+    rely on {!install_signal_handlers}). *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger [stop t]; SIGPIPE is ignored (a client
+    hanging up mid-response must not kill the process). *)

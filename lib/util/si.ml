@@ -11,33 +11,55 @@ let suffix_value = function
   | "" -> Some 1.0
   | _ -> None
 
+(* Strict single-pass grammar (no greedy scan-and-backtrack, which is
+   where lax acceptance of trailing garbage hides):
+
+     value  ::= sign? mantissa exponent? suffix
+     mantissa ::= digits [ "." digits? ] | "." digits
+     exponent ::= "e" sign? digits
+     suffix ::= "" | f p n u m k meg g t
+
+   The numeric part must end exactly where a known suffix begins and the
+   suffix must consume the rest of the string, so "10ux", "3kk",
+   "2.2uF" and friends are all rejected. *)
 let parse_opt s =
   let s = String.trim (String.lowercase_ascii s) in
   let n = String.length s in
-  if n = 0 then None
-  else begin
-    (* longest numeric prefix *)
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
-      | _ -> false
-    in
-    (* 'e' is numeric only when followed by digits/sign; handle "meg" whose
-       'm' terminates the number. Scan greedily, then backtrack on parse
-       failure. *)
-    let rec split i =
-      if i < n && is_num_char s.[i] then split (i + 1) else i
-    in
-    let rec try_at i =
-      if i = 0 then None
-      else
-        let num = String.sub s 0 i and suf = String.sub s i (n - i) in
-        match (float_of_string_opt num, suffix_value suf) with
-        | Some v, Some m -> Some (v *. m)
-        | _ -> try_at (i - 1)
-    in
-    try_at (split 0)
-  end
+  let is_digit c = c >= '0' && c <= '9' in
+  let digits i =
+    (* index after the run of digits starting at [i] *)
+    let j = ref i in
+    while !j < n && is_digit s.[!j] do incr j done;
+    !j
+  in
+  let sign i = if i < n && (s.[i] = '+' || s.[i] = '-') then i + 1 else i in
+  let mantissa i =
+    let d0 = digits i in
+    if d0 > i then
+      (* digits [ "." digits? ] *)
+      if d0 < n && s.[d0] = '.' then Some (digits (d0 + 1)) else Some d0
+    else if i < n && s.[i] = '.' then
+      (* "." digits — at least one digit required after a bare dot *)
+      let d1 = digits (i + 1) in
+      if d1 > i + 1 then Some d1 else None
+    else None
+  in
+  let exponent i =
+    if i < n && s.[i] = 'e' then
+      let j = sign (i + 1) in
+      let d = digits j in
+      if d > j then Some d else None
+    else Some i
+  in
+  match mantissa (sign 0) with
+  | None -> None
+  | Some i -> (
+    match exponent i with
+    | None -> None
+    | Some stop -> (
+      match suffix_value (String.sub s stop (n - stop)) with
+      | None -> None
+      | Some m -> Some (float_of_string (String.sub s 0 stop) *. m)))
 
 let parse s =
   match parse_opt s with

@@ -3,7 +3,10 @@
 
 val parse : string -> float
 (** [parse s] reads a float with an optional SPICE suffix
-    (f, p, n, u, m, k, meg, g, t — case-insensitive).
+    (f, p, n, u, m, k, meg, g, t — case-insensitive).  The grammar is
+    strict: the suffix must consume the whole remainder of the string,
+    so trailing garbage ("10ux", "2.2uF", "3kk") is rejected rather
+    than silently truncated.
     @raise Failure on malformed input. *)
 
 val parse_opt : string -> float option

@@ -18,4 +18,5 @@ let () =
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("serve", Test_serve.suite);
     ]

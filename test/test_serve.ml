@@ -1,0 +1,406 @@
+(* The model server end to end: JSON codec exactness, HTTP parsing,
+   registry lifecycle, and a loopback server whose answers must be
+   bit-identical to querying the in-process table. *)
+
+module H = Hieropt
+module S = Repro_serve
+module Json = S.Json
+module Http = S.Http
+
+let bits = Int64.bits_of_float
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Arr [ Json.Null; Json.Bool true; Json.Str "x\"y\n" ]);
+        ("empty", Json.Obj []);
+        ("neg", Json.Num (-0.0078125));
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrips" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_strictness () =
+  let rejected s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  List.iter rejected
+    [ "{\"a\":1} x"; "[1,]"; "{\"a\":}"; "01"; "+1"; "nul"; "\"\\q\"";
+      "[1 2]"; "{'a':1}"; "" ];
+  (* \u escapes, including a surrogate pair, decode to UTF-8 *)
+  match Json.of_string "\"\\u00e9\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "utf8" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape decode failed"
+
+let prop_json_float_exact =
+  (* the float codec is the bit-identity guarantee: every finite float
+     must survive encode/decode with the same bit pattern *)
+  QCheck.Test.make ~name:"JSON float codec is lossless" ~count:1000
+    QCheck.(
+      oneof
+        [
+          float;
+          float_range (-1e18) 1e18;
+          float_range (-1e-6) 1e-6;
+          oneofl [ 0.0; -0.0; 1e-312; Float.max_float; Float.min_float ];
+        ])
+    (fun x ->
+      QCheck.assume (Float.is_finite x);
+      match Json.of_string (Json.float_repr x) with
+      | Ok (Json.Num y) -> bits y = bits x
+      | _ -> false)
+
+(* ---- http ---- *)
+
+let test_http_parse_request () =
+  let raw =
+    "POST /models/m-1/query?trace=1 HTTP/1.1\r\nHost: x\r\n\
+     Content-Length: 4\r\nX-Mixed-Case: Kept\r\n\r\nbodyEXTRA"
+  in
+  match Http.read_request (Http.Reader.of_string raw) with
+  | Error e -> Alcotest.failf "parse failed: %s" (Http.error_to_string e)
+  | Ok req ->
+    Alcotest.(check string) "meth" "POST" req.Http.meth;
+    Alcotest.(check (list string)) "path"
+      [ "models"; "m-1"; "query" ]
+      req.Http.path;
+    Alcotest.(check string) "body" "body" req.Http.body;
+    Alcotest.(check (option string)) "header, case-insensitive" (Some "Kept")
+      (Http.header "x-mixed-case" req.Http.headers);
+    Alcotest.(check bool) "1.1 keeps alive" true (Http.keep_alive req)
+
+let test_http_parse_errors () =
+  let parse raw = Http.read_request (Http.Reader.of_string raw) in
+  (match parse "" with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "empty stream should be Eof");
+  (match parse "GARBAGE\r\n\r\n" with
+  | Error (`Bad_request _) -> ()
+  | _ -> Alcotest.fail "malformed request line should be Bad_request");
+  (match parse "GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n" with
+  | Error (`Bad_request _) -> ()
+  | _ -> Alcotest.fail "bad content-length should be Bad_request");
+  match parse "GET / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n" with
+  | Error (`Too_large _) -> ()
+  | _ -> Alcotest.fail "huge content-length should be Too_large"
+
+let test_http_connection_header () =
+  let with_conn v =
+    Printf.sprintf "GET / HTTP/1.1\r\nConnection: %s\r\n\r\n" v
+  in
+  let ka raw =
+    match Http.read_request (Http.Reader.of_string raw) with
+    | Ok req -> Http.keep_alive req
+    | Error e -> Alcotest.failf "parse failed: %s" (Http.error_to_string e)
+  in
+  Alcotest.(check bool) "close" false (ka (with_conn "close"));
+  Alcotest.(check bool) "Close" false (ka (with_conn "Close"));
+  Alcotest.(check bool) "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+(* ---- registry ---- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let temp_root () =
+  let dir = Filename.temp_file "hieropt_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let with_root f =
+  let root = temp_root () in
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+
+(* a second, distinguishable model: same grid, different jitter *)
+let other_entries =
+  Array.map
+    (fun e ->
+      {
+        e with
+        Hieropt.Variation_model.design =
+          {
+            e.Hieropt.Variation_model.design with
+            Hieropt.Vco_problem.perf =
+              {
+                e.Hieropt.Variation_model.design.Hieropt.Vco_problem.perf with
+                Repro_spice.Vco_measure.jvco =
+                  e.Hieropt.Variation_model.design.Hieropt.Vco_problem.perf
+                    .Repro_spice.Vco_measure.jvco *. 2.0;
+              };
+          };
+      })
+    Test_core.synthetic_entries
+
+let other_model = H.Perf_table.build other_entries
+
+let test_registry_load_and_ids () =
+  with_root @@ fun root ->
+  H.Perf_table.save ~dir:root Test_core.model;
+  let reg = S.Registry.create ~root () in
+  (match S.Registry.get reg "default" with
+  | Ok table -> Alcotest.(check int) "entries" 8 (H.Perf_table.size table)
+  | Error e -> Alcotest.failf "load failed: %s" (S.Registry.error_to_string e));
+  (match S.Registry.get reg "../etc" with
+  | Error (S.Registry.Invalid_id _) -> ()
+  | _ -> Alcotest.fail "path traversal must be an invalid id");
+  (match S.Registry.get reg "no_such_model" with
+  | Error (S.Registry.Unknown_model _) -> ()
+  | _ -> Alcotest.fail "missing dir must be unknown");
+  Alcotest.(check int) "one model cached" 1 (S.Registry.loaded_count reg)
+
+let test_registry_invalidation () =
+  with_root @@ fun root ->
+  H.Perf_table.save ~dir:root Test_core.model;
+  let reg = S.Registry.create ~root () in
+  let jvco_of reg =
+    match S.Registry.get reg "default" with
+    | Ok t -> H.Perf_table.jvco_of t ~kvco:400e6 ~ivco:3e-3
+    | Error e -> Alcotest.failf "load failed: %s" (S.Registry.error_to_string e)
+  in
+  let before = jvco_of reg in
+  (* overwrite the model on disk and force a different mtime — a cached
+     table must not survive its archive changing under it *)
+  H.Perf_table.save ~dir:root other_model;
+  let bumped = Unix.time () +. 10. in
+  Unix.utimes (Filename.concat root "pareto.tbl") bumped bumped;
+  let after = jvco_of reg in
+  Alcotest.(check bool) "reloaded" true (bits after <> bits before);
+  Alcotest.(check (float 1e-30)) "doubled jitter" (before *. 2.0) after
+
+let test_registry_lru () =
+  with_root @@ fun root ->
+  List.iter
+    (fun id ->
+      let dir = Filename.concat root id in
+      Unix.mkdir dir 0o755;
+      H.Perf_table.save ~dir Test_core.model)
+    [ "a"; "b" ];
+  let reg = S.Registry.create ~capacity:1 ~root () in
+  ignore (S.Registry.get reg "a");
+  Alcotest.(check int) "a loaded" 1 (S.Registry.loaded_count reg);
+  ignore (S.Registry.get reg "b");
+  Alcotest.(check int) "a evicted for b" 1 (S.Registry.loaded_count reg);
+  let ids = List.map (fun i -> i.S.Registry.id) (S.Registry.list reg) in
+  Alcotest.(check (list string)) "listing" [ "a"; "b" ] ids
+
+(* ---- loopback server ---- *)
+
+(* the server serves what it loads from disk, and the archive keeps 10
+   significant digits (%.9e) — so bit-identity claims must compare
+   against the same loaded table, exactly as a real run would *)
+let with_server ?(workers = 2) f =
+  with_root @@ fun root ->
+  H.Perf_table.save ~dir:root Test_core.model;
+  let loaded = H.Perf_table.load ~dir:root in
+  let registry = S.Registry.create ~root () in
+  let api = S.Api.create ~registry in
+  let server = S.Server.start ~port:0 ~workers ~api () in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.stop ~drain_timeout:2. server;
+      S.Server.wait server)
+    (fun () ->
+      f ~loaded server
+        (S.Client.create ~port:(S.Server.port server) ~retries:1 ()))
+
+let query_batch =
+  (* sample points, interpolated points, and out-of-range clamps *)
+  [| (400e6, 3e-3); (1.8e9, 10e-3); (512.5e6, 4.25e-3); (1e5, 1e-6);
+     (1e12, 1.0); (777e6, 6.125e-3) |]
+
+let check_client = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "client error: %s" (S.Client.error_to_string e)
+
+let test_serve_query_bit_identical () =
+  with_server @@ fun ~loaded _server client ->
+  let remote = check_client (S.Client.query_points client ~model:"default" query_batch) in
+  let local = H.Perf_table.eval_points loaded query_batch in
+  Alcotest.(check int) "count" (Array.length local) (Array.length remote);
+  Array.iteri
+    (fun i (l : H.Perf_table.point_eval) ->
+      if l <> remote.(i) then
+        Alcotest.failf "point %d differs after the HTTP roundtrip" i)
+    local
+
+let test_serve_verify () =
+  with_server @@ fun ~loaded _server client ->
+  let e = Test_core.synthetic_entries.(3) in
+  let perf = e.H.Variation_model.design.H.Vco_problem.perf in
+  let params = check_client (S.Client.verify_point client ~model:"default" perf) in
+  let expected =
+    Repro_circuit.Topologies.vco_vector_of_params
+      (H.Perf_table.params_of_perf loaded perf)
+  in
+  Alcotest.(check int) "7 params" 7 (List.length params);
+  List.iteri
+    (fun i (name, v) ->
+      Alcotest.(check string)
+        "param order" Repro_circuit.Topologies.vco_param_names.(i) name;
+      if bits v <> bits expected.(i) then
+        Alcotest.failf "param %s differs after the HTTP roundtrip" name)
+    params
+
+let test_serve_endpoints () =
+  with_server @@ fun ~loaded:_ _server client ->
+  (* healthz *)
+  let health = check_client (S.Client.get_json client "/healthz") in
+  (match Json.member "status" health with
+  | Some (Json.Str "ok") -> ()
+  | _ -> Alcotest.fail "healthz status");
+  (* metrics: well-formed JSON with counters/timers objects *)
+  let metrics = check_client (S.Client.get_json client "/metrics") in
+  (match (Json.member "counters" metrics, Json.member "timers" metrics) with
+  | Some (Json.Obj _), Some (Json.Obj _) -> ()
+  | _ -> Alcotest.fail "metrics shape");
+  (* model listing *)
+  let models = check_client (S.Client.get_json client "/models") in
+  (match Json.member "models" models with
+  | Some (Json.Arr (_ :: _)) -> ()
+  | _ -> Alcotest.fail "models listing");
+  (* status mapping *)
+  let status path meth body =
+    match
+      (if meth = "GET" then S.Client.get client path
+       else S.Client.post client path ~body)
+    with
+    | Ok r -> r.Http.status
+    | Error e -> Alcotest.failf "request failed: %s" (S.Client.error_to_string e)
+  in
+  Alcotest.(check int) "404 unknown path" 404 (status "/nope" "GET" "");
+  Alcotest.(check int) "404 unknown model" 404
+    (status "/models/missing/query" "POST" "{\"kvco\":1,\"ivco\":1}");
+  Alcotest.(check int) "405 wrong verb" 405 (status "/models/default/query" "GET" "");
+  Alcotest.(check int) "400 bad body" 400 (status "/models/default/query" "POST" "{");
+  Alcotest.(check int) "400 missing field" 400
+    (status "/models/default/query" "POST" "{\"kvco\":1}")
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let test_serve_graceful_drain () =
+  with_server @@ fun ~loaded:_ server _client ->
+  let port = S.Server.port server in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let body = "{\"kvco\":400000000,\"ivco\":0.003}" in
+  (* half a request: the server is now mid-read on a worker *)
+  write_all fd
+    (Printf.sprintf "POST /models/default/query HTTP/1.1\r\nContent-Length: %d\r\n"
+       (String.length body));
+  Thread.delay 0.1;
+  S.Server.stop ~drain_timeout:5. server;
+  Thread.delay 0.1;
+  (* the in-flight request must still complete... *)
+  write_all fd ("\r\n" ^ body);
+  (match Http.read_response (Http.Reader.of_fd fd) with
+  | Ok resp ->
+    Alcotest.(check int) "drained request answered" 200 resp.Http.status;
+    Alcotest.(check (option string)) "told to close" (Some "close")
+      (Http.header "connection" resp.Http.resp_headers)
+  | Error e -> Alcotest.failf "drain response: %s" (Http.error_to_string e));
+  S.Server.wait server;
+  (* ...and the drained server must accept nothing new *)
+  let fd2 = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match Unix.connect fd2 (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | () -> Alcotest.fail "stopped server still accepting connections"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+
+(* ---- remote evaluation ---- *)
+
+let design_point = (600e6, 4.5e-3, 10e-12, 0.6e-12, 6e3)
+
+let eval cfg =
+  let kvco, ivco, c1, c2, r1 = design_point in
+  match H.Pll_problem.evaluate_point cfg ~kvco ~ivco ~c1 ~c2 ~r1 with
+  | Ok row -> row
+  | Error e -> Alcotest.failf "evaluate failed: %s" e
+
+let test_remote_pll_bit_identical () =
+  with_server @@ fun ~loaded _server client ->
+  let local_cfg = H.Pll_problem.default_config ~model:loaded in
+  let remote_cfg =
+    {
+      local_cfg with
+      H.Pll_problem.query =
+        Some (S.Remote.model_query ~client ~model:"default" ());
+    }
+  in
+  let local = eval local_cfg and remote = eval remote_cfg in
+  Alcotest.(check bool) "rows bit-identical" true (local = remote)
+
+let test_remote_fallback () =
+  (* a client pointed at a dead port: with a fallback table the query
+     degrades to local evaluation; without one it raises *)
+  let dead = S.Client.create ~port:1 ~timeout:0.2 ~retries:0 () in
+  let with_fb =
+    S.Remote.model_query ~fallback:Test_core.model ~client:dead
+      ~model:"default" ()
+  in
+  let local = H.Perf_table.eval_points Test_core.model query_batch in
+  Alcotest.(check bool) "fallback = local" true (with_fb query_batch = local);
+  let without_fb = S.Remote.model_query ~client:dead ~model:"default" () in
+  match without_fb query_batch with
+  | _ -> Alcotest.fail "dead server without fallback should raise"
+  | exception S.Remote.Remote_unavailable _ -> ()
+
+let test_parse_endpoint () =
+  let ok s = match S.Remote.parse_endpoint s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "parse_endpoint %S: %s" s e
+  in
+  Alcotest.(check (triple string int string)) "host:port"
+    ("localhost", 8190, "default") (ok "localhost:8190");
+  Alcotest.(check (triple string int string)) "with model"
+    ("10.0.0.1", 9000, "vco_a") (ok "10.0.0.1:9000/vco_a");
+  List.iter
+    (fun s ->
+      match S.Remote.parse_endpoint s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "localhost"; "host:"; ":80"; "host:0"; "host:99999"; "host:80/" ]
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json strictness" `Quick test_json_strictness;
+    QCheck_alcotest.to_alcotest prop_json_float_exact;
+    Alcotest.test_case "http parse request" `Quick test_http_parse_request;
+    Alcotest.test_case "http parse errors" `Quick test_http_parse_errors;
+    Alcotest.test_case "http connection header" `Quick test_http_connection_header;
+    Alcotest.test_case "registry load and ids" `Quick test_registry_load_and_ids;
+    Alcotest.test_case "registry invalidation" `Quick test_registry_invalidation;
+    Alcotest.test_case "registry lru" `Quick test_registry_lru;
+    Alcotest.test_case "serve query bit-identical" `Quick
+      test_serve_query_bit_identical;
+    Alcotest.test_case "serve verify" `Quick test_serve_verify;
+    Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
+    Alcotest.test_case "serve graceful drain" `Quick test_serve_graceful_drain;
+    Alcotest.test_case "remote pll bit-identical" `Quick
+      test_remote_pll_bit_identical;
+    Alcotest.test_case "remote fallback" `Quick test_remote_fallback;
+    Alcotest.test_case "parse endpoint" `Quick test_parse_endpoint;
+  ]

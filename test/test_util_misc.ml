@@ -80,12 +80,34 @@ let test_si_roundtrip () =
         Alcotest.failf "roundtrip %g -> %s -> %g" x (Si.format x) y)
     [ 1.0; 2.1e-12; 3.8e3; 0.12e-6; 5e6; 100e-6; 1.2e9; -2.5e-3 ]
 
+(* the strict grammar: a valid value followed by anything is garbage *)
+let test_si_parse_strict () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "reject %S" s)
+        None (Si.parse_opt s))
+    [ "10ux"; "2.2uF"; "5megx"; "3kk"; "1e1e1"; "1.5nF"; "4.2qq"; "7 k";
+      "."; "e3"; "+"; "-"; "1e"; "1e+"; "--1"; "10u x" ];
+  (* while suffix and exponent still compose *)
+  checkf "exponent then suffix" 1.5e-6 (Si.parse "1.5e0u");
+  checkf "leading dot" 0.5e-3 (Si.parse ".5m");
+  checkf "trailing dot" 1.0 (Si.parse "1.");
+  checkf "explicit plus" 2e3 (Si.parse "+2k")
+
 let prop_si_roundtrip =
   QCheck.Test.make ~name:"SI format/parse roundtrip" ~count:500
     QCheck.(float_range 1e-14 1e13)
     (fun x ->
       let y = Si.parse (Si.format x) in
       Float.abs (y -. x) <= 1e-3 *. Float.abs x)
+
+let prop_si_strict_trailing =
+  (* appending a non-suffix character to any formatted value must turn
+     it into a parse failure, not silently drop the tail *)
+  QCheck.Test.make ~name:"SI parse rejects trailing garbage" ~count:500
+    QCheck.(pair (float_range 1e-14 1e13) (oneofl [ "x"; "F"; "z"; " 1"; "k9"; "~" ]))
+    (fun (x, tail) -> Si.parse_opt (Si.format x ^ tail) = None)
 
 let prop_clamp_idempotent =
   QCheck.Test.make ~name:"clamp idempotent" ~count:500
@@ -105,8 +127,10 @@ let suite =
     Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
     Alcotest.test_case "si parse" `Quick test_si_parse;
     Alcotest.test_case "si parse bad" `Quick test_si_parse_bad;
+    Alcotest.test_case "si parse strict" `Quick test_si_parse_strict;
     Alcotest.test_case "si format" `Quick test_si_format;
     Alcotest.test_case "si roundtrip" `Quick test_si_roundtrip;
     QCheck_alcotest.to_alcotest prop_si_roundtrip;
+    QCheck_alcotest.to_alcotest prop_si_strict_trailing;
     QCheck_alcotest.to_alcotest prop_clamp_idempotent;
   ]
