@@ -20,6 +20,42 @@ let section title =
 let telemetry_line () = Printf.printf "[%s]\n%!" (E.Telemetry.line ())
 
 (* ------------------------------------------------------------------ *)
+(* machine-readable metrics: every section records (section, key, value)
+   and the whole run lands in BENCH.json, so the perf trajectory is
+   diffable across PRs without scraping the human-readable report      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_metrics : (string * string * float) list ref = ref []
+let metric section key value = bench_metrics := (section, key, value) :: !bench_metrics
+
+let write_bench_json path =
+  let module J = Repro_serve.Json in
+  (* recorded newest-first; the file reads in run order *)
+  let ms = List.rev !bench_metrics in
+  let sections =
+    List.fold_left
+      (fun acc (s, _, _) -> if List.mem s acc then acc else acc @ [ s ])
+      [] ms
+  in
+  let doc =
+    J.Obj
+      (List.map
+         (fun s ->
+           ( s,
+             J.Obj
+               (List.filter_map
+                  (fun (s', k, v) -> if s' = s then Some (k, J.Num v) else None)
+                  ms) ))
+         sections)
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[%d metrics written to %s]\n%!"
+    (List.length !bench_metrics) path
+
+(* ------------------------------------------------------------------ *)
 (* experiment harness: one full flow run drives every artefact         *)
 (* ------------------------------------------------------------------ *)
 
@@ -144,6 +180,9 @@ let engine_bench (result : H.Hierarchy.result) =
   let workers = max 2 (E.Config.jobs ()) in
   let serial, t_serial = mc_with 1 in
   let pooled, t_pooled = mc_with workers in
+  metric "engine" "mc_serial_s" t_serial;
+  metric "engine" "mc_pooled_s" t_pooled;
+  metric "engine" "mc_speedup" (t_serial /. Float.max t_pooled 1e-9);
   Printf.printf
     "table1-style MC workload, %d trials (perturb + re-characterise):\n" n;
   Printf.printf "  1 worker   %7.2f s\n" t_serial;
@@ -173,6 +212,9 @@ let engine_bench (result : H.Hierarchy.result) =
   let warm, t_warm =
     timed (fun () -> Repro_moo.Problem.evaluate_all ~evaluator problem batch)
   in
+  metric "engine" "cache_cold_s" t_cold;
+  metric "engine" "cache_warm_s" t_warm;
+  metric "engine" "cache_speedup" (t_cold /. Float.max t_warm 1e-9);
   Printf.printf "system-level batch of %d candidates through the eval cache:\n"
     (Array.length batch);
   Printf.printf "  cold cache %7.3f s\n" t_cold;
@@ -212,6 +254,8 @@ let checkpoint_bench (result : H.Hierarchy.result) =
   let resumed, t_resumed =
     timed (fun () -> H.Hierarchy.run_system_level (cfg ~resume:true) ~model)
   in
+  metric "checkpoint" "cold_s" t_cold;
+  metric "checkpoint" "resumed_s" t_resumed;
   Printf.printf
     "system-level run (tiny scale), snapshot flushed every generation:\n";
   Printf.printf "  cold    %7.2f s\n" t_cold;
@@ -258,7 +302,7 @@ let serve_bench (result : H.Hierarchy.result) =
   let clients = 4 and requests_per_client = 64 in
   let bench_workers workers =
     let registry = S.Registry.create ~root:dir () in
-    let api = S.Api.create ~registry in
+    let api = S.Api.create ~registry () in
     let server = S.Server.start ~port:0 ~workers ~api () in
     let port = S.Server.port server in
     Fun.protect
@@ -267,35 +311,43 @@ let serve_bench (result : H.Hierarchy.result) =
         S.Server.wait server)
     @@ fun () ->
     let identical = Atomic.make true in
-    let lats =
-      Array.make (clients * requests_per_client) Float.infinity
+    (* client-observed latency goes through the new histogram machinery
+       (a local instance, not the registry — each worker count gets a
+       fresh one); fine-grained low buckets since these are sub-ms *)
+    let hist =
+      Repro_obs.Histogram.create ~buckets:120 ~lo:1e-5 ~hi:10.0 ()
     in
-    let client_loop c () =
+    let client_loop ~record () =
       let client = S.Client.create ~port () in
-      for r = 0 to requests_per_client - 1 do
+      for _ = 1 to requests_per_client do
         let t0 = Unix.gettimeofday () in
         (match S.Client.query_points client ~model:"default" batch with
         | Ok got -> if got <> expected then Atomic.set identical false
         | Error _ -> Atomic.set identical false);
-        lats.((c * requests_per_client) + r) <- Unix.gettimeofday () -. t0
+        if record then
+          Repro_obs.Histogram.observe hist (Unix.gettimeofday () -. t0)
       done
     in
     (* warm the registry so the load leg measures queries, not loads *)
-    client_loop 0 ();
-    Array.fill lats 0 (Array.length lats) Float.infinity;
+    client_loop ~record:false ();
     let wall0 = Unix.gettimeofday () in
-    let threads = List.init clients (fun c -> Thread.create (client_loop c) ()) in
+    let threads =
+      List.init clients (fun _ -> Thread.create (client_loop ~record:true) ())
+    in
     List.iter Thread.join threads;
     let wall = Unix.gettimeofday () -. wall0 in
-    Array.sort compare lats;
-    let n = Array.length lats in
-    let pct p = lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+    let s = Repro_obs.Histogram.stats hist in
+    let qps = float_of_int s.Repro_obs.Histogram.count /. wall in
+    let tag key v = metric "serve" (Printf.sprintf "%s_w%d" key workers) v in
+    tag "qps" qps;
+    tag "p50_ms" (1e3 *. s.Repro_obs.Histogram.p50);
+    tag "p99_ms" (1e3 *. s.Repro_obs.Histogram.p99);
     Printf.printf
       "  %d worker(s)  %8.0f queries/s   p50 %6.2f ms   p99 %6.2f ms   \
        bit-identical: %b\n"
-      workers
-      (float_of_int n /. wall)
-      (1e3 *. pct 0.50) (1e3 *. pct 0.99)
+      workers qps
+      (1e3 *. s.Repro_obs.Histogram.p50)
+      (1e3 *. s.Repro_obs.Histogram.p99)
       (Atomic.get identical)
   in
   Printf.printf
@@ -377,8 +429,9 @@ let run_experiments () =
   telemetry_line ();
   section "Engine — full telemetry";
   print_string (E.Telemetry.report ());
-  Printf.printf "\n[experiments complete in %.1f s wall]\n%!"
-    (Unix.gettimeofday () -. wall0);
+  let wall = Unix.gettimeofday () -. wall0 in
+  metric "flow" "wall_s" wall;
+  Printf.printf "\n[experiments complete in %.1f s wall]\n%!" wall;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -530,6 +583,7 @@ let run_timings result =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
+            metric "timings" (name ^ "_ns") est;
             Printf.printf "  %-32s %s\n%!" name
               (if est > 1e9 then Printf.sprintf "%8.3f s/run" (est /. 1e9)
                else if est > 1e6 then Printf.sprintf "%8.3f ms/run" (est /. 1e6)
@@ -541,4 +595,5 @@ let run_timings result =
 let () =
   let result = run_experiments () in
   run_timings result;
+  write_bench_json "BENCH.json";
   print_newline ()

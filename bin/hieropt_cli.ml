@@ -9,12 +9,15 @@
      yield         Monte-Carlo a design point from a saved table model
      serve         serve saved table models over HTTP
      query         query a table model (local dir or running server)
+     report        summarise a run journal (and optionally a trace)
 
    Exit codes: 0 success; 1 generic failure; 3 circuit solver error;
    4 invalid/unloadable table model; 5 model-server error (bind,
    unreachable, bad response); 130 interrupted. *)
 
 open Cmdliner
+
+let version = "1.0.0"
 
 let exit_solver = 3
 let exit_model = 4
@@ -141,6 +144,36 @@ let with_lifecycle ~checkpoint_every f =
   if checkpoint_every <> None then
     Repro_engine.Checkpoint.install_signal_handler ();
   try f () with Repro_engine.Checkpoint.Interrupted -> exit_interrupted ()
+
+(* ---- tracing ---- *)
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span timeline of the run and write it to $(docv) as \
+           Chrome trace_event JSON on exit (load in chrome://tracing or \
+           Perfetto).  Tracing is zero-perturbation: results and \
+           artefacts are byte-identical with or without it.")
+
+(* sits INSIDE with_lifecycle so the trace is exported (via the
+   Fun.protect finaliser) even when Checkpoint.Interrupted unwinds the
+   run before with_lifecycle turns it into exit 130 *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Repro_obs.Trace.start ();
+    Fun.protect
+      ~finally:(fun () ->
+        Repro_obs.Trace.stop ();
+        match Repro_obs.Trace.export path with
+        | n -> Fmt.epr "trace: %d events written to %s@." n path
+        | exception Sys_error msg ->
+          Fmt.epr "trace: cannot write %s: %s@." path msg)
+      f
 
 (* ---- simulate ---- *)
 
@@ -277,7 +310,7 @@ let flow_cmd =
              comparison.")
   in
   let run seed full scale jobs nominal_only model_dir checkpoint_every resume
-      interrupt_after verbose =
+      interrupt_after trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     let scale, spec = resolve_scale full scale in
@@ -287,6 +320,7 @@ let flow_cmd =
         ()
     in
     with_lifecycle ~checkpoint_every @@ fun () ->
+    with_trace trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run
         ~progress:(fun s -> Fmt.pr "[flow] %s@." s)
@@ -317,7 +351,7 @@ let flow_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ ablation_t $ model_dir_t
-      $ checkpoint_every_t $ resume_t $ interrupt_after_t $ verbose_t)
+      $ checkpoint_every_t $ resume_t $ interrupt_after_t $ trace_t $ verbose_t)
 
 (* ---- system ---- *)
 
@@ -347,8 +381,8 @@ let pll_query_of_remote ~fallback remote =
       Some (Repro_serve.Remote.model_query ~fallback ~client ~model ()))
 
 let system_cmd =
-  let run seed full scale jobs model_dir remote checkpoint_every resume verbose
-      =
+  let run seed full scale jobs model_dir remote checkpoint_every resume trace
+      verbose =
     setup_logging verbose;
     setup_jobs jobs;
     let model = load_model model_dir in
@@ -359,6 +393,7 @@ let system_cmd =
         ?checkpoint_every ~resume ()
     in
     with_lifecycle ~checkpoint_every @@ fun () ->
+    with_trace trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run_system_level
         ~progress:(fun s -> Fmt.pr "[system] %s@." s)
@@ -375,7 +410,7 @@ let system_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ model_dir_t $ remote_t
-      $ checkpoint_every_t $ resume_t $ verbose_t)
+      $ checkpoint_every_t $ resume_t $ trace_t $ verbose_t)
 
 (* ---- yield ---- *)
 
@@ -456,10 +491,11 @@ let serve_cmd =
       & info [ "request-timeout" ] ~docv:"SECONDS"
           ~doc:"Per-connection socket read timeout.")
   in
-  let run model_dir addr port workers request_timeout verbose =
+  let run model_dir addr port workers request_timeout trace verbose =
     setup_logging verbose;
     let registry = Repro_serve.Registry.create ~root:model_dir () in
-    let api = Repro_serve.Api.create ~registry in
+    let api = Repro_serve.Api.create ~version ~registry () in
+    with_trace trace @@ fun () ->
     let server =
       match
         Repro_serve.Server.start ~addr ~port ~workers ~request_timeout ~api ()
@@ -484,7 +520,7 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const run $ model_dir_t $ addr_t $ port_t $ workers_t $ timeout_t
-      $ verbose_t)
+      $ trace_t $ verbose_t)
 
 (* ---- query ---- *)
 
@@ -627,7 +663,7 @@ let query_cmd =
                  ])
           | None -> ())
         model;
-      if metrics then Fmt.pr "%s@." (Repro_engine.Telemetry.to_json_string ())
+      if metrics then print_json (Repro_serve.Api.metrics_json ())
   in
   let info =
     Cmd.info "query"
@@ -640,12 +676,236 @@ let query_cmd =
       const run $ model_dir_t $ remote_t $ point_t $ metrics_t $ verify_t
       $ wait_t $ verbose_t)
 
+(* ---- report ---- *)
+
+let report_cmd =
+  let module J = Repro_serve.Json in
+  let journal_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Journal to read (default: MODEL_DIR/run.journal).")
+  in
+  let trace_file_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also analyse a Chrome trace recorded with --trace and list \
+             the slowest spans.")
+  in
+  let top_t =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"How many slowest spans to list.")
+  in
+  let jstr name j =
+    match J.member name j with Some (J.Str s) -> Some s | _ -> None
+  in
+  let jnum name j =
+    match J.member name j with Some (J.Num x) -> Some x | _ -> None
+  in
+  let read_journal path =
+    let ic =
+      try open_in path
+      with Sys_error msg -> die 1 "cannot read journal: %s" msg
+    in
+    let rec loop acc =
+      match input_line ic with
+      | line -> (
+        match J.of_string line with
+        | Ok j -> loop (j :: acc)
+        | Error _ -> loop acc (* a torn trailing line is not fatal *))
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    loop []
+  in
+  let report_journal events =
+    (* the journal is append-only across runs: report the newest run *)
+    let run_id =
+      List.fold_left
+        (fun acc j ->
+          if jstr "event" j = Some "run.start" then jstr "run" j else acc)
+        None events
+    in
+    let run_id =
+      match run_id with
+      | Some id -> id
+      | None -> (
+        match List.rev events with
+        | last :: _ -> Option.value ~default:"?" (jstr "run" last)
+        | [] -> die 1 "journal is empty")
+    in
+    let events = List.filter (fun j -> jstr "run" j = Some run_id) events in
+    let of_event name = List.filter (fun j -> jstr "event" j = Some name) events in
+    (match of_event "run.start" with
+    | start :: _ ->
+      Fmt.pr "run %s  (fingerprint %s, %d events)@." run_id
+        (Option.value ~default:"?" (jstr "fingerprint" start))
+        (List.length events)
+    | [] -> Fmt.pr "run %s  (%d events)@." run_id (List.length events));
+    (* per-phase wall-clock breakdown, in completion order *)
+    let phases =
+      List.filter_map
+        (fun j ->
+          match (jstr "phase" j, jnum "seconds" j) with
+          | Some p, Some s -> Some (p, s)
+          | _ -> None)
+        (of_event "phase.finish")
+    in
+    if phases <> [] then begin
+      let total = List.fold_left (fun a (_, s) -> a +. s) 0.0 phases in
+      Fmt.pr "@.phase breakdown:@.";
+      List.iter
+        (fun (p, s) ->
+          Fmt.pr "  %-14s %9.3f s  %5.1f%%@." p s
+            (if total > 0.0 then 100.0 *. s /. total else 0.0))
+        phases;
+      Fmt.pr "  %-14s %9.3f s@." "total" total
+    end;
+    (* generation-by-generation convergence, one table per GA label *)
+    let generations = of_event "ga.generation" in
+    let labels =
+      List.fold_left
+        (fun acc j ->
+          match jstr "label" j with
+          | Some l when not (List.mem l acc) -> acc @ [ l ]
+          | _ -> acc)
+        [] generations
+    in
+    List.iter
+      (fun label ->
+        Fmt.pr "@.%s-level convergence:@." label;
+        Fmt.pr "  %4s  %5s  %12s  %12s@." "gen" "front" "spread" "hypervolume";
+        List.iter
+          (fun j ->
+            if jstr "label" j = Some label then
+              Fmt.pr "  %4.0f  %5.0f  %12.5g  %12.5g@."
+                (Option.value ~default:0.0 (jnum "generation" j))
+                (Option.value ~default:0.0 (jnum "front_size" j))
+                (Option.value ~default:0.0 (jnum "spread" j))
+                (Option.value ~default:0.0 (jnum "hypervolume" j)))
+          generations)
+      labels;
+    let checkpoints = of_event "checkpoint" in
+    if checkpoints <> [] then begin
+      let count a =
+        List.length
+          (List.filter (fun j -> jstr "action" j = Some a) checkpoints)
+      in
+      Fmt.pr "@.checkpoints: %d flushed, %d resumed@." (count "flush")
+        (count "resume")
+    end;
+    let warnings = of_event "warning" in
+    if warnings <> [] then begin
+      Fmt.pr "@.warnings (%d):@." (List.length warnings);
+      List.iter
+        (fun j ->
+          Fmt.pr "  [%s] %s@."
+            (Option.value ~default:"?" (jstr "key" j))
+            (Option.value ~default:"" (jstr "message" j)))
+        warnings
+    end;
+    match of_event "run.finish" with
+    | finish :: _ ->
+      Fmt.pr "@.run finished in %.3f s@."
+        (Option.value ~default:0.0 (jnum "seconds" finish))
+    | [] -> Fmt.pr "@.run did not record a finish event (still running or killed)@."
+  in
+  let report_trace path top =
+    let body =
+      try
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error msg -> die 1 "cannot read trace: %s" msg
+    in
+    let j =
+      match J.of_string body with
+      | Ok j -> j
+      | Error msg -> die 1 "trace %s: invalid JSON: %s" path msg
+    in
+    let events =
+      match J.member "traceEvents" j with
+      | Some (J.Arr evs) -> evs
+      | _ -> die 1 "trace %s: no traceEvents array" path
+    in
+    (* pair B/E per thread with a stack — events are in emission order *)
+    let stacks : (int, (string * float) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let spans = ref [] in
+    let unbalanced = ref 0 in
+    List.iter
+      (fun e ->
+        let tid = int_of_float (Option.value ~default:0.0 (jnum "tid" e)) in
+        let stack =
+          match Hashtbl.find_opt stacks tid with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.add stacks tid s;
+            s
+        in
+        match (jstr "ph" e, jstr "name" e, jnum "ts" e) with
+        | Some "B", Some name, Some ts -> stack := (name, ts) :: !stack
+        | Some "E", _, Some ts -> (
+          match !stack with
+          | (name, t0) :: rest ->
+            stack := rest;
+            spans := (name, ts -. t0, t0, tid) :: !spans
+          | [] -> incr unbalanced)
+        | _ -> ())
+      events;
+    Hashtbl.iter (fun _ s -> unbalanced := !unbalanced + List.length !s) stacks;
+    let spans =
+      List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a) !spans
+    in
+    Fmt.pr "@.slowest spans (%d total%s):@." (List.length spans)
+      (if !unbalanced > 0 then
+         Printf.sprintf ", %d unbalanced events" !unbalanced
+       else "");
+    Fmt.pr "  %12s  %-24s  %4s  %12s@." "duration" "span" "tid" "start";
+    List.iteri
+      (fun i (name, dur, t0, tid) ->
+        if i < top then
+          Fmt.pr "  %9.3f ms  %-24s  %4d  %9.3f ms@." (dur /. 1e3) name tid
+            (t0 /. 1e3))
+      spans
+  in
+  let run model_dir journal trace top verbose =
+    setup_logging verbose;
+    let journal_path =
+      Option.value journal
+        ~default:(Filename.concat model_dir Repro_obs.Journal.default_file)
+    in
+    report_journal (read_journal journal_path);
+    Option.iter (fun path -> report_trace path top) trace
+  in
+  let info =
+    Cmd.info "report"
+      ~doc:
+        "Summarise a run journal: per-phase time breakdown, \
+         generation-by-generation GA convergence (front size, spread, \
+         hypervolume), checkpoint activity and warnings — plus the \
+         slowest spans of a recorded trace."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_dir_t $ journal_t $ trace_file_t $ top_t $ verbose_t)
+
 let main_cmd =
   let doc =
     "hierarchical performance-and-variation optimisation of analogue \
      circuits (DATE 2009 reproduction)"
   in
-  Cmd.group (Cmd.info "hieropt" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "hieropt" ~version ~doc)
     [
       simulate_cmd;
       characterise_cmd;
@@ -654,6 +914,7 @@ let main_cmd =
       yield_cmd;
       serve_cmd;
       query_cmd;
+      report_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

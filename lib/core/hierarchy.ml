@@ -2,6 +2,7 @@ module V = Repro_spice.Vco_measure
 module Nsga2 = Repro_moo.Nsga2
 module Prng = Repro_util.Prng
 module E = Repro_engine
+module Obs = Repro_obs
 
 type scale = {
   vco_population : int;
@@ -165,6 +166,55 @@ type result = {
 
 let say progress fmt = Printf.ksprintf (fun s -> progress s) fmt
 
+(* ---- observability ------------------------------------------------ *)
+
+(* Fixed hypervolume reference points: generous per-objective upper
+   bounds that every plausible front dominates, kept constant so the
+   indicator is comparable across generations, runs and PRs.  The
+   circuit level tracks the paper's three headline objectives (jitter,
+   current, -gain — Figure 7); the system level all three PLL
+   objectives (lock time, jitter sum, current). *)
+let circuit_hv_reference = [| 1e-9; 0.1; 0.0 |]
+let circuit_hv_dims = [| 0; 1; 2 |]
+let system_hv_reference = [| 2e-6; 5e-12; 20e-3 |]
+
+(* phase bracket: journal start/finish events and a trace span around
+   the existing telemetry timer, preserving the "phase.<name>" keys *)
+let timed_phase name f =
+  Obs.Journal.record_phase_start name;
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.span ("phase." ^ name) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Journal.record_phase_finish name
+        ~seconds:(Unix.gettimeofday () -. t0))
+    (fun () -> E.Telemetry.time ("phase." ^ name) f)
+
+(* The journal is diagnostic output riding alongside the model
+   artefacts, so it lives in [model_dir] and an IO failure only costs
+   the journal, never the run. *)
+let open_journal ~fingerprint cfg =
+  match cfg.model_dir with
+  | None -> None
+  | Some dir -> (
+    try
+      let j = Obs.Journal.create ~dir () in
+      Obs.Journal.set_current j;
+      Obs.Journal.run_start j ~fingerprint
+        [
+          ("seed", Obs.Jfmt.I cfg.seed);
+          ("jobs", Obs.Jfmt.I (E.Config.jobs ()));
+        ];
+      Some j
+    with Sys_error _ | Unix.Unix_error _ -> None)
+
+let close_journal t0 = function
+  | None -> ()
+  | Some j ->
+    Obs.Journal.run_finish j ~seconds:(Unix.gettimeofday () -. t0);
+    Obs.Journal.clear_current ();
+    Obs.Journal.close j
+
 (* ---- evaluation-engine wiring ------------------------------------ *)
 
 let cache_path cfg =
@@ -232,6 +282,7 @@ let setup_checkpoint ?extra ~file cfg progress =
         match E.Checkpoint.resume ~every ~fingerprint:fp path with
         | Ok ck ->
           say progress "checkpoint: resuming from %s" path;
+          Obs.Journal.record_checkpoint ~action:"resume" ~path;
           Some ck
         | Error reason ->
           E.Telemetry.warn ~key:"checkpoint.cold_start"
@@ -253,7 +304,23 @@ let maybe_stop_after ~interrupt_after ck phase =
 (* one checkpointable NSGA-II run: restore a paused generation loop when
    the snapshot has one under [key], then step to completion, saving
    state each generation and flushing every [every] *)
-let run_ga ~progress ~label ~key ~options ~evaluator ~ck problem prng =
+let run_ga ~progress ~label ~key ~options ~evaluator ~hv_of ~ck problem prng =
+  (* per-generation convergence entry for the journal: front size,
+     objective-space spread, and the exact hypervolume indicator.
+     Pure functions of the population — skipped entirely (not even
+     computed) when no journal is active, and unable to perturb the GA
+     either way. *)
+  let record st =
+    if Obs.Journal.active () then begin
+      let front = Nsga2.pareto_front (Nsga2.population st) in
+      let evals = Nsga2.evaluations front in
+      Obs.Journal.record_ga_generation ~label
+        ~generation:(Nsga2.generation st)
+        ~front_size:(Array.length front)
+        ~spread:(Repro_moo.Pareto.spread_2d evals)
+        ~hypervolume:(hv_of evals)
+    end
+  in
   let st =
     match
       Option.bind (snapshot_of ck) (fun snap ->
@@ -265,8 +332,10 @@ let run_ga ~progress ~label ~key ~options ~evaluator ~ck problem prng =
       st
     | None -> Nsga2.init ~options ~evaluator problem prng
   in
+  record st;
   while Nsga2.generation st < options.Nsga2.generations do
     Nsga2.step ~evaluator problem st;
+    record st;
     match ck with
     | None -> ()
     | Some c ->
@@ -355,7 +424,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
   let prng = Prng.create (cfg.seed + 77) in
   let pll_problem = Pll_problem.problem pll_cfg in
   let pll_pop =
-    E.Telemetry.time "phase.system-ga" @@ fun () ->
+    timed_phase "system-ga" @@ fun () ->
     run_ga ~progress ~label:"system" ~key:"ga.system"
       ~options:
         {
@@ -364,6 +433,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
           generations = scale.pll_generations;
         }
       ~evaluator:(Option.value evaluator ~default:Repro_moo.Problem.serial_evaluator)
+      ~hv_of:(Repro_moo.Hypervolume.of_front ~reference:system_hv_reference)
       ~ck pll_problem prng
   in
   maybe_stop_after ~interrupt_after ck System_ga;
@@ -384,7 +454,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
     Option.map
       (fun row ->
         say progress "yield: %d behavioural MC samples" scale.yield_samples;
-        E.Telemetry.time "phase.yield" @@ fun () ->
+        timed_phase "yield" @@ fun () ->
         Yield.behavioural ~n:scale.yield_samples
           ~prng:(Prng.create (cfg.seed + 99))
           ?checkpoint:(Option.map (fun c -> (c, "yield")) ck)
@@ -401,6 +471,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
     pll_config = pll_cfg }
 
 let run_system_level ?(progress = fun _ -> ()) ?pll_query cfg ~model =
+  let t_run = Unix.gettimeofday () in
   let cache = load_cache cfg in
   (* bind the snapshot to the input model too: the same config re-run
      over a different saved model must not resume from stale state.
@@ -411,6 +482,7 @@ let run_system_level ?(progress = fun _ -> ()) ?pll_query cfg ~model =
     Printf.sprintf "-%08x"
       (Hashtbl.hash_param 1000 1000 (Perf_table.entries model))
   in
+  let journal = open_journal ~fingerprint:(fingerprint ~extra cfg) cfg in
   let ck = setup_checkpoint ~extra ~file:"system.snapshot" cfg progress in
   let finish () =
     let result =
@@ -425,15 +497,20 @@ let run_system_level ?(progress = fun _ -> ()) ?pll_query cfg ~model =
     save_cache cfg cache progress;
     result
   in
-  try finish ()
-  with E.Checkpoint.Interrupted as e ->
-    save_cache cfg cache progress;
-    raise e
+  Fun.protect
+    ~finally:(fun () -> close_journal t_run journal)
+    (fun () ->
+      try finish ()
+      with E.Checkpoint.Interrupted as e ->
+        save_cache cfg cache progress;
+        raise e)
 
 let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
+  let t_run = Unix.gettimeofday () in
   let scale = cfg.scale in
   let cache = load_cache cfg in
   let evaluator = evaluator_of cfg cache in
+  let journal = open_journal ~fingerprint:(fingerprint cfg) cfg in
   let ck = setup_checkpoint ~file:"run.snapshot" cfg progress in
   let snap = snapshot_of ck in
   say progress "engine: %d worker(s), %s" (E.Config.jobs ())
@@ -454,7 +531,7 @@ let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
           Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec ()
         in
         let pop =
-          E.Telemetry.time "phase.circuit-ga" @@ fun () ->
+          timed_phase "circuit-ga" @@ fun () ->
           run_ga ~progress ~label:"circuit" ~key:"ga.circuit"
             ~options:
               {
@@ -462,7 +539,11 @@ let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
                 population = scale.vco_population;
                 generations = scale.vco_generations;
               }
-            ~evaluator ~ck vco_problem prng
+            ~evaluator
+            ~hv_of:
+              (Repro_moo.Hypervolume.of_front ~dims:circuit_hv_dims
+                 ~reference:circuit_hv_reference)
+            ~ck vco_problem prng
         in
         let full_front = Vco_problem.front_designs pop in
         if Array.length full_front < 2 then
@@ -519,7 +600,7 @@ let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
             ck
         in
         let entries =
-          E.Telemetry.time "phase.variation-mc" @@ fun () ->
+          timed_phase "variation-mc" @@ fun () ->
           Variation_model.analyse_front
             ~options:
               {
@@ -545,12 +626,16 @@ let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
     in
     maybe_stop_after ~interrupt_after ck Variation;
     (* step 3: combined table model (cheap, pure — rebuilt every run) *)
-    let model = Perf_table.build entries in
-    (match cfg.model_dir with
-    | Some dir ->
-      Perf_table.save ~dir model;
-      say progress "table model saved to %s" dir
-    | None -> ());
+    let model =
+      timed_phase "model" @@ fun () ->
+      let model = Perf_table.build entries in
+      (match cfg.model_dir with
+      | Some dir ->
+        Perf_table.save ~dir model;
+        say progress "table model saved to %s" dir
+      | None -> ());
+      model
+    in
     maybe_stop_after ~interrupt_after ck Model;
     (* steps 4-5 *)
     let result =
@@ -560,8 +645,11 @@ let run ?(progress = fun _ -> ()) ?interrupt_after cfg =
     save_cache cfg cache progress;
     result
   in
-  try body ()
-  with E.Checkpoint.Interrupted as e ->
-    (* keep the warm cache for the resumed run *)
-    save_cache cfg cache progress;
-    raise e
+  Fun.protect
+    ~finally:(fun () -> close_journal t_run journal)
+    (fun () ->
+      try body ()
+      with E.Checkpoint.Interrupted as e ->
+        (* keep the warm cache for the resumed run *)
+        save_cache cfg cache progress;
+        raise e)

@@ -94,6 +94,30 @@ val make_config :
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 (** The named Pareto front has too few designs to build a model from. *)
 
+(** {2 Observability}
+
+    When [model_dir] is set, a run appends structured events to
+    [model_dir/run.journal] ({!Repro_obs.Journal}): run start/finish
+    with the config fingerprint, phase boundaries with durations,
+    per-generation GA convergence entries (front size, spread and the
+    exact {!Repro_moo.Hypervolume} indicator against the fixed
+    reference points below), checkpoint flush/resume events and every
+    {!Repro_engine.Telemetry.warn}.  Phases, GA generations, evaluation
+    batches and MC batches additionally emit {!Repro_obs.Trace} spans
+    when tracing is enabled (the CLI's [--trace]).  All of it is
+    zero-perturbation: artefacts are byte-identical with observability
+    on or off. *)
+
+val circuit_hv_reference : float array
+(** Fixed reference point for the circuit-level hypervolume, over the
+    paper's three headline objectives (jitter, current, -gain). *)
+
+val circuit_hv_dims : int array
+(** The objective indices of the VCO problem those references cover. *)
+
+val system_hv_reference : float array
+(** Fixed reference point for the system-level (PLL) hypervolume. *)
+
 type phase = Circuit_ga | Variation | Model | System_ga
 
 val phase_name : phase -> string

@@ -19,7 +19,9 @@ let resume ?(every = 1) ~fingerprint path =
 let path t = t.path
 let every t = t.every
 let snapshot t = t.snap
-let flush t = Snapshot.save t.snap t.path
+let flush t =
+  Snapshot.save t.snap t.path;
+  Repro_obs.Journal.record_checkpoint ~action:"flush" ~path:t.path
 
 (* ---- interruption ------------------------------------------------ *)
 

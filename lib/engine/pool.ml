@@ -98,9 +98,12 @@ let run_items t n body =
   if n > 0 then begin
     let workers = min t.size n in
     if workers <= 1 || inside_worker () then
-      for i = 0 to n - 1 do
-        body i
-      done
+      Repro_obs.Trace.span "pool.serial"
+        ~args:[ ("items", string_of_int n) ]
+        (fun () ->
+          for i = 0 to n - 1 do
+            body i
+          done)
     else begin
       let chunk = max 1 (n / (workers * 8)) in
       let next = Atomic.make 0 in
@@ -114,9 +117,16 @@ let run_items t n body =
           if start >= n then continue := false
           else begin
             let stop = min n (start + chunk) in
-            for i = start to stop - 1 do
-              body i
-            done;
+            Repro_obs.Trace.span "pool.chunk"
+              ~args:
+                [
+                  ("first", string_of_int start);
+                  ("items", string_of_int (stop - start));
+                ]
+              (fun () ->
+                for i = start to stop - 1 do
+                  body i
+                done);
             let done_now =
               Atomic.fetch_and_add completed (stop - start) + (stop - start)
             in

@@ -46,11 +46,25 @@ let reset () =
       Hashtbl.reset registry.counters;
       Hashtbl.reset registry.timers)
 
+(* separate from the registry mutex so stderr I/O never blocks counter
+   updates from other domains *)
+let warn_mutex = Mutex.create ()
+
 let warn ~key fmt =
   Printf.ksprintf
     (fun msg ->
       incr key;
-      Printf.eprintf "WARNING [%s]: %s\n%!" key msg)
+      Repro_obs.Journal.record_warning ~key msg;
+      (* the whole line is formatted first and written with a single
+         [output_string] under a mutex, so warnings racing in from
+         several domains never interleave mid-line *)
+      let line = Printf.sprintf "WARNING [%s]: %s\n" key msg in
+      Mutex.lock warn_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock warn_mutex)
+        (fun () ->
+          output_string stderr line;
+          flush stderr))
     fmt
 
 let sorted tbl =

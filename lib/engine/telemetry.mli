@@ -21,8 +21,11 @@ val time : string -> (unit -> 'a) -> 'a
     exceptions). *)
 
 val warn : key:string -> ('a, unit, string, unit) format4 -> 'a
-(** Loud failure-channel warning: increments counter [key] and prints
-    ["WARNING [key]: ..."] to stderr. *)
+(** Loud failure-channel warning: increments counter [key], prints
+    ["WARNING [key]: ..."] to stderr as one atomic line (warnings from
+    concurrent domains never tear), and mirrors the warning into the
+    current {!Repro_obs.Journal} as a structured event when a run is
+    active. *)
 
 val reset : unit -> unit
 (** Clear every counter and timer (bench sections, tests). *)

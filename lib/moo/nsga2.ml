@@ -91,6 +91,13 @@ let init ?(options = default_options) ?(evaluator = Problem.serial_evaluator)
     population = eval_batch evaluator problem initial }
 
 let step ?(evaluator = Problem.serial_evaluator) problem st =
+  Repro_obs.Trace.span "nsga2.generation"
+    ~args:
+      [
+        ("problem", problem.Problem.name);
+        ("generation", string_of_int (st.generation + 1));
+      ]
+  @@ fun () ->
   let options = st.options and prng = st.prng in
   let pm =
     if options.mutation_prob > 0.0 then options.mutation_prob

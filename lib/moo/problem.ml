@@ -67,15 +67,25 @@ let unpack v =
     objectives = Array.sub v 1 (Array.length v - 1);
   }
 
+(* the registry histogram is resolved once; each evaluation then pays
+   one clock read + one mutex-protected bucket bump *)
+let eval_hist = lazy (Repro_obs.Histogram.get "eval.duration")
+
+let timed_evaluate t x =
+  Repro_obs.Histogram.time (Lazy.force eval_hist) (fun () -> t.evaluate x)
+
 let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
   let module E = Repro_engine in
   let n = Array.length xs in
   let kind = "eval:" ^ t.name ^ if salt = "" then "" else ":" ^ salt in
+  Repro_obs.Trace.span "eval.batch"
+    ~args:[ ("problem", t.name); ("points", string_of_int n) ]
+  @@ fun () ->
   E.Telemetry.time "eval.wall" @@ fun () ->
   match cache with
   | None ->
     E.Telemetry.incr "eval.runs" ~by:n;
-    E.Parmap.map ?pool t.evaluate xs
+    E.Parmap.map ?pool (timed_evaluate t) xs
   | Some cache ->
     (* consult the cache on the calling domain, dispatch only misses;
        results land back by index so output order (and content) is
@@ -91,7 +101,13 @@ let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
     let misses = Array.of_list !miss_idx in
     E.Telemetry.incr "eval.runs" ~by:(Array.length misses);
     E.Telemetry.incr "eval.cache_hits" ~by:(n - Array.length misses);
-    let fresh = E.Parmap.map ?pool (fun i -> t.evaluate xs.(i)) misses in
+    Repro_obs.Trace.instant "eval.cache"
+      ~args:
+        [
+          ("hits", string_of_int (n - Array.length misses));
+          ("misses", string_of_int (Array.length misses));
+        ];
+    let fresh = E.Parmap.map ?pool (fun i -> timed_evaluate t xs.(i)) misses in
     Array.iteri
       (fun k i ->
         E.Cache.store cache keys.(i) (pack fresh.(k));

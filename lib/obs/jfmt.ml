@@ -1,0 +1,53 @@
+(* shortest float rendering that parses back to the exact value, same
+   contract as the serve-layer encoder: a number written to a trace or
+   journal can be reconstructed bit-for-bit *)
+let float_repr x =
+  if not (Float.is_finite x) then "null"
+  else
+    let exact fmt =
+      let s = Printf.sprintf fmt x in
+      if float_of_string s = x then Some s else None
+    in
+    match exact "%.15g" with
+    | Some s -> s
+    | None -> (
+      match exact "%.16g" with Some s -> s | None -> Printf.sprintf "%.17g" x)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let quote s = "\"" ^ escape s ^ "\""
+
+type value = S of string | F of float | I of int
+
+let value_repr = function
+  | S s -> quote s
+  | F x -> float_repr x
+  | I n -> string_of_int n
+
+(* one compact JSON object from already-ordered fields *)
+let obj fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (quote k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (value_repr v))
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Tiny JSON text helpers shared by {!Trace} and {!Journal}.
+
+    [repro_obs] sits below every other library (only [unix] underneath),
+    so it cannot use the serve-layer codec; this is the minimal encoding
+    surface the observability artefacts need.  Floats render with the
+    shortest decimal string that parses back to the exact value. *)
+
+type value = S of string | F of float | I of int
+
+val float_repr : float -> string
+(** Lossless float rendering ([null] when not finite). *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val quote : string -> string
+(** [escape] plus surrounding quotes. *)
+
+val obj : (string * value) list -> string
+(** Compact one-line JSON object, fields in the given order. *)

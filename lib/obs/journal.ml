@@ -1,0 +1,93 @@
+let default_file = "run.journal"
+
+type t = {
+  path : string;
+  run_id : string;
+  oc : out_channel;
+  mutex : Mutex.t;
+}
+
+let path t = t.path
+let run_id t = t.run_id
+
+let gen_run_id () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ-%d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec (Unix.getpid ())
+
+let create ?run_id ~dir () =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir default_file in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  let run_id = match run_id with Some id -> id | None -> gen_run_id () in
+  { path; run_id; oc; mutex = Mutex.create () }
+
+let close t =
+  Mutex.lock t.mutex;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.mutex
+
+(* one line = one event: a single [output_string] of the whole record
+   under the journal mutex, flushed immediately so a killed run keeps
+   everything it logged *)
+let event t name fields =
+  let line =
+    Jfmt.obj
+      (("ts", Jfmt.F (Unix.gettimeofday ()))
+      :: ("run", Jfmt.S t.run_id)
+      :: ("event", Jfmt.S name)
+      :: fields)
+    ^ "\n"
+  in
+  Mutex.lock t.mutex;
+  (try
+     output_string t.oc line;
+     flush t.oc
+   with Sys_error _ -> ());
+  Mutex.unlock t.mutex
+
+(* ---- process-current journal ------------------------------------- *)
+
+let current : t option Atomic.t = Atomic.make None
+let set_current t = Atomic.set current (Some t)
+let clear_current () = Atomic.set current None
+let active () = Atomic.get current <> None
+let with_current f = match Atomic.get current with None -> () | Some t -> f t
+
+(* ---- typed events ------------------------------------------------- *)
+
+let run_start t ~fingerprint fields =
+  event t "run.start" (("fingerprint", Jfmt.S fingerprint) :: fields)
+
+let run_finish t ~seconds =
+  event t "run.finish" [ ("seconds", Jfmt.F seconds) ]
+
+let record_phase_start name =
+  with_current (fun t -> event t "phase.start" [ ("phase", Jfmt.S name) ])
+
+let record_phase_finish name ~seconds =
+  with_current (fun t ->
+      event t "phase.finish"
+        [ ("phase", Jfmt.S name); ("seconds", Jfmt.F seconds) ])
+
+let record_ga_generation ~label ~generation ~front_size ~spread ~hypervolume =
+  with_current (fun t ->
+      event t "ga.generation"
+        [
+          ("label", Jfmt.S label);
+          ("generation", Jfmt.I generation);
+          ("front_size", Jfmt.I front_size);
+          ("spread", Jfmt.F spread);
+          ("hypervolume", Jfmt.F hypervolume);
+        ])
+
+let record_checkpoint ~action ~path =
+  with_current (fun t ->
+      event t "checkpoint" [ ("action", Jfmt.S action); ("path", Jfmt.S path) ])
+
+let record_warning ~key msg =
+  with_current (fun t ->
+      event t "warning" [ ("key", Jfmt.S key); ("message", Jfmt.S msg) ])

@@ -1,0 +1,145 @@
+type event = {
+  name : string;
+  ph : char; (* 'B' begin | 'E' end | 'i' instant *)
+  ts : float; (* microseconds since the trace epoch *)
+  tid : int;
+  seq : int;
+  args : (string * string) list;
+}
+
+(* Per-domain sink: a domain only ever touches its own event list, so
+   the common emit path contends on nothing shared except the global
+   sequence counter (an atomic).  The sink mutex exists solely for the
+   rare cross-domain readers ([start]'s reset and [export]). *)
+type sink = {
+  tid : int;
+  mutex : Mutex.t;
+  mutable events : event list; (* newest first *)
+}
+
+let sinks_mutex = Mutex.create ()
+let sinks : sink list ref = ref []
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0.0
+let seq = Atomic.make 0
+
+let sink_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          tid = (Domain.self () :> int);
+          mutex = Mutex.create ();
+          events = [];
+        }
+      in
+      Mutex.lock sinks_mutex;
+      sinks := s :: !sinks;
+      Mutex.unlock sinks_mutex;
+      s)
+
+let enabled () = Atomic.get enabled_flag
+
+let all_sinks () =
+  Mutex.lock sinks_mutex;
+  let all = !sinks in
+  Mutex.unlock sinks_mutex;
+  all
+
+let emit ph name args =
+  let s = Domain.DLS.get sink_key in
+  let e =
+    {
+      name;
+      ph;
+      ts = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6;
+      tid = s.tid;
+      seq = Atomic.fetch_and_add seq 1;
+      args;
+    }
+  in
+  Mutex.lock s.mutex;
+  s.events <- e :: s.events;
+  Mutex.unlock s.mutex
+
+let start () =
+  List.iter
+    (fun s ->
+      Mutex.lock s.mutex;
+      s.events <- [];
+      Mutex.unlock s.mutex)
+    (all_sinks ());
+  Atomic.set seq 0;
+  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let instant ?(args = []) name = if enabled () then emit 'i' name args
+
+let span ?(args = []) name f =
+  (* [enabled] is sampled once: a span that emitted its 'B' always emits
+     the matching 'E' (even if tracing stops mid-span), and a span that
+     started disabled emits nothing, so exports stay balanced *)
+  if not (enabled ()) then f ()
+  else begin
+    emit 'B' name args;
+    Fun.protect ~finally:(fun () -> emit 'E' name []) f
+  end
+
+let events () =
+  List.concat_map
+    (fun s ->
+      Mutex.lock s.mutex;
+      let e = s.events in
+      Mutex.unlock s.mutex;
+      e)
+    (all_sinks ())
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let event_count () =
+  List.fold_left
+    (fun acc s ->
+      Mutex.lock s.mutex;
+      let n = List.length s.events in
+      Mutex.unlock s.mutex;
+      acc + n)
+    0 (all_sinks ())
+
+let render_event pid e =
+  let fields =
+    [
+      ("name", Jfmt.S e.name);
+      ("cat", Jfmt.S "hieropt");
+      ("ph", Jfmt.S (String.make 1 e.ph));
+      ("ts", Jfmt.F e.ts);
+      ("pid", Jfmt.I pid);
+      ("tid", Jfmt.I e.tid);
+    ]
+  in
+  (* instants need a scope; "t" = thread-scoped tick mark *)
+  let fields = if e.ph = 'i' then fields @ [ ("s", Jfmt.S "t") ] else fields in
+  match e.args with
+  | [] -> Jfmt.obj fields
+  | args ->
+    let rendered = Jfmt.obj (List.map (fun (k, v) -> (k, Jfmt.S v)) args) in
+    let body = Jfmt.obj fields in
+    (* splice the args object in by hand: Jfmt.obj only takes scalars *)
+    String.sub body 0 (String.length body - 1)
+    ^ ",\"args\":" ^ rendered ^ "}"
+
+let export path =
+  let evs = events () in
+  let pid = Unix.getpid () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_char oc ',';
+          output_char oc '\n';
+          output_string oc (render_event pid e))
+        evs;
+      output_string oc "\n]}\n");
+  List.length evs

@@ -1,0 +1,39 @@
+(** Span-based tracing with Chrome [trace_event] export.
+
+    Spans nest by call structure per domain: every [span] emits a
+    begin/end pair tagged with the domain id, so a viewer
+    ([chrome://tracing], Perfetto) reconstructs the nesting from the
+    per-thread event stacks.  Events buffer in per-domain sinks — the
+    hot emit path touches only domain-local state plus one atomic
+    fetch-add for the global ordering sequence.
+
+    Tracing is off by default and every instrumentation point is a
+    cheap no-op then (one atomic load), so instrumented code paths are
+    safe to leave enabled everywhere.  Instrumentation must never
+    change results: nothing here touches PRNG state or evaluation
+    outputs (the zero-perturbation contract, enforced by test). *)
+
+val start : unit -> unit
+(** Drop any buffered events, restart the clock/sequence, and enable
+    collection. *)
+
+val stop : unit -> unit
+(** Disable collection; buffered events stay available for [export]. *)
+
+val enabled : unit -> bool
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], bracketing it with begin/end events when
+    tracing is enabled (the end event is emitted even when [f] raises).
+    When disabled this is just [f ()]. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event (cache-hit ratios, one-off facts). *)
+
+val event_count : unit -> int
+(** Number of buffered events (tests, report sizing). *)
+
+val export : string -> int
+(** Write all buffered events (sequence order) to [path] as a Chrome
+    [trace_event] JSON document; returns the event count.  Timestamps
+    are microseconds since {!start}. *)

@@ -1,9 +1,12 @@
 module Telemetry = Repro_engine.Telemetry
+module Histogram = Repro_obs.Histogram
 module Perf_table = Hieropt.Perf_table
 
-type t = { registry : Registry.t }
+type t = { registry : Registry.t; version : string; started : float }
 
-let create ~registry = { registry }
+let create ?(version = "dev") ~registry () =
+  { registry; version; started = Unix.gettimeofday () }
+
 let registry t = t.registry
 let max_batch = 65536
 
@@ -115,9 +118,54 @@ let healthz t =
   ok
     (json_body
        (Json.Obj
-          [ ("status", Json.Str "ok"); ("models", Json.Num (float_of_int models)) ]))
+          [
+            ("status", Json.Str "ok");
+            ("version", Json.Str t.version);
+            ("started_at", Json.Num t.started);
+            ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.started));
+            ("models", Json.Num (float_of_int models));
+            ( "models_loaded",
+              Json.Num (float_of_int (Registry.loaded_count t.registry)) );
+          ]))
 
-let metrics () = ok (Telemetry.to_json_string ())
+(* counters/timers straight from the Telemetry snapshot plus quantile
+   summaries of every registered histogram — one combined JSON object
+   shared by the endpoint and the CLI's local --metrics printer *)
+let metrics_json () =
+  let entries = Telemetry.snapshot () in
+  let counters =
+    List.filter_map
+      (function
+        | k, `Counter v -> Some (k, Json.Num (float_of_int v)) | _ -> None)
+      entries
+  in
+  let timers =
+    List.filter_map
+      (function k, `Timer v -> Some (k, Json.Num v) | _ -> None)
+      entries
+  in
+  let histogram (name, h) =
+    let s = Histogram.stats h in
+    ( name,
+      Json.Obj
+        [
+          ("count", Json.Num (float_of_int s.Histogram.count));
+          ("sum", Json.Num s.Histogram.sum);
+          ("min", Json.Num s.Histogram.min);
+          ("max", Json.Num s.Histogram.max);
+          ("p50", Json.Num s.Histogram.p50);
+          ("p90", Json.Num s.Histogram.p90);
+          ("p99", Json.Num s.Histogram.p99);
+        ] )
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("timers", Json.Obj timers);
+      ("histograms", Json.Obj (List.map histogram (Histogram.all ())));
+    ]
+
+let metrics () = ok (json_body (metrics_json ()))
 
 let models t =
   let infos = Registry.list t.registry in
@@ -168,8 +216,25 @@ let verify t id body =
         (json_body
            (Json.Obj [ ("model", Json.Str id); ("params", params_to_json params) ])))
 
+(* stable label per route, so latency histograms have a bounded name
+   set regardless of what ids/paths clients throw at the server *)
+let endpoint_of (req : Http.request) =
+  match req.path with
+  | [ "healthz" ] -> "healthz"
+  | [ "metrics" ] -> "metrics"
+  | [ "models" ] -> "models"
+  | [ "models"; _; "query" ] -> "query"
+  | [ "models"; _; "verify" ] -> "verify"
+  | _ -> "other"
+
 let handle t (req : Http.request) =
   Telemetry.incr "serve.requests";
+  let endpoint = endpoint_of req in
+  let latency = Repro_obs.Histogram.get ("serve.latency." ^ endpoint) in
+  Repro_obs.Histogram.time latency @@ fun () ->
+  Repro_obs.Trace.span ("http." ^ endpoint)
+    ~args:[ ("method", req.meth) ]
+  @@ fun () ->
   match
     match (req.meth, req.path) with
     | "GET", [ "healthz" ] -> healthz t

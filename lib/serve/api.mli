@@ -2,8 +2,13 @@
 
     Routes (all responses [application/json]):
 
-    - [GET /healthz] — liveness + servable model count;
-    - [GET /metrics] — {!Repro_engine.Telemetry.to_json_string} snapshot;
+    - [GET /healthz] — liveness + build/uptime info (version string,
+      start time, uptime, servable and loaded model counts);
+    - [GET /metrics] — combined observability snapshot: Telemetry
+      counters and timers plus every registered
+      {!Repro_obs.Histogram} as count/sum/min/max/p50/p90/p99 (notably
+      the per-endpoint [serve.latency.*] request-latency histograms
+      recorded by [handle]);
     - [GET /models] — servable ids with load state;
     - [POST /models/:id/query] — batched {!Hieropt.Perf_table.eval_points}
       over [{"points": [{"kvco": .., "ivco": ..}, ...]}] (or one bare
@@ -20,9 +25,15 @@
 
 type t
 
-val create : registry:Registry.t -> t
+val create : ?version:string -> registry:Registry.t -> unit -> t
+(** [version] is reported by [/healthz] (default ["dev"]); the start
+    time is captured here. *)
 
 val registry : t -> Registry.t
+
+val metrics_json : unit -> Json.t
+(** The [GET /metrics] document (also printed by the CLI's local
+    [query --metrics]). *)
 
 val handle : t -> Http.request -> int * (string * string) list * string
 (** [status, extra headers, body] for one parsed request. *)

@@ -43,12 +43,19 @@ let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshol
      collected in trial order, so results are identical to the serial
      loop for any pool size *)
   let module E = Repro_engine in
+  let sample_hist = Repro_obs.Histogram.get "mc.sample.duration" in
+  let timed_trial stream =
+    Repro_obs.Histogram.time sample_hist (fun () ->
+        trial (Process.sample spec stream net))
+  in
   let outcomes =
+    Repro_obs.Trace.span "mc.batch" ~args:[ ("samples", string_of_int n) ]
+    @@ fun () ->
     E.Telemetry.time "mc.wall" @@ fun () ->
     match checkpoint with
     | None ->
       E.Parmap.map_seeded ?pool ~prng
-        (fun stream () -> trial (Process.sample spec stream net))
+        (fun stream () -> timed_trial stream)
         (Array.make n ())
     | Some (ck, key, codec) ->
       (* same index-stable streams as map_seeded, but evaluated in
@@ -57,8 +64,7 @@ let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshol
       let streams = Prng.split_n prng n in
       E.Checkpoint.resumable_map ?pool ck ~key
         ~encode:(encode_outcome codec) ~decode:(decode_outcome codec)
-        (fun stream -> trial (Process.sample spec stream net))
-        streams
+        timed_trial streams
   in
   let ok = ref [] and failures = ref 0 in
   for i = n - 1 downto 0 do

@@ -207,6 +207,93 @@ let test_telemetry () =
   E.Telemetry.reset ();
   Alcotest.(check int) "reset" 0 (E.Telemetry.counter "a")
 
+let test_telemetry_warn_atomic_lines () =
+  (* warnings racing in from several domains must never tear: redirect
+     stderr to a file, hammer it, and check every line came out whole *)
+  E.Telemetry.reset ();
+  let path = Filename.temp_file "hieropt_warn" ".log" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+  @@ fun () ->
+  let payload = String.make 160 'x' in
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  flush stderr;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stderr;
+      Unix.dup2 saved Unix.stderr;
+      Unix.close saved)
+    (fun () ->
+      let doms =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to 25 do
+                  E.Telemetry.warn ~key:"warn.test" "d%d i%d %s" d i payload
+                done))
+      in
+      List.iter Domain.join doms;
+      flush stderr);
+  Alcotest.(check int) "all warns counted" 100 (E.Telemetry.counter "warn.test");
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "100 whole lines" 100 (List.length !lines);
+  let prefix = "WARNING [warn.test]: d" in
+  List.iter
+    (fun line ->
+      let n = String.length line and np = String.length prefix in
+      let starts = n >= np && String.sub line 0 np = prefix in
+      let ends =
+        n >= 160 && String.sub line (n - 160) 160 = payload
+      in
+      if not (starts && ends) then
+        Alcotest.failf "torn warning line: %S" line)
+    !lines;
+  E.Telemetry.reset ()
+
+let test_telemetry_concurrent_snapshot () =
+  (* totals must be conserved under concurrent incr/add_time, and
+     snapshots taken mid-flight must be internally consistent *)
+  E.Telemetry.reset ();
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          List.iter
+            (fun (_, v) ->
+              match v with
+              | `Counter c -> assert (c >= 0)
+              | `Timer t -> assert (t >= 0.0))
+            (E.Telemetry.snapshot ())
+        done)
+  in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              E.Telemetry.incr "snap.counter";
+              E.Telemetry.add_time "snap.timer" 0.001
+            done))
+  in
+  List.iter Domain.join writers;
+  Atomic.set stop true;
+  Domain.join reader;
+  Alcotest.(check int) "counter conserved" 4000
+    (E.Telemetry.counter "snap.counter");
+  (* identical addends commute exactly in floating point *)
+  Alcotest.(check (float 1e-9)) "timer conserved" 4.0
+    (E.Telemetry.timer "snap.timer");
+  (match List.assoc_opt "snap.counter" (E.Telemetry.snapshot ()) with
+  | Some (`Counter 4000) -> ()
+  | _ -> Alcotest.fail "snapshot disagrees with counter accessor");
+  E.Telemetry.reset ()
+
 (* ---- cross-stack determinism: 1 worker vs 4 workers -------------- *)
 
 let zdt1 =
@@ -355,6 +442,10 @@ let suite =
       test_cache_counters_eviction;
     Alcotest.test_case "cache save/load roundtrip" `Quick test_cache_roundtrip;
     Alcotest.test_case "telemetry registry" `Quick test_telemetry;
+    Alcotest.test_case "telemetry warn lines are atomic" `Quick
+      test_telemetry_warn_atomic_lines;
+    Alcotest.test_case "telemetry snapshot under concurrency" `Quick
+      test_telemetry_concurrent_snapshot;
     Alcotest.test_case "nsga2/spea2 identical at 1 vs 4 workers" `Quick
       test_nsga2_deterministic_under_parallelism;
     Alcotest.test_case "monte-carlo identical at 1 vs 4 workers" `Quick

@@ -19,4 +19,5 @@ let () =
       ("engine", Test_engine.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("serve", Test_serve.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,427 @@
+(* The observability layer: trace span balance and export format,
+   histogram quantile properties, journal round-trips, the exact
+   hypervolume indicator — and the zero-perturbation contract (a fully
+   observed GA run produces bit-identical results to a bare one). *)
+
+module Obs = Repro_obs
+module Json = Repro_serve.Json
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let temp_dir () =
+  let dir = Filename.temp_file "hieropt_obs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- trace ---- *)
+
+let json_of_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s is not valid JSON: %s" path e
+
+let trace_events j =
+  match Json.member "traceEvents" j with
+  | Some (Json.Arr evs) -> evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "event missing string field %s" name
+
+let tid_of j =
+  match Json.member "tid" j with
+  | Some (Json.Num v) -> int_of_float v
+  | _ -> Alcotest.fail "event missing numeric tid"
+
+let test_trace_spans_balance () =
+  with_dir @@ fun dir ->
+  Obs.Trace.start ();
+  let out =
+    Obs.Trace.span "outer" ~args:[ ("k", "v") ] @@ fun () ->
+    Obs.Trace.instant "marker";
+    (try Obs.Trace.span "inner" (fun () -> failwith "boom")
+     with Failure _ -> ());
+    17
+  in
+  Obs.Trace.stop ();
+  Alcotest.(check int) "span returns" 17 out;
+  (* B outer, i marker, B inner, E inner, E outer *)
+  Alcotest.(check int) "event count" 5 (Obs.Trace.event_count ());
+  let path = Filename.concat dir "t.json" in
+  Alcotest.(check int) "export count" 5 (Obs.Trace.export path);
+  let evs = trace_events (json_of_file path) in
+  let phases = List.map (str_field "ph") evs in
+  Alcotest.(check (list string)) "phases in sequence order"
+    [ "B"; "i"; "B"; "E"; "E" ] phases;
+  (* every B has a matching E per tid, even for the raising span *)
+  let depth = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let tid = tid_of e in
+      let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+      match str_field "ph" e with
+      | "B" -> Hashtbl.replace depth tid (d + 1)
+      | "E" ->
+        if d <= 0 then Alcotest.fail "E without B";
+        Hashtbl.replace depth tid (d - 1)
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun tid d -> if d <> 0 then Alcotest.failf "tid %d unbalanced" tid)
+    depth;
+  (* args survive the export *)
+  let outer = List.hd evs in
+  (match Json.member "args" outer with
+  | Some args -> (
+    match Json.member "k" args with
+    | Some (Json.Str "v") -> ()
+    | _ -> Alcotest.fail "span args lost")
+  | None -> Alcotest.fail "no args object")
+
+let test_trace_disabled_passthrough () =
+  (* make sure a previous test's buffers are gone, then stay disabled *)
+  Obs.Trace.start ();
+  Obs.Trace.stop ();
+  let before = Obs.Trace.event_count () in
+  let r = Obs.Trace.span "nope" (fun () -> 3) in
+  Obs.Trace.instant "nope";
+  Alcotest.(check int) "result passes through" 3 r;
+  Alcotest.(check int) "no events buffered" before (Obs.Trace.event_count ());
+  Alcotest.(check bool) "disabled" false (Obs.Trace.enabled ())
+
+let test_trace_concurrent_domains () =
+  Obs.Trace.start ();
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 25 do
+              Obs.Trace.span "work"
+                ~args:[ ("d", string_of_int d); ("i", string_of_int i) ]
+                (fun () -> ())
+            done))
+  in
+  List.iter Domain.join doms;
+  Obs.Trace.stop ();
+  Alcotest.(check int) "all events captured" (4 * 25 * 2)
+    (Obs.Trace.event_count ());
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "t.json" in
+  ignore (Obs.Trace.export path);
+  let evs = trace_events (json_of_file path) in
+  (* per-tid streams must each be balanced *)
+  let depth = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let tid = tid_of e in
+      let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+      match str_field "ph" e with
+      | "B" -> Hashtbl.replace depth tid (d + 1)
+      | "E" ->
+        if d <= 0 then Alcotest.failf "tid %d: E without B" tid;
+        Hashtbl.replace depth tid (d - 1)
+      | _ -> ())
+    evs;
+  Hashtbl.iter
+    (fun tid d -> if d <> 0 then Alcotest.failf "tid %d unbalanced" tid)
+    depth
+
+(* ---- histogram ---- *)
+
+let test_histogram_basics () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  let s0 = Obs.Histogram.stats h in
+  Alcotest.(check (float 0.0)) "empty p50" 0.0 s0.Obs.Histogram.p50;
+  List.iter (Obs.Histogram.observe h) [ 0.001; 0.002; 0.004; Float.nan ];
+  Alcotest.(check int) "nan dropped" 3 (Obs.Histogram.count h);
+  let s = Obs.Histogram.stats h in
+  Alcotest.(check (float 1e-12)) "sum" 0.007 s.Obs.Histogram.sum;
+  Alcotest.(check (float 1e-12)) "min" 0.001 s.Obs.Histogram.min;
+  Alcotest.(check (float 1e-12)) "max" 0.004 s.Obs.Histogram.max;
+  Alcotest.(check bool) "p50 in range" true
+    (s.Obs.Histogram.p50 >= 0.001 && s.Obs.Histogram.p50 <= 0.004);
+  let v = Obs.Histogram.time h (fun () -> 42) in
+  Alcotest.(check int) "time passes result" 42 v;
+  Alcotest.(check int) "time observed" 4 (Obs.Histogram.count h)
+
+let test_histogram_registry () =
+  Obs.Histogram.clear_registry ();
+  let a = Obs.Histogram.get "reg.a" in
+  let a' = Obs.Histogram.get "reg.a" in
+  Obs.Histogram.observe a 0.5;
+  Alcotest.(check int) "same instance" 1 (Obs.Histogram.count a');
+  ignore (Obs.Histogram.get "reg.b");
+  let names = List.map fst (Obs.Histogram.all ()) in
+  Alcotest.(check (list string)) "sorted listing" [ "reg.a"; "reg.b" ] names;
+  Obs.Histogram.clear_registry ();
+  Alcotest.(check (list string)) "cleared" []
+    (List.map fst (Obs.Histogram.all ()))
+
+let positive_floats =
+  QCheck.(list_of_size Gen.(int_range 1 200) (float_range 1e-7 1e4))
+
+let prop_histogram_quantiles_monotone_bounded =
+  QCheck.Test.make ~name:"histogram quantiles are monotone and bounded"
+    ~count:200 positive_floats (fun xs ->
+      let h = Obs.Histogram.create () in
+      List.iter (Obs.Histogram.observe h) xs;
+      let lo = List.fold_left Float.min Float.infinity xs in
+      let hi = List.fold_left Float.max Float.neg_infinity xs in
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vs = List.map (Obs.Histogram.quantile h) qs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone vs && List.for_all (fun v -> v >= lo && v <= hi) vs)
+
+let prop_histogram_exact_on_equal =
+  QCheck.Test.make ~name:"histogram quantiles are exact on constant data"
+    ~count:200
+    QCheck.(pair (float_range 1e-7 1e4) (int_range 1 50))
+    (fun (x, n) ->
+      let h = Obs.Histogram.create () in
+      for _ = 1 to n do
+        Obs.Histogram.observe h x
+      done;
+      List.for_all
+        (fun q -> Obs.Histogram.quantile h q = x)
+        [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+
+(* ---- journal ---- *)
+
+let test_journal_roundtrip () =
+  with_dir @@ fun dir ->
+  let j = Obs.Journal.create ~run_id:"testrun" ~dir () in
+  Alcotest.(check string) "path" (Filename.concat dir "run.journal")
+    (Obs.Journal.path j);
+  Obs.Journal.set_current j;
+  Alcotest.(check bool) "active" true (Obs.Journal.active ());
+  Obs.Journal.run_start j ~fingerprint:"fp-1"
+    [ ("seed", Obs.Jfmt.I 42); ("note", Obs.Jfmt.S "x\"y") ];
+  Obs.Journal.record_phase_start "circuit-ga";
+  Obs.Journal.record_ga_generation ~label:"circuit-ga" ~generation:1
+    ~front_size:7 ~spread:0.25 ~hypervolume:3.5;
+  Obs.Journal.record_phase_finish "circuit-ga" ~seconds:1.5;
+  Obs.Journal.record_checkpoint ~action:"flush" ~path:"snap";
+  Repro_engine.Telemetry.warn ~key:"obs.test.warn" "journal %s" "mirror";
+  Obs.Journal.run_finish j ~seconds:2.5;
+  Obs.Journal.clear_current ();
+  Alcotest.(check bool) "inactive" false (Obs.Journal.active ());
+  Obs.Journal.close j;
+  let ic = open_in (Filename.concat dir "run.journal") in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let parsed =
+    List.rev_map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bad journal line %S: %s" line e)
+      !lines
+  in
+  let events =
+    List.map
+      (fun j ->
+        (match Json.member "run" j with
+        | Some (Json.Str "testrun") -> ()
+        | _ -> Alcotest.fail "wrong run id");
+        (match Json.member "ts" j with
+        | Some (Json.Num _) -> ()
+        | _ -> Alcotest.fail "no timestamp");
+        match Json.member "event" j with
+        | Some (Json.Str e) -> e
+        | _ -> Alcotest.fail "no event name")
+      parsed
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [ "run.start"; "phase.start"; "ga.generation"; "phase.finish";
+      "checkpoint"; "warning"; "run.finish" ]
+    events;
+  (* spot-check the structured payloads *)
+  let nth n = List.nth parsed n in
+  (match Json.member "fingerprint" (nth 0) with
+  | Some (Json.Str "fp-1") -> ()
+  | _ -> Alcotest.fail "run.start fingerprint");
+  (match Json.member "hypervolume" (nth 2) with
+  | Some (Json.Num hv) -> Alcotest.(check (float 0.0)) "hv" 3.5 hv
+  | _ -> Alcotest.fail "ga.generation hypervolume");
+  (match Json.member "seconds" (nth 3) with
+  | Some (Json.Num s) -> Alcotest.(check (float 0.0)) "phase seconds" 1.5 s
+  | _ -> Alcotest.fail "phase.finish seconds");
+  match (Json.member "key" (nth 5), Json.member "message" (nth 5)) with
+  | Some (Json.Str "obs.test.warn"), Some (Json.Str "journal mirror") -> ()
+  | _ -> Alcotest.fail "warning mirror payload"
+
+let test_journal_record_noops_without_current () =
+  (* the record_* family must be safe (and silent) with no journal *)
+  Obs.Journal.clear_current ();
+  Obs.Journal.record_phase_start "p";
+  Obs.Journal.record_phase_finish "p" ~seconds:0.0;
+  Obs.Journal.record_ga_generation ~label:"l" ~generation:0 ~front_size:0
+    ~spread:0.0 ~hypervolume:0.0;
+  Obs.Journal.record_checkpoint ~action:"flush" ~path:"x";
+  Obs.Journal.record_warning ~key:"k" "msg";
+  Alcotest.(check bool) "still inactive" false (Obs.Journal.active ())
+
+(* ---- hypervolume ---- *)
+
+let ev objectives =
+  { Repro_moo.Problem.objectives; constraint_violation = 0.0 }
+
+let test_hypervolume_exact () =
+  let module Hv = Repro_moo.Hypervolume in
+  (* d = 1: distance from the best point to the reference *)
+  Alcotest.(check (float 1e-12)) "1-D" 2.5
+    (Hv.exact ~reference:[| 3.0 |] [| [| 0.5 |]; [| 1.0 |] |]);
+  (* d = 2: matches the independent staircase implementation *)
+  let pts2 = [| [| 1.0; 3.0 |]; [| 2.0; 1.0 |]; [| 5.0; 5.0 |] |] in
+  let reference = [| 4.0; 4.0 |] in
+  Alcotest.(check (float 1e-12)) "2-D staircase" 7.0
+    (Hv.exact ~reference pts2);
+  Alcotest.(check (float 1e-12)) "2-D matches Pareto.hypervolume_2d"
+    (Repro_moo.Pareto.hypervolume_2d ~reference
+       (Array.map (fun o -> ev o) pts2))
+    (Hv.exact ~reference pts2);
+  (* d = 3 by inclusion-exclusion: 8 + 3 - 2 = 9 *)
+  Alcotest.(check (float 1e-12)) "3-D union" 9.0
+    (Hv.exact ~reference:[| 3.0; 3.0; 3.0 |]
+       [| [| 1.0; 1.0; 1.0 |]; [| 2.0; 2.0; 0.0 |] |]);
+  (* dominated points must not change the volume *)
+  Alcotest.(check (float 1e-12)) "dominated point is free" 9.0
+    (Hv.exact ~reference:[| 3.0; 3.0; 3.0 |]
+       [| [| 1.0; 1.0; 1.0 |]; [| 2.0; 2.0; 0.0 |]; [| 2.5; 2.5; 2.5 |] |]);
+  (* empty / non-dominating sets *)
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Hv.exact ~reference [||]);
+  Alcotest.(check (float 0.0)) "outside reference" 0.0
+    (Hv.exact ~reference:[| 1.0; 1.0 |] [| [| 2.0; 2.0 |] |])
+
+let test_hypervolume_of_front () =
+  let module Hv = Repro_moo.Hypervolume in
+  let front =
+    [|
+      ev [| 1.0; 3.0; 99.0 |];
+      ev [| 2.0; 1.0; -7.0 |];
+      { Repro_moo.Problem.objectives = [| 0.0; 0.0; 0.0 |];
+        constraint_violation = 1.0 };
+    |]
+  in
+  (* infeasible point ignored; dims projects away the third objective *)
+  Alcotest.(check (float 1e-12)) "projected + filtered" 7.0
+    (Hv.of_front ~dims:[| 0; 1 |] ~reference:[| 4.0; 4.0 |] front);
+  (* identity dims = no dims *)
+  let front2 = [| ev [| 1.0; 1.0 |]; ev [| 0.5; 2.0 |] |] in
+  Alcotest.(check (float 1e-12)) "dims identity"
+    (Hv.of_front ~reference:[| 3.0; 3.0 |] front2)
+    (Hv.of_front ~dims:[| 0; 1 |] ~reference:[| 3.0; 3.0 |] front2)
+
+let prop_hypervolume_monotone =
+  (* adding a point can only grow the dominated region *)
+  QCheck.Test.make ~name:"hypervolume is monotone under union" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8)
+           (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+        (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (pts, (x, y)) ->
+      let module Hv = Repro_moo.Hypervolume in
+      let reference = [| 2.0; 2.0 |] in
+      let arr = Array.of_list (List.map (fun (a, b) -> [| a; b |]) pts) in
+      let hv0 = Hv.exact ~reference arr in
+      let hv1 = Hv.exact ~reference (Array.append arr [| [| x; y |] |]) in
+      hv1 >= hv0 -. 1e-12)
+
+(* ---- zero perturbation ---- *)
+
+let zdt1 =
+  Repro_moo.Problem.create ~name:"zdt1-obs"
+    ~bounds:(Array.make 6 (0.0, 1.0))
+    ~objective_names:[| "f1"; "f2" |]
+    (fun v ->
+      let f1 = v.(0) in
+      let s = ref 0.0 in
+      for i = 1 to 5 do
+        s := !s +. v.(i)
+      done;
+      let g = 1.0 +. (9.0 *. !s /. 5.0) in
+      {
+        Repro_moo.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
+        constraint_violation = 0.0;
+      })
+
+let test_zero_perturbation () =
+  let options =
+    { Repro_moo.Nsga2.default_options with population = 16; generations = 6 }
+  in
+  let run () =
+    Repro_moo.Nsga2.optimise ~options
+      ~evaluator:(Repro_moo.Problem.parallel_evaluator ())
+      zdt1 (Repro_util.Prng.create 2009)
+  in
+  let bare = run () in
+  (* the same run under full observability: tracing on, a journal
+     current, histograms recording *)
+  with_dir @@ fun dir ->
+  let j = Obs.Journal.create ~run_id:"zp" ~dir () in
+  Obs.Journal.set_current j;
+  Obs.Trace.start ();
+  let observed =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.stop ();
+        Obs.Journal.clear_current ();
+        Obs.Journal.close j)
+      run
+  in
+  Alcotest.(check bool) "spans were recorded" true
+    (Obs.Trace.event_count () > 0);
+  Alcotest.(check int) "same population size" (Array.length bare)
+    (Array.length observed);
+  Array.iteri
+    (fun i (b : Repro_moo.Nsga2.individual) ->
+      let o = observed.(i) in
+      if b.Repro_moo.Nsga2.x <> o.Repro_moo.Nsga2.x
+         || b.Repro_moo.Nsga2.evaluation <> o.Repro_moo.Nsga2.evaluation
+      then Alcotest.failf "individual %d perturbed by observability" i)
+    bare
+
+let suite =
+  [
+    Alcotest.test_case "trace spans balance" `Quick test_trace_spans_balance;
+    Alcotest.test_case "trace disabled passthrough" `Quick
+      test_trace_disabled_passthrough;
+    Alcotest.test_case "trace concurrent domains" `Quick
+      test_trace_concurrent_domains;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram registry" `Quick test_histogram_registry;
+    QCheck_alcotest.to_alcotest prop_histogram_quantiles_monotone_bounded;
+    QCheck_alcotest.to_alcotest prop_histogram_exact_on_equal;
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal no-ops without current" `Quick
+      test_journal_record_noops_without_current;
+    Alcotest.test_case "hypervolume exact" `Quick test_hypervolume_exact;
+    Alcotest.test_case "hypervolume of_front" `Quick test_hypervolume_of_front;
+    QCheck_alcotest.to_alcotest prop_hypervolume_monotone;
+    Alcotest.test_case "zero perturbation" `Quick test_zero_perturbation;
+  ]

@@ -208,7 +208,7 @@ let with_server ?(workers = 2) f =
   H.Perf_table.save ~dir:root Test_core.model;
   let loaded = H.Perf_table.load ~dir:root in
   let registry = S.Registry.create ~root () in
-  let api = S.Api.create ~registry in
+  let api = S.Api.create ~version:"test" ~registry () in
   let server = S.Server.start ~port:0 ~workers ~api () in
   Fun.protect
     ~finally:(fun () ->
@@ -289,6 +289,51 @@ let test_serve_endpoints () =
   Alcotest.(check int) "400 bad body" 400 (status "/models/default/query" "POST" "{");
   Alcotest.(check int) "400 missing field" 400
     (status "/models/default/query" "POST" "{\"kvco\":1}")
+
+let test_serve_healthz_info () =
+  with_server @@ fun ~loaded:_ _server client ->
+  (* load a model so models_loaded is non-zero *)
+  ignore
+    (check_client (S.Client.query_points client ~model:"default" query_batch));
+  let health = check_client (S.Client.get_json client "/healthz") in
+  let num name =
+    match Json.member name health with
+    | Some (Json.Num v) -> v
+    | _ -> Alcotest.failf "healthz missing numeric %s" name
+  in
+  (match Json.member "version" health with
+  | Some (Json.Str "test") -> ()
+  | _ -> Alcotest.fail "healthz version");
+  Alcotest.(check bool) "started_at plausible" true (num "started_at" > 0.0);
+  Alcotest.(check bool) "uptime non-negative" true (num "uptime_seconds" >= 0.0);
+  Alcotest.(check (float 0.0)) "one servable model" 1.0 (num "models");
+  Alcotest.(check (float 0.0)) "one loaded model" 1.0 (num "models_loaded")
+
+let test_serve_metrics_histograms () =
+  with_server @@ fun ~loaded:_ _server client ->
+  (* at least one query so the per-endpoint latency histogram exists *)
+  ignore
+    (check_client (S.Client.query_points client ~model:"default" query_batch));
+  let metrics = check_client (S.Client.get_json client "/metrics") in
+  let hists =
+    match Json.member "histograms" metrics with
+    | Some (Json.Obj h) -> h
+    | _ -> Alcotest.fail "metrics has no histograms object"
+  in
+  let q =
+    match List.assoc_opt "serve.latency.query" hists with
+    | Some j -> j
+    | None -> Alcotest.fail "no serve.latency.query histogram"
+  in
+  let field name =
+    match Json.member name q with
+    | Some (Json.Num v) -> v
+    | _ -> Alcotest.failf "histogram missing %s" name
+  in
+  Alcotest.(check bool) "count >= 1" true (field "count" >= 1.0);
+  Alcotest.(check bool) "p50 <= p99" true (field "p50" <= field "p99");
+  Alcotest.(check bool) "quantiles within [min, max]" true
+    (field "min" <= field "p50" && field "p99" <= field "max")
 
 let write_all fd s =
   let n = String.length s in
@@ -398,6 +443,9 @@ let suite =
       test_serve_query_bit_identical;
     Alcotest.test_case "serve verify" `Quick test_serve_verify;
     Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
+    Alcotest.test_case "serve healthz info" `Quick test_serve_healthz_info;
+    Alcotest.test_case "serve metrics histograms" `Quick
+      test_serve_metrics_histograms;
     Alcotest.test_case "serve graceful drain" `Quick test_serve_graceful_drain;
     Alcotest.test_case "remote pll bit-identical" `Quick
       test_remote_pll_bit_identical;
