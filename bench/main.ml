@@ -356,13 +356,97 @@ let serve_bench (result : H.Hierarchy.result) =
   List.iter bench_workers [ 1; 2; max 2 (E.Config.jobs ()) ];
   rm_rf dir
 
-let run_experiments () =
-  let scale = H.Hierarchy.scale_of_env () in
-  let full = scale = H.Hierarchy.paper_scale in
-  let cfg = H.Hierarchy.make_config ~scale ~model_dir:"hieropt_model" () in
+(* ------------------------------------------------------------------ *)
+(* solver shoot-out: dense vs sparse on the reference VCO              *)
+(* ------------------------------------------------------------------ *)
+
+let solver_bench () =
+  let module S = Repro_spice in
+  let module L = Repro_linalg in
+  let net = T.ring_vco ~vctl:0.5 T.vco_default in
+  let cm = S.Mna.compile net in
+  let n = S.Mna.size cm in
+  (* Best-of-reps with the two solvers interleaved rep by rep: the
+     minimum is the standard robust wall-clock estimator (scheduler
+     preemptions and frequency ramps only ever add time), and the
+     interleaving makes load drift hit both solvers equally instead of
+     biasing whichever runs second. *)
+  let time_pair reps fa fb =
+    fa ();
+    fb ();
+    (* warm caches and the symbolic registry *)
+    let ba = ref infinity and bb = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      fa ();
+      let t1 = Unix.gettimeofday () in
+      fb ();
+      let t2 = Unix.gettimeofday () in
+      ba := Float.min !ba (t1 -. t0);
+      bb := Float.min !bb (t2 -. t1)
+    done;
+    (!ba, !bb)
+  in
+  (* DC operating point *)
+  let dcop solver () =
+    match S.Dcop.solve_result ~solver cm with
+    | Ok r -> r
+    | Error e -> failwith (S.Solver_error.to_string e)
+  in
+  let dc_dense = dcop E.Config.Dense () in
+  let dc_sparse = dcop E.Config.Sparse () in
+  let dc_diff =
+    L.Vec.max_abs_diff dc_dense.S.Dcop.solution dc_sparse.S.Dcop.solution
+  in
+  let t_dc_dense, t_dc_sparse =
+    time_pair 50
+      (fun () -> ignore (dcop E.Config.Dense ()))
+      (fun () -> ignore (dcop E.Config.Sparse ()))
+  in
+  (* transient at the simulate default scale: 10 ns / 10 ps *)
+  let opts = S.Transient.default_options ~t_stop:10e-9 ~dt:10e-12 in
+  let transient solver () =
+    match S.Transient.run_result ~solver cm opts with
+    | Ok r -> r
+    | Error e -> failwith (S.Solver_error.to_string e)
+  in
+  let tr_dense = transient E.Config.Dense () in
+  let tr_sparse = transient E.Config.Sparse () in
+  let tr_diff =
+    L.Vec.max_abs_diff
+      (S.Transient.final_solution tr_dense)
+      (S.Transient.final_solution tr_sparse)
+  in
+  let t_tr_dense, t_tr_sparse =
+    time_pair 5
+      (fun () -> ignore (transient E.Config.Dense ()))
+      (fun () -> ignore (transient E.Config.Sparse ()))
+  in
+  let dc_speedup = t_dc_dense /. Float.max t_dc_sparse 1e-12 in
+  let tr_speedup = t_tr_dense /. Float.max t_tr_sparse 1e-12 in
+  let hits, misses = L.Sparse_lu.cache_stats () in
+  Printf.printf "ring VCO: %d unknowns\n" n;
+  Printf.printf "  dcop      dense %8.3f ms   sparse %8.3f ms   speedup %5.2fx   |dx| %.2e\n"
+    (1e3 *. t_dc_dense) (1e3 *. t_dc_sparse) dc_speedup dc_diff;
+  Printf.printf "  transient dense %8.3f ms   sparse %8.3f ms   speedup %5.2fx   |dx| %.2e\n"
+    (1e3 *. t_tr_dense) (1e3 *. t_tr_sparse) tr_speedup tr_diff;
+  Printf.printf "  symbolic registry: %d hits / %d misses\n" hits misses;
+  metric "solver" "n" (float_of_int n);
+  metric "solver" "dcop_dense_ms" (1e3 *. t_dc_dense);
+  metric "solver" "dcop_sparse_ms" (1e3 *. t_dc_sparse);
+  metric "solver" "dcop_speedup" dc_speedup;
+  metric "solver" "transient_dense_ms" (1e3 *. t_tr_dense);
+  metric "solver" "transient_sparse_ms" (1e3 *. t_tr_sparse);
+  metric "solver" "transient_speedup" tr_speedup;
+  metric "solver" "dense_sparse_max_diff" (Float.max dc_diff tr_diff)
+
+let run_experiments ~scale ~spec () =
+  let cfg = H.Hierarchy.make_config ~scale ?spec ~model_dir:"hieropt_model" () in
   section
     (Printf.sprintf "hierarchical flow — %s scale (seed %d, %d worker(s)); spec: %s"
-       (if full then "paper" else "bench")
+       (if scale = H.Hierarchy.paper_scale then "paper"
+        else if scale = H.Hierarchy.tiny_scale then "tiny"
+        else "bench")
        cfg.H.Hierarchy.seed (E.Config.jobs ())
        (Format.asprintf "%a" H.Spec.pp cfg.H.Hierarchy.spec));
   let t0 = Sys.time () in
@@ -417,6 +501,9 @@ let run_experiments () =
   telemetry_line ();
   section "Ablation — optimiser choice at the system level (equal budget)";
   print_string (optimiser_ablation result);
+  telemetry_line ();
+  section "Solver — dense vs sparse MNA kernels (reference VCO)";
+  solver_bench ();
   telemetry_line ();
   section "Engine — deterministic parallel evaluation + cache";
   engine_bench result;
@@ -592,8 +679,45 @@ let run_timings result =
         analysed)
     tests
 
+let usage () =
+  prerr_endline
+    "usage: bench [--scale tiny|bench|paper] [--write-baseline]\n\
+     \n\
+     --scale           workload scale (default: HIEROPT_FULL / bench)\n\
+     --write-baseline  also write bench/BASELINE.json, the reference the\n\
+     \                  CI bench-regression job compares BENCH.json against";
+  exit 2
+
 let () =
-  let result = run_experiments () in
+  let write_baseline = ref false in
+  let scale = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--write-baseline" :: rest ->
+      write_baseline := true;
+      parse rest
+    | "--scale" :: v :: rest ->
+      (match v with
+      | "tiny" -> scale := Some (H.Hierarchy.tiny_scale, Some H.Hierarchy.tiny_spec)
+      | "bench" -> scale := Some (H.Hierarchy.bench_scale, None)
+      | "paper" -> scale := Some (H.Hierarchy.paper_scale, None)
+      | _ ->
+        Printf.eprintf "bench: unknown scale %S\n" v;
+        usage ());
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %S\n" arg;
+      usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let scale, spec =
+    match !scale with
+    | Some (s, spec) -> (s, spec)
+    | None -> (H.Hierarchy.scale_of_env (), None)
+  in
+  let result = run_experiments ~scale ~spec () in
   run_timings result;
   write_bench_json "BENCH.json";
+  if !write_baseline then write_bench_json "bench/BASELINE.json";
   print_newline ()

@@ -97,6 +97,27 @@ let jobs_t =
 
 let setup_jobs jobs = Option.iter Repro_engine.Config.set_jobs jobs
 
+let solver_t =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("dense", Repro_engine.Config.Dense);
+                ("sparse", Repro_engine.Config.Sparse);
+                ("auto", Repro_engine.Config.Auto);
+              ]))
+        None
+    & info [ "solver" ] ~docv:"KIND"
+        ~doc:
+          "Linear solver for the MNA Newton kernels: $(b,dense), \
+           $(b,sparse) (symbolic factorisation reused across \
+           iterations/timesteps/samples) or $(b,auto) (sparse above a \
+           small-n threshold).  Defaults to HIEROPT_SOLVER, else auto.")
+
+let setup_solver solver = Repro_engine.Config.set_solver solver
+
 (* ---- run-lifecycle flags ---- *)
 
 let checkpoint_every_t =
@@ -202,8 +223,9 @@ let simulate_cmd =
       & opt_all string []
       & info [ "probe" ] ~docv:"NODE" ~doc:"Node(s) to report (repeatable).")
   in
-  let run deck tstop dt probes verbose =
+  let run deck tstop dt probes solver verbose =
     setup_logging verbose;
+    setup_solver solver;
     let net = Repro_circuit.Parser.parse_file deck in
     let cm = Repro_spice.Mna.compile net in
     let dc =
@@ -214,8 +236,9 @@ let simulate_cmd =
           (Repro_spice.Solver_error.to_string e);
         exit exit_solver
     in
-    Fmt.pr "DC operating point (%s, %d iterations)@." dc.Repro_spice.Dcop.strategy
-      dc.Repro_spice.Dcop.iterations;
+    Fmt.pr "DC operating point (%s, %d iterations, %s solver)@."
+      dc.Repro_spice.Dcop.strategy dc.Repro_spice.Dcop.iterations
+      dc.Repro_spice.Dcop.solver;
     let t_stop = Repro_util.Si.parse tstop and dt = Repro_util.Si.parse dt in
     let res =
       match
@@ -251,7 +274,8 @@ let simulate_cmd =
   let info =
     Cmd.info "simulate" ~doc:"Simulate a SPICE-like deck (DC + transient)."
   in
-  Cmd.v info Term.(const run $ deck_t $ tstop_t $ dt_t $ node_t $ verbose_t)
+  Cmd.v info
+    Term.(const run $ deck_t $ tstop_t $ dt_t $ node_t $ solver_t $ verbose_t)
 
 (* ---- characterise ---- *)
 
@@ -266,8 +290,9 @@ let characterise_cmd =
       & opt (some string) None
       & info [ "sizing" ] ~docv:"W/L LIST" ~doc)
   in
-  let run sizing verbose =
+  let run sizing solver verbose =
     setup_logging verbose;
+    setup_solver solver;
     let params =
       match sizing with
       | None -> Repro_circuit.Topologies.vco_default
@@ -289,7 +314,7 @@ let characterise_cmd =
     Cmd.info "characterise"
       ~doc:"Measure a ring-VCO sizing at transistor level (kvco, ivco, jvco, fmin, fmax)."
   in
-  Cmd.v info Term.(const run $ params_t $ verbose_t)
+  Cmd.v info Term.(const run $ params_t $ solver_t $ verbose_t)
 
 (* ---- flow ---- *)
 
@@ -309,10 +334,11 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full scale jobs nominal_only model_dir checkpoint_every resume
-      interrupt_after trace verbose =
+  let run seed full scale jobs solver nominal_only model_dir checkpoint_every
+      resume interrupt_after trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
+    setup_solver solver;
     let scale, spec = resolve_scale full scale in
     let cfg =
       Hieropt.Hierarchy.make_config ~seed ~scale ?spec
@@ -350,8 +376,9 @@ let flow_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ full_t $ scale_t $ jobs_t $ ablation_t $ model_dir_t
-      $ checkpoint_every_t $ resume_t $ interrupt_after_t $ trace_t $ verbose_t)
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ ablation_t
+      $ model_dir_t $ checkpoint_every_t $ resume_t $ interrupt_after_t
+      $ trace_t $ verbose_t)
 
 (* ---- system ---- *)
 
@@ -381,10 +408,11 @@ let pll_query_of_remote ~fallback remote =
       Some (Repro_serve.Remote.model_query ~fallback ~client ~model ()))
 
 let system_cmd =
-  let run seed full scale jobs model_dir remote checkpoint_every resume trace
-      verbose =
+  let run seed full scale jobs solver model_dir remote checkpoint_every resume
+      trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
+    setup_solver solver;
     let model = load_model model_dir in
     let pll_query = pll_query_of_remote ~fallback:model remote in
     let scale, spec = resolve_scale full scale in
@@ -409,8 +437,8 @@ let system_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ full_t $ scale_t $ jobs_t $ model_dir_t $ remote_t
-      $ checkpoint_every_t $ resume_t $ trace_t $ verbose_t)
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ model_dir_t
+      $ remote_t $ checkpoint_every_t $ resume_t $ trace_t $ verbose_t)
 
 (* ---- yield ---- *)
 
@@ -433,9 +461,10 @@ let yield_cmd =
   let samples_t =
     Arg.(value & opt int 500 & info [ "samples" ] ~doc:"MC sample count.")
   in
-  let run model_dir kvco ivco c1 c2 r1 samples seed jobs verbose =
+  let run model_dir kvco ivco c1 c2 r1 samples seed jobs solver verbose =
     setup_logging verbose;
     setup_jobs jobs;
+    setup_solver solver;
     let model = load_model model_dir in
     let cfg = Hieropt.Pll_problem.default_config ~model in
     let p = Repro_util.Si.parse in
@@ -464,7 +493,7 @@ let yield_cmd =
       $ filt_t "c1" ~doc:"Loop filter C1." ~default:"10p"
       $ filt_t "c2" ~doc:"Loop filter C2." ~default:"0.6p"
       $ filt_t "r1" ~doc:"Loop filter R1." ~default:"6k"
-      $ samples_t $ seed_t $ jobs_t $ verbose_t)
+      $ samples_t $ seed_t $ jobs_t $ solver_t $ verbose_t)
 
 (* ---- serve ---- *)
 

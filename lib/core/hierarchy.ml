@@ -225,7 +225,13 @@ let cache_path cfg =
 let config_salt cfg =
   Printf.sprintf "%08x"
     (Hashtbl.hash_param 256 256
-       (cfg.spec, cfg.measure, cfg.process, cfg.use_variation))
+       ( cfg.spec,
+         cfg.measure,
+         cfg.process,
+         cfg.use_variation,
+         (* dense and sparse solves agree only to rounding, so cached
+            entries must not leak across solver modes *)
+         E.Config.solver_mode_name (E.Config.solver ()) ))
 
 let load_cache cfg =
   match cache_path cfg with
@@ -258,8 +264,13 @@ let evaluator_of cfg cache =
 let fingerprint ?(extra = "") cfg =
   Printf.sprintf "%08x%s"
     (Hashtbl.hash_param 256 256
-       (cfg.seed, cfg.scale, cfg.spec, cfg.measure, cfg.process,
-        cfg.use_variation))
+       ( cfg.seed,
+         cfg.scale,
+         cfg.spec,
+         cfg.measure,
+         cfg.process,
+         cfg.use_variation,
+         E.Config.solver_mode_name (E.Config.solver ()) ))
     extra
 
 let setup_checkpoint ?extra ~file cfg progress =

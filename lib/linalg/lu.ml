@@ -7,7 +7,18 @@ type factorisation = {
 
 exception Singular of int
 
-let pivot_tolerance = 1e-300
+(* Singularity detection is relative to each column's pre-elimination
+   magnitude: a pivot below [pivot_rel_tol] times the largest original
+   entry of its column is numerically indistinguishable from the
+   cancellation noise of the elimination, whatever the absolute scale
+   of the system.  The absolute floor only matters for columns that are
+   exactly (or denormally) zero.  Shared by the dense and sparse
+   factorisations so both report [Singular] on the same systems. *)
+let pivot_rel_tol = 1e-13
+let pivot_abs_floor = 1e-300
+
+let pivot_threshold ~col_max =
+  Float.max pivot_abs_floor (pivot_rel_tol *. col_max)
 
 let factorise m =
   let n = Matrix.rows m in
@@ -16,6 +27,15 @@ let factorise m =
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       lu.((i * n) + j) <- Matrix.get m i j
+    done
+  done;
+  (* per-column magnitude of the original matrix, the reference for the
+     relative pivot tolerance *)
+  let col_max = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v = Float.abs lu.((i * n) + j) in
+      if v > col_max.(j) then col_max.(j) <- v
     done
   done;
   let perm = Array.init n (fun i -> i) in
@@ -33,7 +53,7 @@ let factorise m =
         piv := i
       end
     done;
-    if !best < pivot_tolerance then raise (Singular k);
+    if !best < pivot_threshold ~col_max:col_max.(k) then raise (Singular k);
     if !piv <> k then begin
       let pk = !piv in
       for j = 0 to n - 1 do

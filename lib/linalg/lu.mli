@@ -7,6 +7,14 @@ exception Singular of int
 (** Raised when a pivot column [i] has no usable pivot (matrix is
     numerically singular). *)
 
+val pivot_threshold : col_max:float -> float
+(** Smallest acceptable pivot magnitude for a column whose largest
+    pre-elimination entry is [col_max]: relative to the column's own
+    scale (so badly scaled but well-conditioned systems still solve,
+    and scaled-down singular systems no longer slip through) with an
+    absolute floor for exactly-zero columns.  Shared by the dense and
+    sparse factorisations. *)
+
 val factorise : Matrix.t -> factorisation
 (** In-place-style Doolittle factorisation of a square matrix (the input is
     copied first). @raise Singular when no pivot exceeds the tolerance. *)

@@ -3,7 +3,11 @@
     The circuit is linearised at a DC operating point (the Newton
     Jacobian there {e is} the small-signal conductance matrix G) and the
     complex system (G + jωC)·x = b is solved per frequency with a
-    real-valued 2n×2n embedding, so the dense LU kernel is reused.
+    real-valued 2n×2n embedding, so the MNA linear kernels are reused.
+    On the sparse backend the embedding's structure is fixed across the
+    sweep (only ω scales the C stamps), so its symbolic factorisation
+    runs once and every frequency point costs one numeric
+    refactorisation.
 
     The stimulus is a unit AC magnitude on a named voltage source; every
     node voltage is then directly the transfer function to that node.
@@ -18,7 +22,13 @@ val linearise : Mna.compiled -> Dcop.result -> t
 (** Capture G (at the operating point) and C once; sweeps then cost one
     complex solve per frequency. *)
 
-val transfer : t -> input:string -> output:string -> float -> Complex.t
+val transfer :
+  ?solver:Repro_engine.Config.solver_mode ->
+  t ->
+  input:string ->
+  output:string ->
+  float ->
+  Complex.t
 (** [transfer t ~input ~output f]: complex gain from a unit AC stimulus
     on voltage source [input] to node [output] at frequency [f] (Hz).
     @raise Not_found for unknown source/node names. *)
@@ -31,9 +41,15 @@ type sweep_point = {
 }
 
 val sweep :
-  t -> input:string -> output:string -> freqs:float array -> sweep_point array
+  ?solver:Repro_engine.Config.solver_mode ->
+  t ->
+  input:string ->
+  output:string ->
+  freqs:float array ->
+  sweep_point array
 
 val logsweep :
+  ?solver:Repro_engine.Config.solver_mode ->
   t ->
   input:string ->
   output:string ->

@@ -5,12 +5,14 @@ type result = {
   solution : Repro_linalg.Vec.t;  (** MNA unknown vector *)
   iterations : int;               (** total Newton iterations spent *)
   strategy : string;              (** "direct" | "gmin" | "source" *)
+  solver : string;                (** "dense" | "sparse" linear kernel *)
 }
 
 exception No_convergence of string
 
 val solve_result :
   ?x0:Repro_linalg.Vec.t ->
+  ?solver:Repro_engine.Config.solver_mode ->
   Mna.compiled ->
   (result, Solver_error.t) Stdlib.result
 (** Find the DC operating point.  [x0] seeds the Newton iteration (e.g.
@@ -21,7 +23,11 @@ val solve_result :
     @raise Invalid_argument on an [x0] size mismatch (a programming
     error, not a solver failure). *)
 
-val solve : ?x0:Repro_linalg.Vec.t -> Mna.compiled -> result
+val solve :
+  ?x0:Repro_linalg.Vec.t ->
+  ?solver:Repro_engine.Config.solver_mode ->
+  Mna.compiled ->
+  result
 (** Raising wrapper over {!solve_result}.
     @raise No_convergence when all continuation strategies fail. *)
 

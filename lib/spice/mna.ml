@@ -4,6 +4,12 @@ module Source = Repro_circuit.Source
 module Vec = Repro_linalg.Vec
 module Matrix = Repro_linalg.Matrix
 module Lu = Repro_linalg.Lu
+module Sparse = Repro_linalg.Sparse
+module Sparse_lu = Repro_linalg.Sparse_lu
+module Config = Repro_engine.Config
+module Telemetry = Repro_engine.Telemetry
+module Trace = Repro_obs.Trace
+module Histogram = Repro_obs.Histogram
 
 type res = { ra : int; rb : int; g : float }
 type cap = { ca : int; cb : int; cval : float }
@@ -21,6 +27,11 @@ type mos = {
   kp_scale : float;
 }
 
+(* sparse stamping context: the structural pattern of the Jacobian
+   (shared with the symbolic registry via its fingerprint) plus a dense
+   (i,j) -> value-slot map for O(1) stamps.  Immutable once built. *)
+type sp_ctx = { pattern : Sparse.t; slot : int array }
+
 type compiled = {
   net : Netlist.t;
   n_nodes : int;
@@ -32,6 +43,9 @@ type compiled = {
   isources : isrc array;
   mosfets : mos array;
   branch_of_name : (string, int) Hashtbl.t;
+  mutable sp : sp_ctx option;
+      (* lazily discovered; a racing rebuild is benign — every build
+         yields an equivalent immutable context *)
 }
 
 (* unknown index of a node id; ground (0) maps to -1 meaning "eliminated" *)
@@ -83,6 +97,7 @@ let compile net =
     isources = Array.of_list (List.rev !isources);
     mosfets = Array.of_list (List.rev !mosfets);
     branch_of_name;
+    sp = None;
   }
 
 let size c = c.size
@@ -115,120 +130,462 @@ let cap_value c i = c.caps.(i).cval
 let capacitance_stamps c =
   Array.map (fun { ca; cb; cval } -> (ca, cb, cval)) c.caps
 
+(* Transient-integration helpers: one checked pass over the compiled
+   capacitor table instead of per-capacitor [cap_value]/[cap_voltage]
+   calls in the per-step hot path. *)
+
+let check_cap_arrays c name ~v_prev ~i_prev ~geq ~ieq =
+  let ncaps = Array.length c.caps in
+  if
+    Array.length v_prev < ncaps
+    || Array.length i_prev < ncaps
+    || Array.length geq < ncaps
+    || Array.length ieq < ncaps
+  then invalid_arg (name ^ ": arrays shorter than capacitor count")
+
+let companion_fill c ~use_be ~h ~v_prev ~i_prev ~geq ~ieq =
+  check_cap_arrays c "Mna.companion_fill" ~v_prev ~i_prev ~geq ~ieq;
+  for k = 0 to Array.length c.caps - 1 do
+    let cv = (Array.unsafe_get c.caps k).cval in
+    if use_be then begin
+      let g = cv /. h in
+      Array.unsafe_set geq k g;
+      Array.unsafe_set ieq k (-.g *. Array.unsafe_get v_prev k)
+    end
+    else begin
+      let g = 2.0 *. cv /. h in
+      Array.unsafe_set geq k g;
+      Array.unsafe_set ieq k
+        ((-.g *. Array.unsafe_get v_prev k) -. Array.unsafe_get i_prev k)
+    end
+  done
+
+let cap_history c ~x ~geq ~ieq ~v_prev ~i_prev =
+  check_cap_arrays c "Mna.cap_history" ~v_prev ~i_prev ~geq ~ieq;
+  if Array.length x < c.size then
+    invalid_arg "Mna.cap_history: solution vector shorter than system size";
+  for k = 0 to Array.length c.caps - 1 do
+    let { ca; cb; _ } = Array.unsafe_get c.caps k in
+    let va = if ca < 0 then 0.0 else Array.unsafe_get x ca in
+    let vb = if cb < 0 then 0.0 else Array.unsafe_get x cb in
+    let v_new = va -. vb in
+    Array.unsafe_set v_prev k v_new;
+    Array.unsafe_set i_prev k
+      ((Array.unsafe_get geq k *. v_new) +. Array.unsafe_get ieq k)
+  done
+
 type cap_mode =
   | Dc
   | Companion of { geq : float array; ieq : float array }
 
 (* accumulate into row [i] only when it is a real unknown *)
 let addf residual i v = if i >= 0 then residual.(i) <- residual.(i) +. v
-let addj jac i j v = if i >= 0 && j >= 0 then Matrix.add_to jac i j v
 
-let assemble ?(injections = [||]) c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian ~residual =
-  Matrix.clear jacobian;
+(* guard for the unchecked accesses in {!eval_residual}: every public
+   path into the assembly passes through here first *)
+let check_stores c ~x ~residual ~cap_mode =
+  if Array.length x < c.size || Array.length residual < c.size then
+    invalid_arg "Mna: solution/residual vector shorter than system size";
+  match cap_mode with
+  | Dc -> ()
+  | Companion { geq; ieq } ->
+    if
+      Array.length geq < Array.length c.caps
+      || Array.length ieq < Array.length c.caps
+    then invalid_arg "Mna: companion arrays shorter than capacitor count"
+
+(* Per-MOSFET linearisation captured by the residual pass and replayed
+   by the Jacobian pass, so each device is evaluated once per Newton
+   iteration even though residual and Jacobian are built in separate
+   passes.  Parallel arrays keep the floats unboxed. *)
+type mos_scratch = {
+  ms_hi : int array;      (* high channel terminal after orientation *)
+  ms_lo : int array;
+  ms_dhi : float array;   (* d ids / d v_hi *)
+  ms_dlo : float array;
+  ms_dg : float array;    (* d ids / d v_gate *)
+}
+
+let make_mos_scratch c =
+  let nm = Array.length c.mosfets in
+  {
+    ms_hi = Array.make nm 0;
+    ms_lo = Array.make nm 0;
+    ms_dhi = Array.make nm 0.0;
+    ms_dlo = Array.make nm 0.0;
+    ms_dg = Array.make nm 0.0;
+  }
+
+(* Residual at candidate [x], plus the per-MOSFET linearisation into
+   [mos] for {!stamp_jacobian} to replay.  Kept separate from the
+   stamping pass so the Newton convergence check (which only needs the
+   residual) pays no Jacobian work.
+
+   This is the hottest loop of every SPICE-driven flow (twice per
+   Newton iteration count across millions of transient steps), so it
+   uses unchecked array accesses: the element indices were validated
+   against the node/branch counts at compile time, and the public entry
+   points check that [x], [residual] and any companion arrays are long
+   enough before reaching here. *)
+let eval_residual ?(injections = [||]) c ~x ~time ~gmin ~source_scale ~cap_mode
+    ~mos ~residual =
+  let v i = if i < 0 then 0.0 else Array.unsafe_get x i in
+  let add i dv =
+    if i >= 0 then
+      Array.unsafe_set residual i (Array.unsafe_get residual i +. dv)
+  in
   Vec.fill residual 0.0;
   let nb_base = c.n_nodes - 1 in
   (* resistors *)
-  Array.iter
-    (fun { ra; rb; g } ->
-      let i = g *. (volt x ra -. volt x rb) in
-      addf residual ra i;
-      addf residual rb (-.i);
-      addj jacobian ra ra g;
-      addj jacobian rb rb g;
-      addj jacobian ra rb (-.g);
-      addj jacobian rb ra (-.g))
-    c.resistors;
+  let rs = c.resistors in
+  for k = 0 to Array.length rs - 1 do
+    let { ra; rb; g } = Array.unsafe_get rs k in
+    let i = g *. (v ra -. v rb) in
+    add ra i;
+    add rb (-.i)
+  done;
   (* capacitors *)
   (match cap_mode with
   | Dc -> ()
   | Companion { geq; ieq } ->
-    Array.iteri
-      (fun k { ca; cb; _ } ->
-        let g = geq.(k) in
-        let i = (g *. (volt x ca -. volt x cb)) +. ieq.(k) in
-        addf residual ca i;
-        addf residual cb (-.i);
-        addj jacobian ca ca g;
-        addj jacobian cb cb g;
-        addj jacobian ca cb (-.g);
-        addj jacobian cb ca (-.g))
-      c.caps);
+    let caps = c.caps in
+    for k = 0 to Array.length caps - 1 do
+      let { ca; cb; _ } = Array.unsafe_get caps k in
+      let i =
+        (Array.unsafe_get geq k *. (v ca -. v cb)) +. Array.unsafe_get ieq k
+      in
+      add ca i;
+      add cb (-.i)
+    done);
   (* voltage sources: branch current row + KVL row *)
   Array.iter
     (fun { vpos; vneg; vwave; branch } ->
       let bi = nb_base + branch in
       let ib = x.(bi) in
-      addf residual vpos ib;
-      addf residual vneg (-.ib);
-      addj jacobian vpos bi 1.0;
-      addj jacobian vneg bi (-1.0);
+      add vpos ib;
+      add vneg (-.ib);
       let e = source_scale *. Source.value vwave time in
-      residual.(bi) <- volt x vpos -. volt x vneg -. e;
-      addj jacobian bi vpos 1.0;
-      addj jacobian bi vneg (-1.0);
-      (* ground-referenced entries when a terminal is ground are skipped by
-         addj; the branch row still needs a diagonal-free entry, which the
-         terms above provide unless both terminals are ground *)
-      if vpos < 0 && vneg < 0 then Matrix.add_to jacobian bi bi 1.0)
+      residual.(bi) <- v vpos -. v vneg -. e)
     c.vsources;
   (* current sources *)
   Array.iter
     (fun { ipos; ineg; iwave } ->
       let i = source_scale *. Source.value iwave time in
-      addf residual ipos i;
-      addf residual ineg (-.i))
+      add ipos i;
+      add ineg (-.i))
     c.isources;
   (* MOSFETs *)
-  Array.iter
-    (fun m ->
-      let vd = volt x m.md and vg = volt x m.mg and vs = volt x m.ms in
-      (* orient so the internal "drain" is the high node of the channel *)
-      let polarity = m.model.Mosfet.polarity in
-      let hi, lo, vhi, vlo =
-        match polarity with
-        | Mosfet.Nmos ->
-          if vd >= vs then (m.md, m.ms, vd, vs) else (m.ms, m.md, vs, vd)
-        | Mosfet.Pmos ->
-          if vs >= vd then (m.ms, m.md, vs, vd) else (m.md, m.ms, vd, vs)
-      in
-      let vds = vhi -. vlo in
-      let vgs =
-        match polarity with
-        | Mosfet.Nmos -> vg -. vlo
-        | Mosfet.Pmos -> vhi -. vg
-      in
-      let { Mosfet.ids; gm; gds } =
-        Mosfet.eval m.model ~w:m.w ~l:m.l ~vth_shift:m.vth_shift
-          ~kp_scale:m.kp_scale ~vgs ~vds
-      in
-      (* current flows hi -> lo through the channel *)
-      addf residual hi ids;
-      addf residual lo (-.ids);
-      (* d ids / d node voltages, per polarity-specific vgs definition *)
-      let dhi, dlo, dg =
-        match polarity with
-        | Mosfet.Nmos ->
-          (* vgs = vg - vlo, vds = vhi - vlo *)
-          (gds, -.gm -. gds, gm)
-        | Mosfet.Pmos ->
-          (* vgs = vhi - vg, vds = vhi - vlo *)
-          (gm +. gds, -.gds, -.gm)
-      in
-      addj jacobian hi hi dhi;
-      addj jacobian hi lo dlo;
-      addj jacobian hi m.mg dg;
-      addj jacobian lo hi (-.dhi);
-      addj jacobian lo lo (-.dlo);
-      addj jacobian lo m.mg (-.dg))
-    c.mosfets;
-  (* fixed extra currents (transient noise injection) *)
+  let mosfets = c.mosfets in
+  for k = 0 to Array.length mosfets - 1 do
+    let m = Array.unsafe_get mosfets k in
+    let vd = v m.md and vg = v m.mg and vs = v m.ms in
+    (* orient so the internal "drain" is the high node of the channel *)
+    let polarity = m.model.Mosfet.polarity in
+    let hi, lo, vhi, vlo =
+      match polarity with
+      | Mosfet.Nmos ->
+        if vd >= vs then (m.md, m.ms, vd, vs) else (m.ms, m.md, vs, vd)
+      | Mosfet.Pmos ->
+        if vs >= vd then (m.ms, m.md, vs, vd) else (m.md, m.ms, vd, vs)
+    in
+    let vds = vhi -. vlo in
+    let vgs =
+      match polarity with
+      | Mosfet.Nmos -> vg -. vlo
+      | Mosfet.Pmos -> vhi -. vg
+    in
+    let { Mosfet.ids; gm; gds } =
+      Mosfet.eval m.model ~w:m.w ~l:m.l ~vth_shift:m.vth_shift
+        ~kp_scale:m.kp_scale ~vgs ~vds
+    in
+    (* current flows hi -> lo through the channel *)
+    add hi ids;
+    add lo (-.ids);
+    (* d ids / d node voltages, per polarity-specific vgs definition *)
+    let dhi, dlo, dg =
+      match polarity with
+      | Mosfet.Nmos ->
+        (* vgs = vg - vlo, vds = vhi - vlo *)
+        (gds, -.gm -. gds, gm)
+      | Mosfet.Pmos ->
+        (* vgs = vhi - vg, vds = vhi - vlo *)
+        (gm +. gds, -.gds, -.gm)
+    in
+    Array.unsafe_set mos.ms_hi k hi;
+    Array.unsafe_set mos.ms_lo k lo;
+    Array.unsafe_set mos.ms_dhi k dhi;
+    Array.unsafe_set mos.ms_dlo k dlo;
+    Array.unsafe_set mos.ms_dg k dg
+  done;
+  (* fixed extra currents (transient noise injection); indices are
+     caller-supplied, so keep the checked accessor *)
   Array.iter (fun (i, amps) -> addf residual i amps) injections;
   (* gmin from every node to ground *)
   if gmin > 0.0 then
     for i = 0 to nb_base - 1 do
-      Matrix.add_to jacobian i i gmin;
-      residual.(i) <- residual.(i) +. (gmin *. x.(i))
+      Array.unsafe_set residual i
+        (Array.unsafe_get residual i +. (gmin *. Array.unsafe_get x i))
     done
+
+(* Jacobian stamps for the linearisation captured by {!eval_residual}.
+   The stamp sinks receive every (row, col, value) contribution,
+   including negative (ground) indices they must skip.  [addj_static]
+   gets the contributions that do not depend on [x] (resistors,
+   companion capacitors, voltage-source unit entries, gmin) — fixed for
+   the lifetime of one Newton call — while [addj_dyn] gets the MOSFET
+   small-signal stamps that change every iteration; [statics:false]
+   skips the static element loops entirely for the sparse blit path.
+   The dense assembly, the sparse assembly and the sparsity-pattern
+   discovery all drive this same pass, so they can never disagree about
+   what gets stamped. *)
+let stamp_jacobian ?(statics = true) c ~gmin ~cap_mode ~mos ~addj_static
+    ~addj_dyn =
+  let nb_base = c.n_nodes - 1 in
+  if statics then begin
+    Array.iter
+      (fun { ra; rb; g } ->
+        addj_static ra ra g;
+        addj_static rb rb g;
+        addj_static ra rb (-.g);
+        addj_static rb ra (-.g))
+      c.resistors;
+    (match cap_mode with
+    | Dc -> ()
+    | Companion { geq; _ } ->
+      Array.iteri
+        (fun k { ca; cb; _ } ->
+          let g = geq.(k) in
+          addj_static ca ca g;
+          addj_static cb cb g;
+          addj_static ca cb (-.g);
+          addj_static cb ca (-.g))
+        c.caps);
+    Array.iter
+      (fun { vpos; vneg; branch; _ } ->
+        let bi = nb_base + branch in
+        addj_static vpos bi 1.0;
+        addj_static vneg bi (-1.0);
+        addj_static bi vpos 1.0;
+        addj_static bi vneg (-1.0);
+        (* ground-referenced entries when a terminal is ground are
+           skipped by addj; the branch row still needs a diagonal-free
+           entry, which the terms above provide unless both terminals
+           are ground *)
+        if vpos < 0 && vneg < 0 then addj_static bi bi 1.0)
+      c.vsources;
+    if gmin > 0.0 then
+      for i = 0 to nb_base - 1 do
+        addj_static i i gmin
+      done
+  end;
+  Array.iteri
+    (fun k m ->
+      let hi = mos.ms_hi.(k) and lo = mos.ms_lo.(k) in
+      let dhi = mos.ms_dhi.(k)
+      and dlo = mos.ms_dlo.(k)
+      and dg = mos.ms_dg.(k) in
+      addj_dyn hi hi dhi;
+      addj_dyn hi lo dlo;
+      addj_dyn hi m.mg dg;
+      addj_dyn lo hi (-.dhi);
+      addj_dyn lo lo (-.dlo);
+      addj_dyn lo m.mg (-.dg))
+    c.mosfets
+
+(* residual and Jacobian in one shot — the dense path and the pattern
+   discovery use this combined form *)
+let assemble_core ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~mos
+    ~addj_static ~addj_dyn ~residual =
+  eval_residual ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~mos
+    ~residual;
+  stamp_jacobian c ~gmin ~cap_mode ~mos ~addj_static ~addj_dyn
+
+let assemble ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian
+    ~residual =
+  check_stores c ~x ~residual ~cap_mode;
+  Matrix.clear jacobian;
+  let mos = make_mos_scratch c in
+  let addj i j v = if i >= 0 && j >= 0 then Matrix.add_to jacobian i j v in
+  assemble_core ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~mos
+    ~addj_static:addj ~addj_dyn:addj ~residual
+
+(* ---- sparse stamping ---------------------------------------------- *)
+
+(* One discovery pass over assemble_core records every position any
+   assembly mode can touch: companion-cap stamps are forced on (dummy
+   conductances), gmin forces the node diagonal, and x = 0 is enough
+   for the MOSFETs because the channel-orientation swap permutes hi/lo
+   within {drain, source} — the stamped position set
+   {d,s} x {d,s,gate} is orientation-invariant. *)
+let discover_pattern c =
+  let n = c.size in
+  let b = Sparse.Builder.create ~n in
+  let x = Vec.create n in
+  let residual = Vec.create n in
+  let ncaps = Array.length c.caps in
+  let cap_mode =
+    Companion { geq = Array.make ncaps 1.0; ieq = Array.make ncaps 0.0 }
+  in
+  let addj i j _ = if i >= 0 && j >= 0 then Sparse.Builder.add b i j 0.0 in
+  assemble_core c ~x ~time:0.0 ~gmin:1.0 ~source_scale:1.0 ~cap_mode
+    ~mos:(make_mos_scratch c) ~addj_static:addj ~addj_dyn:addj ~residual;
+  Sparse.Builder.build b
+
+let sp_ctx c =
+  match c.sp with
+  | Some ctx -> ctx
+  | None ->
+    let pattern = discover_pattern c in
+    let n = c.size in
+    let slot = Array.make (n * n) (-1) in
+    let row_ptr = Sparse.row_ptr pattern and col_idx = Sparse.col_idx pattern in
+    for i = 0 to n - 1 do
+      for p = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        slot.((i * n) + col_idx.(p)) <- p
+      done
+    done;
+    let ctx = { pattern; slot } in
+    c.sp <- Some ctx;
+    ctx
+
+(* Stamp into the values array of a same-pattern sparse matrix.  An
+   out-of-pattern stamp would index slot -1 and fail loudly — the
+   pattern is a structural superset of every assembly mode by
+   construction, so that would be a discovery bug, not a user error. *)
+let sparse_adder ctx ~n values i j v =
+  if i >= 0 && j >= 0 then begin
+    let p = Array.unsafe_get ctx.slot ((i * n) + j) in
+    Array.unsafe_set values p (Array.unsafe_get values p +. v)
+  end
+
+let ignore_stamp _ _ _ = ()
+
+(* ---- solver workspace --------------------------------------------- *)
+
+(* Reusable state for a sequence of sparse Newton calls on one compiled
+   circuit: the value/static stores, rhs/update vectors and the numeric
+   factors survive across calls, so a transient's thousands of steps
+   allocate nothing and touch the symbolic registry once.  Single
+   owner, never share across threads. *)
+type solver_ws = {
+  ws_for : compiled;
+  ws_ctx : sp_ctx;
+  ws_a : Sparse.t;
+  ws_static : float array;
+  ws_rhs : float array;
+  ws_dx : float array;
+  ws_mos : mos_scratch;
+  mutable ws_num : Sparse_lu.numeric option;
+  (* key of the static stamps currently held in [ws_static]: valid flag,
+     the gmin and cap-mode tag they were built under, and a private copy
+     of the companion conductances.  Comparing 0(ncaps) floats is an
+     order of magnitude cheaper than re-stamping, so consecutive
+     transient steps (same gmin, same geq) reuse the static part across
+     Newton calls, not just across the iterations of one call. *)
+  mutable ws_static_valid : bool;
+  mutable ws_static_gmin : float;
+  mutable ws_static_dc : bool;
+  ws_static_geq : float array;
+}
+
+type workspace = { mutable ws : solver_ws option }
+
+let make_workspace () = { ws = None }
+
+let build_solver_ws c =
+  let ctx = sp_ctx c in
+  let a = Sparse.like ctx.pattern in
+  {
+    ws_for = c;
+    ws_ctx = ctx;
+    ws_a = a;
+    ws_static = Array.make (Sparse.nnz a) 0.0;
+    ws_rhs = Vec.create c.size;
+    ws_dx = Vec.create c.size;
+    ws_mos = make_mos_scratch c;
+    ws_num = None;
+    ws_static_valid = false;
+    ws_static_gmin = 0.0;
+    ws_static_dc = false;
+    ws_static_geq = Array.make (Array.length c.caps) 0.0;
+  }
+
+let statics_current ws ~gmin ~cap_mode =
+  ws.ws_static_valid
+  && ws.ws_static_gmin = gmin
+  &&
+  match cap_mode with
+  | Dc -> ws.ws_static_dc
+  | Companion { geq; _ } ->
+    (not ws.ws_static_dc)
+    &&
+    let cached = ws.ws_static_geq in
+    let nc = Array.length cached in
+    let rec eq k =
+      k >= nc
+      || Array.unsafe_get geq k = Array.unsafe_get cached k && eq (k + 1)
+    in
+    eq 0
+
+(* Bring the sparse value store up to date with the linearisation
+   captured by the latest {!eval_residual}: restore the static stamps
+   with a blit when the cached copy is still current, re-stamp them
+   otherwise, then add the MOSFET stamps. *)
+let stamp_sparse c ws ~gmin ~cap_mode ~mos =
+  let ctx = ws.ws_ctx in
+  let values = Sparse.values ws.ws_a in
+  let static_values = ws.ws_static in
+  let nnz = Array.length values in
+  if statics_current ws ~gmin ~cap_mode then begin
+    Array.blit static_values 0 values 0 nnz;
+    stamp_jacobian ~statics:false c ~gmin ~cap_mode ~mos
+      ~addj_static:ignore_stamp
+      ~addj_dyn:(sparse_adder ctx ~n:c.size values)
+  end
+  else begin
+    Array.fill static_values 0 nnz 0.0;
+    Array.fill values 0 nnz 0.0;
+    stamp_jacobian c ~gmin ~cap_mode ~mos
+      ~addj_static:(sparse_adder ctx ~n:c.size static_values)
+      ~addj_dyn:(sparse_adder ctx ~n:c.size values);
+    for p = 0 to nnz - 1 do
+      Array.unsafe_set values p
+        (Array.unsafe_get values p +. Array.unsafe_get static_values p)
+    done;
+    ws.ws_static_gmin <- gmin;
+    (match cap_mode with
+    | Dc -> ws.ws_static_dc <- true
+    | Companion { geq; _ } ->
+      ws.ws_static_dc <- false;
+      Array.blit geq 0 ws.ws_static_geq 0 (Array.length ws.ws_static_geq));
+    ws.ws_static_valid <- true
+  end
+
+let solver_ws workspace c =
+  match workspace with
+  | None -> build_solver_ws c
+  | Some w -> (
+    match w.ws with
+    | Some s when s.ws_for == c -> s
+    | _ ->
+      let s = build_solver_ws c in
+      w.ws <- Some s;
+      s)
+
+(* ---- solver selection --------------------------------------------- *)
+
+(* below this many unknowns the dense kernel's simplicity wins *)
+let sparse_threshold = 8
+
+let resolve_solver c solver =
+  let mode = match solver with Some m -> m | None -> Config.solver () in
+  match mode with
+  | Config.Dense -> `Dense
+  | Config.Sparse -> `Sparse
+  | Config.Auto -> if c.size >= sparse_threshold then `Sparse else `Dense
+
+let solver_name ?solver c =
+  match resolve_solver c solver with `Dense -> "dense" | `Sparse -> "sparse"
 
 type newton_report = {
   converged : bool;
@@ -265,15 +622,16 @@ let channel_noise_stamps c ~x =
       (hi, lo, sqrt (4.0 *. boltzmann_t *. gamma_noise *. Float.max gm 0.0)))
     c.mosfets
 
-let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
-    ?(dv_limit = 0.5) ?injections c ~x ~time ~gmin ~source_scale ~cap_mode =
-  let n = c.size in
-  let jacobian = Matrix.create n n in
-  let residual = Vec.create n in
-  let nb_base = c.n_nodes - 1 in
+(* Newton driver shared by both linear-solver backends:
+   [assemble_residual] refreshes the residual (and whatever the backend
+   caches alongside it) at the current x, [prepare_jacobian] brings the
+   backend's Jacobian store up to date — called only on iterations that
+   actually solve, so a converged check pays no stamping — and [solve]
+   returns the Newton update or None on a singular system. *)
+let newton_loop ~max_iter ~vtol ~rtol ~itol ~dv_limit ~nb_base ~x ~residual
+    ~assemble_residual ~prepare_jacobian ~solve =
   let rec loop iter last_dx =
-    assemble ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian
-      ~residual;
+    assemble_residual ();
     let max_res =
       let acc = ref 0.0 in
       for i = 0 to nb_base - 1 do
@@ -286,10 +644,11 @@ let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
     else if iter >= max_iter then
       { converged = false; iterations = iter; max_dx = last_dx; max_residual = max_res }
     else begin
-      match Lu.solve jacobian (Array.map (fun r -> -.r) residual) with
-      | exception Lu.Singular _ ->
+      prepare_jacobian ();
+      match solve () with
+      | None ->
         { converged = false; iterations = iter; max_dx = last_dx; max_residual = max_res }
-      | dx ->
+      | Some dx ->
         (* damp on node-voltage updates only *)
         let max_node_dx = ref 0.0 in
         for i = 0 to nb_base - 1 do
@@ -301,3 +660,100 @@ let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
     end
   in
   loop 0 infinity
+
+let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
+    ?(dv_limit = 0.5) ?injections ?solver ?workspace c ~x ~time ~gmin
+    ~source_scale ~cap_mode =
+  let n = c.size in
+  let nb_base = c.n_nodes - 1 in
+  let residual = Vec.create n in
+  check_stores c ~x ~residual ~cap_mode;
+  let choice = resolve_solver c solver in
+  let run () =
+    match choice with
+    | `Dense ->
+      let jacobian = Matrix.create n n in
+      (* the combined assembly refreshes the Jacobian together with the
+         residual, so the solve needs no separate stamping step *)
+      let assemble_residual () =
+        assemble ?injections c ~x ~time ~gmin ~source_scale ~cap_mode ~jacobian
+          ~residual
+      in
+      let solve () =
+        match Lu.solve jacobian (Array.map (fun r -> -.r) residual) with
+        | exception Lu.Singular _ -> None
+        | dx -> Some dx
+      in
+      newton_loop ~max_iter ~vtol ~rtol ~itol ~dv_limit ~nb_base ~x ~residual
+        ~assemble_residual ~prepare_jacobian:ignore ~solve
+    | `Sparse ->
+      let ws = solver_ws workspace c in
+      let a = ws.ws_a in
+      let rhs = ws.ws_rhs and dx = ws.ws_dx in
+      let mos = ws.ws_mos in
+      let assemble_residual () =
+        eval_residual ?injections c ~x ~time ~gmin ~source_scale ~cap_mode
+          ~mos ~residual
+      in
+      let prepare_jacobian () = stamp_sparse c ws ~gmin ~cap_mode ~mos in
+      (* symbolic analysis runs once per circuit topology: the registry
+         shares it across Newton calls, timesteps and Monte-Carlo
+         samples of structurally identical netlists; every later solve
+         is a cheap numeric refactorisation along the frozen pattern.
+         A frozen pivot gone stale raises Singular and falls back to a
+         fresh factorisation (new pivot order). *)
+      let full_factorise () =
+        match
+          Histogram.time (Histogram.get "solver.factorise") (fun () ->
+              Sparse_lu.factorise a)
+        with
+        | exception Sparse_lu.Singular _ -> None
+        | sym, nm ->
+          Telemetry.incr "solver.symbolic";
+          Sparse_lu.store_symbolic a sym;
+          ws.ws_num <- Some nm;
+          Some nm
+      in
+      let refactorise nm =
+        match
+          Histogram.time (Histogram.get "solver.refactorise") (fun () ->
+              Sparse_lu.refactorise nm a)
+        with
+        | () ->
+          Telemetry.incr "solver.refactorise";
+          ws.ws_num <- Some nm;
+          Some nm
+        | exception Sparse_lu.Singular _ ->
+          Telemetry.incr "solver.refactorise_fallback";
+          full_factorise ()
+      in
+      let solve () =
+        let nm =
+          match ws.ws_num with
+          | Some nm -> refactorise nm
+          | None -> (
+            match Sparse_lu.find_symbolic a with
+            | Some sym -> refactorise (Sparse_lu.create_numeric sym)
+            | None -> full_factorise ())
+        in
+        match nm with
+        | None -> None
+        | Some nm ->
+          for i = 0 to n - 1 do
+            rhs.(i) <- -.residual.(i)
+          done;
+          Sparse_lu.solve_into nm ~b:rhs ~x:dx;
+          Some dx
+      in
+      newton_loop ~max_iter ~vtol ~rtol ~itol ~dv_limit ~nb_base ~x ~residual
+        ~assemble_residual ~prepare_jacobian ~solve
+  in
+  if Trace.enabled () then
+    Trace.span "mna.newton"
+      ~args:
+        [
+          ("solver", (match choice with `Dense -> "dense" | `Sparse -> "sparse"));
+          ("n", string_of_int n);
+        ]
+      run
+  else run ()

@@ -35,6 +35,33 @@ val capacitance_stamps : compiled -> (int * int * float) array
 (** All linear capacitors as (unknown_a, unknown_b, value) triples with
     -1 for a grounded terminal — the C matrix of the AC analysis. *)
 
+val companion_fill :
+  compiled ->
+  use_be:bool ->
+  h:float ->
+  v_prev:float array ->
+  i_prev:float array ->
+  geq:float array ->
+  ieq:float array ->
+  unit
+(** Fill the per-capacitor companion conductances/currents for one
+    integration step of size [h]: backward Euler ([use_be]) or
+    trapezoidal from the previous voltage/current history.  One pass
+    over the compiled capacitor table — the transient per-step hot
+    path. *)
+
+val cap_history :
+  compiled ->
+  x:Repro_linalg.Vec.t ->
+  geq:float array ->
+  ieq:float array ->
+  v_prev:float array ->
+  i_prev:float array ->
+  unit
+(** Update [v_prev]/[i_prev] from the accepted solution [x] under the
+    companion stamps used for the step — the counterpart of
+    {!companion_fill}. *)
+
 type cap_mode =
   | Dc
       (** capacitors open-circuit *)
@@ -59,6 +86,21 @@ val assemble :
     adds fixed extra currents (unknown index, amps flowing out of the
     node) — the transient-noise hook. *)
 
+type workspace
+(** Reusable sparse-solver state (value stores, numeric factors) for a
+    sequence of {!newton} calls — a transient's thousands of steps then
+    allocate nothing per step and consult the symbolic registry once.
+    Lazily bound to the first circuit it is used with (rebinds if the
+    circuit changes).  Single-owner: never share across threads.  Purely
+    a performance hint; results are identical with or without it. *)
+
+val make_workspace : unit -> workspace
+
+val solver_name : ?solver:Repro_engine.Config.solver_mode -> compiled -> string
+(** ["dense"] or ["sparse"]: the backend {!newton} will pick for this
+    circuit under the given mode (default {!Repro_engine.Config.solver}).
+    [Auto] resolves to sparse at or above a small-n threshold. *)
+
 type newton_report = {
   converged : bool;
   iterations : int;
@@ -81,6 +123,8 @@ val newton :
   ?itol:float ->
   ?dv_limit:float ->
   ?injections:(int * float) array ->
+  ?solver:Repro_engine.Config.solver_mode ->
+  ?workspace:workspace ->
   compiled ->
   x:Repro_linalg.Vec.t ->
   time:float ->
@@ -91,4 +135,12 @@ val newton :
 (** Damped Newton–Raphson updating [x] in place.  Per-iteration node
     updates are limited to [dv_limit] volts (default 0.5) by step
     scaling.  Convergence requires both the update norm below
-    [vtol + rtol * |x|] and the KCL residual below [itol]. *)
+    [vtol + rtol * |x|] and the KCL residual below [itol].
+
+    [solver] picks the linear kernel (default
+    {!Repro_engine.Config.solver}): the dense LU, or the sparse
+    left-looking LU whose symbolic analysis is computed once per
+    circuit topology and shared through a registry so Newton
+    iterations, timesteps and Monte-Carlo samples only pay a numeric
+    refactorisation.  Both kernels share pivot-tolerance semantics, so
+    singularity behaviour is identical. *)

@@ -21,6 +21,7 @@ type result = {
   rtimes : float array;
   states : float array array; (* per recorded step, full unknown vector *)
   newton_total : int;
+  solver : string;
 }
 
 let times r = r.rtimes
@@ -38,11 +39,12 @@ let source_current_wave r name = wave_of_index r (Mna.branch_index r.compiled na
 
 let final_solution r = r.states.(Array.length r.states - 1)
 let total_newton_iterations r = r.newton_total
+let solver r = r.solver
 
 (* internal control-flow escape for the result-based driver *)
 exception Abort of Solver_error.t
 
-let run_result compiled opts =
+let run_result ?solver compiled opts =
   if opts.t_stop <= 0.0 || opts.dt <= 0.0 then
     invalid_arg "Transient.run: t_stop and dt must be positive";
   match
@@ -51,7 +53,7 @@ let run_result compiled opts =
   let x =
     if opts.skip_dcop then Vec.create n
     else
-      match Dcop.solve_result compiled with
+      match Dcop.solve_result ?solver compiled with
       | Ok dc -> Vec.copy dc.Dcop.solution
       | Error e -> raise (Abort e)
   in
@@ -63,6 +65,7 @@ let run_result compiled opts =
       | None -> invalid_arg "Transient.run: cannot override ground"
       | Some i -> x.(i) <- v)
     opts.ic;
+  let workspace = Mna.make_workspace () in
   let ncaps = Mna.cap_count compiled in
   let v_prev = Array.init ncaps (fun k -> Mna.cap_voltage compiled k x) in
   let i_prev = Array.make ncaps 0.0 in
@@ -95,20 +98,11 @@ let run_result compiled opts =
             stamps;
           Array.of_list !out
       in
-      for k = 0 to ncaps - 1 do
-        let c = Mna.cap_value compiled k in
-        if use_be then begin
-          geq.(k) <- c /. h_try;
-          ieq.(k) <- -.geq.(k) *. v_prev.(k)
-        end
-        else begin
-          geq.(k) <- 2.0 *. c /. h_try;
-          ieq.(k) <- (-.geq.(k) *. v_prev.(k)) -. i_prev.(k)
-        end
-      done;
+      Mna.companion_fill compiled ~use_be ~h:h_try ~v_prev ~i_prev ~geq ~ieq;
       let x_try = Vec.copy x in
       let report =
-        Mna.newton ~max_iter:opts.max_newton ~injections compiled ~x:x_try
+        Mna.newton ~max_iter:opts.max_newton ~injections ?solver ~workspace
+          compiled ~x:x_try
           ~time:(!t +. h_try) ~gmin:1e-12 ~source_scale:1.0
           ~cap_mode:(Mna.Companion { geq; ieq })
       in
@@ -124,12 +118,7 @@ let run_result compiled opts =
     in
     let h_used, x_new = attempt !h in
     (* update capacitor history from the accepted step *)
-    for k = 0 to ncaps - 1 do
-      let v_new = Mna.cap_voltage compiled k x_new in
-      let i_new = (geq.(k) *. v_new) +. ieq.(k) in
-      v_prev.(k) <- v_new;
-      i_prev.(k) <- i_new
-    done;
+    Mna.cap_history compiled ~x:x_new ~geq ~ieq ~v_prev ~i_prev;
     Array.blit x_new 0 x 0 n;
     t := !t +. h_used;
     first := false;
@@ -143,14 +132,15 @@ let run_result compiled opts =
     rtimes = Array.of_list (List.rev !rec_times);
     states = Array.of_list (List.rev !rec_states);
     newton_total = !newton_total;
+    solver = Mna.solver_name ?solver compiled;
   }
     end
   with
   | r -> Ok r
   | exception Abort e -> Error e
 
-let run compiled opts =
-  match run_result compiled opts with
+let run ?solver compiled opts =
+  match run_result ?solver compiled opts with
   | Ok r -> r
   | Error (Solver_error.Step_underflow { time }) -> raise (Step_failure time)
   | Error (Solver_error.No_convergence { detail; _ }) ->

@@ -25,7 +25,10 @@ exception Step_failure of float
 type result
 
 val run_result :
-  Mna.compiled -> options -> (result, Solver_error.t) Stdlib.result
+  ?solver:Repro_engine.Config.solver_mode ->
+  Mna.compiled ->
+  options ->
+  (result, Solver_error.t) Stdlib.result
 (** Run the transient analysis.  DC-start non-convergence and step-size
     underflow are returned as structured {!Solver_error.t} values — this
     is the primary entry point; {!run} is a thin raising wrapper kept
@@ -33,7 +36,11 @@ val run_result :
     @raise Invalid_argument on non-positive [t_stop]/[dt] or an [ic]
     override of ground (programming errors, not solver failures). *)
 
-val run : Mna.compiled -> options -> result
+val run :
+  ?solver:Repro_engine.Config.solver_mode ->
+  Mna.compiled ->
+  options ->
+  result
 (** Raising wrapper over {!run_result}.
     @raise Step_failure on step-size underflow.
     @raise Dcop.No_convergence when the starting DC solve fails. *)
@@ -50,3 +57,6 @@ val source_current_wave : result -> string -> Waveform.t
 val final_solution : result -> Repro_linalg.Vec.t
 
 val total_newton_iterations : result -> int
+
+val solver : result -> string
+(** Linear kernel used for the run's Newton solves ("dense"/"sparse"). *)

@@ -5,6 +5,7 @@ let () =
       ("stats", Test_stats.suite);
       ("util-misc", Test_util_misc.suite);
       ("linalg", Test_linalg.suite);
+      ("sparse", Test_sparse.suite);
       ("interp", Test_interp.suite);
       ("datafile", Test_datafile.suite);
       ("mosfet", Test_mosfet.suite);
