@@ -27,7 +27,14 @@ let watched =
     ("solver/transient_speedup", Higher_is_better);
     ("solver/dense_sparse_max_diff", Bound 1e-9);
     ("engine/cache_speedup", Higher_is_better);
+    ("engine/mc_speedup", Higher_is_better);
     ("serve/p50_ms_w1", Lower_is_better);
+    ("dist/speedup_2v1", Higher_is_better);
+    ("dist/warm_hit_ratio", Higher_is_better);
+    (* absolute ceiling: a mid-batch worker death must never stall the
+       dispatch (retry storms, lost chunks); the wall time itself is
+       dominated by machine-dependent evaluation cost *)
+    ("dist/reassign_s", Bound 30.0);
     ("timings/substrate/mna-assemble_ns", Lower_is_better);
     ("timings/substrate/lu-solve_ns", Lower_is_better);
   ]

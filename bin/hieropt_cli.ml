@@ -9,6 +9,7 @@
      yield         Monte-Carlo a design point from a saved table model
      serve         serve saved table models over HTTP
      query         query a table model (local dir or running server)
+     worker        run a distributed eval-worker (for flow/system --workers)
      report        summarise a run journal (and optionally a trace)
 
    Exit codes: 0 success; 1 generic failure; 3 circuit solver error;
@@ -324,6 +325,44 @@ let model_dir_t =
     & opt string "hieropt_model"
     & info [ "model-dir" ] ~docv:"DIR" ~doc:"Where the .tbl table model lives.")
 
+(* ---- distributed evaluation ---- *)
+
+let workers_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workers" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "Distribute evaluation batches over running $(b,hieropt \
+           worker) instances (comma-separated endpoints).  Workers must \
+           be started with the same scale/spec/solver options (checked \
+           via the config salt).  Results are byte-identical to a local \
+           run for any worker count; a worker dying mid-run only costs \
+           re-evaluating its last chunk.")
+
+let remote_of_workers ?model_hash ~cfg workers =
+  match workers with
+  | None -> None
+  | Some spec ->
+    let endpoints =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if endpoints = [] then None
+    else begin
+      let salt = Hieropt.Hierarchy.config_salt cfg in
+      match
+        Repro_dist.Coordinator.create ?model_hash ~salt ~endpoints ()
+      with
+      | Error msg -> die exit_serve "--workers: %s" msg
+      | Ok c ->
+        if Repro_dist.Coordinator.live_workers c = 0 then
+          Fmt.epr
+            "warning: no eval worker reachable; evaluating locally@.";
+        Some (Repro_dist.Coordinator.remote c)
+    end
+
 let flow_cmd =
   let ablation_t =
     Arg.(
@@ -334,8 +373,8 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full scale jobs solver nominal_only model_dir checkpoint_every
-      resume interrupt_after trace verbose =
+  let run seed full scale jobs solver nominal_only model_dir workers
+      checkpoint_every resume interrupt_after trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -345,12 +384,16 @@ let flow_cmd =
         ~use_variation:(not nominal_only) ~model_dir ?checkpoint_every ~resume
         ()
     in
+    (* the flow builds its table model mid-run in memory, so only the
+       circuit GA and Monte-Carlo batches distribute; system-level
+       evaluation stays local (no shared model to check against) *)
+    let remote = remote_of_workers ~cfg workers in
     with_lifecycle ~checkpoint_every @@ fun () ->
     with_trace trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run
         ~progress:(fun s -> Fmt.pr "[flow] %s@." s)
-        ?interrupt_after cfg
+        ?remote ?interrupt_after cfg
     in
     Fmt.pr "@.%s@." (Hieropt.Experiments.fig7_front result.Hieropt.Hierarchy.front);
     Fmt.pr "%s@." (Hieropt.Experiments.table1 result.Hieropt.Hierarchy.entries);
@@ -377,8 +420,8 @@ let flow_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ ablation_t
-      $ model_dir_t $ checkpoint_every_t $ resume_t $ interrupt_after_t
-      $ trace_t $ verbose_t)
+      $ model_dir_t $ workers_t $ checkpoint_every_t $ resume_t
+      $ interrupt_after_t $ trace_t $ verbose_t)
 
 (* ---- system ---- *)
 
@@ -408,8 +451,8 @@ let pll_query_of_remote ~fallback remote =
       Some (Repro_serve.Remote.model_query ~fallback ~client ~model ()))
 
 let system_cmd =
-  let run seed full scale jobs solver model_dir remote checkpoint_every resume
-      trace verbose =
+  let run seed full scale jobs solver model_dir remote workers checkpoint_every
+      resume trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -420,12 +463,19 @@ let system_cmd =
       Hieropt.Hierarchy.make_config ~seed ~scale ?spec ~model_dir
         ?checkpoint_every ~resume ()
     in
+    (* both ends load the model from disk, so PLL shards distribute to
+       workers started with --model-dir on the same artefacts *)
+    let remote_eval =
+      remote_of_workers
+        ~model_hash:(Repro_dist.Protocol.model_fingerprint model)
+        ~cfg workers
+    in
     with_lifecycle ~checkpoint_every @@ fun () ->
     with_trace trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run_system_level
         ~progress:(fun s -> Fmt.pr "[system] %s@." s)
-        ?pll_query cfg ~model
+        ?remote:remote_eval ?pll_query cfg ~model
     in
     Fmt.pr "%s@."
       (Hieropt.Experiments.table2 ?selected:result.Hieropt.Hierarchy.selected
@@ -438,7 +488,8 @@ let system_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ model_dir_t
-      $ remote_t $ checkpoint_every_t $ resume_t $ trace_t $ verbose_t)
+      $ remote_t $ workers_t $ checkpoint_every_t $ resume_t $ trace_t
+      $ verbose_t)
 
 (* ---- yield ---- *)
 
@@ -550,6 +601,100 @@ let serve_cmd =
     Term.(
       const run $ model_dir_t $ addr_t $ port_t $ workers_t $ timeout_t
       $ trace_t $ verbose_t)
+
+(* ---- worker ---- *)
+
+let worker_cmd =
+  let addr_t =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "addr" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_t =
+    Arg.(
+      value & opt int 8191
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks a free one).")
+  in
+  let http_workers_t =
+    Arg.(
+      value & opt int 2
+      & info [ "http-workers" ] ~docv:"N"
+          ~doc:"Server domains handling requests.")
+  in
+  let timeout_t =
+    Arg.(
+      value & opt float 10.
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection socket read timeout.")
+  in
+  let nominal_only_t =
+    Arg.(
+      value & flag
+      & info [ "nominal-only" ]
+          ~doc:
+            "Match a coordinator running with --nominal-only (the flag \
+             is part of the config salt).")
+  in
+  let worker_model_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "model-dir" ] ~docv:"DIR"
+          ~doc:
+            "Load a saved table model so this worker can also evaluate \
+             system-level (PLL) shards for $(b,hieropt system \
+             --workers) runs over the same model.")
+  in
+  let run full scale jobs solver nominal_only model_dir addr port http_workers
+      request_timeout verbose =
+    setup_logging verbose;
+    setup_jobs jobs;
+    setup_solver solver;
+    let scale, spec = resolve_scale full scale in
+    (* the worker's evaluation closures must capture the same ambient
+       configuration as the coordinator's run — the config salt checks
+       exactly the fields that matter (spec, measure, process,
+       variation flag, solver mode); seed and model_dir do not *)
+    let cfg =
+      Hieropt.Hierarchy.make_config ~scale ?spec
+        ~use_variation:(not nominal_only) ()
+    in
+    let model = Option.map load_model model_dir in
+    let worker = Repro_dist.Worker.create ~version ?model ~config:cfg () in
+    let server =
+      match
+        Repro_dist.Worker.serve ~addr ~port ~http_workers ~request_timeout
+          worker
+      with
+      | server -> server
+      | exception Unix.Unix_error (code, _, _) ->
+        die exit_serve "cannot bind %s:%d: %s" addr port
+          (Unix.error_message code)
+      | exception Failure msg -> die exit_serve "cannot start worker: %s" msg
+    in
+    Repro_serve.Server.install_signal_handlers server;
+    Fmt.pr "eval worker on http://%s:%d (salt %s, problems: %s, %d jobs)@."
+      addr
+      (Repro_serve.Server.port server)
+      (Repro_dist.Worker.salt worker)
+      (String.concat ", " (Repro_dist.Worker.problems worker))
+      (Repro_engine.Config.jobs ());
+    Repro_serve.Server.wait server;
+    Fmt.pr "%s@." (Repro_engine.Telemetry.line ())
+  in
+  let info =
+    Cmd.info "worker"
+      ~doc:
+        "Run a distributed eval-worker serving batched evaluations to \
+         $(b,hieropt flow --workers) / $(b,hieropt system --workers) \
+         coordinators (SIGTERM drains gracefully)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ full_t $ scale_t $ jobs_t $ solver_t $ nominal_only_t
+      $ worker_model_dir_t $ addr_t $ port_t $ http_workers_t $ timeout_t
+      $ verbose_t)
 
 (* ---- query ---- *)
 
@@ -943,6 +1088,7 @@ let main_cmd =
       yield_cmd;
       serve_cmd;
       query_cmd;
+      worker_cmd;
       report_cmd;
     ]
 

@@ -94,6 +94,32 @@ val make_config :
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 (** The named Pareto front has too few designs to build a model from. *)
 
+val config_salt : config -> string
+(** Fingerprint of the configuration captured by the objective closures
+    (spec, measurement, process, variation flag, solver mode) — the
+    eval-cache keyspace salt.  A remote eval-worker must be started
+    from a config with the same salt to serve a run; the distributed
+    protocol carries it on every request so mismatched set-ups are
+    rejected instead of silently poisoning caches. *)
+
+(** {2 Distributed evaluation}
+
+    The flow itself never speaks HTTP; a coordinator (the [repro_dist]
+    library) injects remote evaluation through this record.  Every hook
+    must be bit-identical to its local counterpart — worker topology,
+    like the [-j] worker count, can never influence artefacts. *)
+
+type remote = {
+  topology : string list;
+      (** worker endpoints, recorded as run-journal metadata *)
+  remote_evaluator :
+    salt:string -> cache:Repro_engine.Cache.t -> Repro_moo.Problem.evaluator;
+      (** GA population evaluator; [salt] is {!config_salt}, [cache] the
+          run's persisted eval cache (consulted before dispatch) *)
+  remote_mc : salt:string -> Variation_model.mc_bulk;
+      (** Monte-Carlo sample-batch evaluator for the variation phase *)
+}
+
 (** {2 Observability}
 
     When [model_dir] is set, a run appends structured events to
@@ -145,7 +171,12 @@ type result = {
   pll_config : Pll_problem.config;
 }
 
-val run : ?progress:(string -> unit) -> ?interrupt_after:phase -> config -> result
+val run :
+  ?progress:(string -> unit) ->
+  ?remote:remote ->
+  ?interrupt_after:phase ->
+  config ->
+  result
 (** Evaluations run through the {!Repro_engine} subsystem: NSGA-II
     generations, Monte-Carlo trials and yield samples are spread over
     the shared domain pool ([-j] / HIEROPT_JOBS) and memoised in a
@@ -154,6 +185,11 @@ val run : ?progress:(string -> unit) -> ?interrupt_after:phase -> config -> resu
     [.tbl] artefacts.  Results are bit-identical for any worker count
     and with a cold or warm cache.  Engine telemetry is emitted through
     [progress].
+
+    [remote] routes GA evaluation batches and Monte-Carlo sample
+    batches through a distributed coordinator (see {!remote}); because
+    every hook is bit-identical to its local counterpart, artefacts —
+    and snapshot compatibility — are unchanged for any topology.
 
     [interrupt_after] is a testing hook: flush the snapshot and raise
     {!Repro_engine.Checkpoint.Interrupted} once the given phase
@@ -168,6 +204,7 @@ val run : ?progress:(string -> unit) -> ?interrupt_after:phase -> config -> resu
 
 val run_system_level :
   ?progress:(string -> unit) ->
+  ?remote:remote ->
   ?pll_query:Pll_problem.model_query ->
   config ->
   model:Perf_table.t ->
@@ -187,3 +224,13 @@ val run_system_level :
 val verify_design :
   config -> model:Perf_table.t -> Pll_problem.table2_row -> verification
 (** Bottom-up verification of a chosen row. *)
+
+val pll_config_of :
+  ?pll_query:Pll_problem.model_query ->
+  config ->
+  Perf_table.t ->
+  Pll_problem.config
+(** The system-level problem configuration {!run_system_level} derives
+    from a flow config and a model.  Exposed so a distributed
+    eval-worker can build the {e same} PLL problem (hence bit-identical
+    evaluations) from its own copy of the config and model. *)

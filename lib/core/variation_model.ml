@@ -57,7 +57,13 @@ let perf_codec =
           });
   }
 
-let analyse_design ?(options = default_options) ?checkpoint ~prng
+type mc_bulk =
+  params:float array ->
+  local:(Repro_util.Prng.t array -> (V.performance, string) result array) ->
+  Repro_util.Prng.t array ->
+  (V.performance, string) result array
+
+let analyse_design ?(options = default_options) ?mc_bulk ?checkpoint ~prng
     (design : Vco_problem.sized_design) =
   let net =
     T.ring_vco ~stages:options.measure.V.stages ~vdd:options.measure.V.vdd
@@ -71,8 +77,25 @@ let analyse_design ?(options = default_options) ?checkpoint ~prng
   let checkpoint =
     Option.map (fun (ck, key) -> (ck, key, perf_codec)) checkpoint
   in
+  (* the distributed-farm hook: hand the pre-split streams (plus the
+     7-float parameter vector a remote worker needs to rebuild [net])
+     to the caller, together with a [local] evaluator it can fall back
+     on — the local closure owns net/spec/measure so the seam never
+     leaks circuit types into the coordinator *)
+  let bulk =
+    Option.map
+      (fun (mb : mc_bulk) ->
+        let local streams =
+          Repro_engine.Parmap.map
+            (fun s -> trial (Repro_circuit.Process.sample options.process s net))
+            streams
+        in
+        mb ~params:(T.vco_vector_of_params design.Vco_problem.params) ~local)
+      mc_bulk
+  in
   let mc =
-    Mc.run ~spec:options.process ?checkpoint ~n:options.samples ~prng net trial
+    Mc.run ~spec:options.process ?checkpoint ?bulk ~n:options.samples ~prng net
+      trial
   in
   let n_ok = Array.length mc.Mc.samples in
   let spread get =
@@ -117,8 +140,8 @@ let entry_of_row row =
         })
       (Vco_problem.design_of_vector (Array.sub row 0 12))
 
-let analyse_front ?options ?progress ?(already = [||]) ?on_entry ?checkpoint
-    ~prng designs =
+let analyse_front ?options ?mc_bulk ?progress ?(already = [||]) ?on_entry
+    ?checkpoint ~prng designs =
   let n = Array.length designs in
   let k = min (Array.length already) n in
   let out = Array.make n None in
@@ -132,7 +155,8 @@ let analyse_front ?options ?progress ?(already = [||]) ?on_entry ?checkpoint
       let design_ck =
         Option.map (fun ck -> (ck, "mc." ^ string_of_int i)) checkpoint
       in
-      let e = analyse_design ?options ?checkpoint:design_ck ~prng:prng_i
+      let e =
+        analyse_design ?options ?mc_bulk ?checkpoint:design_ck ~prng:prng_i
           designs.(i)
       in
       out.(i) <- Some e;

@@ -23,8 +23,24 @@ type options = {
 
 val default_options : options
 
+type mc_bulk =
+  params:float array ->
+  local:
+    (Repro_util.Prng.t array ->
+    (Repro_spice.Vco_measure.performance, string) result array) ->
+  Repro_util.Prng.t array ->
+  (Repro_spice.Vco_measure.performance, string) result array
+(** The distributed Monte-Carlo hook: a bulk evaluator over the
+    pre-split per-trial PRNG streams.  [params] is the 7-float
+    {!Repro_circuit.Topologies.vco_params} vector a remote worker needs
+    to rebuild the netlist; [local] evaluates streams in-process (the
+    fallback when no worker can take the batch).  Implementations must
+    return one outcome per stream, in order, bit-identical to [local] —
+    determinism of the whole run rests on this contract. *)
+
 val analyse_design :
   ?options:options ->
+  ?mc_bulk:mc_bulk ->
   ?checkpoint:Repro_engine.Checkpoint.t * string ->
   prng:Repro_util.Prng.t ->
   Vco_problem.sized_design ->
@@ -33,10 +49,13 @@ val analyse_design :
     are counted but excluded from the spread statistics; when fewer than
     3 trials survive the spreads fall back to 0.  [checkpoint:(ck, key)]
     persists/restores the completed Monte-Carlo sample prefix under
-    [key] (see {!Repro_spice.Monte_carlo.run}). *)
+    [key] (see {!Repro_spice.Monte_carlo.run}).  [mc_bulk] routes the
+    sample batch through a caller-supplied evaluator (the eval-worker
+    farm) instead of the local pool. *)
 
 val analyse_front :
   ?options:options ->
+  ?mc_bulk:mc_bulk ->
   ?progress:(int -> int -> unit) ->
   ?already:entry array ->
   ?on_entry:(int -> entry -> unit) ->

@@ -1,0 +1,73 @@
+(** The sharding coordinator: the dispatching half of the farm.
+
+    A coordinator owns one HTTP client per worker endpoint and turns a
+    batch of work (a GA population's cache misses, a design's
+    Monte-Carlo sample range) into chunks drained from a shared queue
+    by one dispatch thread per live worker — natural work-stealing: a
+    fast worker takes more chunks, a slow one fewer, and a {e dead}
+    one's chunk is requeued for the survivors (after the client's
+    transient-failure retries), so a failure mid-generation costs only
+    the lost chunk's re-evaluation.  Chunks no worker can take are
+    evaluated locally; the dispatch always completes.
+
+    Determinism: inputs are pre-split by index (decision vectors or
+    {!Repro_util.Prng} streams) and results are written back by index,
+    so artefacts are byte-identical for any worker count, any chunk
+    interleaving, and any mid-run failure pattern — local-only, one
+    worker and N workers all agree.
+
+    After each GA batch the freshly computed cache entries are pushed
+    to every live worker ([PUT /cache], best-effort), so workers warm
+    each other across generations.
+
+    Telemetry: [dist.remote_points] / [dist.local_points] /
+    [dist.remote_mc_trials] / [dist.local_mc_trials] /
+    [dist.worker_deaths] / [dist.reassigned_chunks]. *)
+
+type t
+
+val create :
+  ?timeout:float ->      (* per-call socket timeout, default 120 s *)
+  ?retries:int ->        (* transient-failure retries, default 2 *)
+  ?model_hash:string ->  (* expected table-model fingerprint, for PLL *)
+  salt:string ->
+  endpoints:string list ->
+  unit ->
+  (t, string) result
+(** Probe [endpoints] ([HOST:PORT] specs) and build the coordinator.
+    An unreachable worker is marked dead with a warning (the run
+    proceeds without it); a worker answering with a {e different
+    config salt} — or something that is not an eval worker — is a
+    configuration error and fails creation.  [model_hash]
+    ({!Protocol.model_fingerprint} of the run's table model) enables
+    distribution of system-level (PLL) shards to workers advertising
+    the same model; without it those shards stay local. *)
+
+val endpoints : t -> string list
+val live_workers : t -> int
+
+val eval_bulk :
+  t ->
+  salt:string ->
+  Repro_moo.Problem.t ->
+  float array array ->
+  Repro_moo.Problem.evaluation array
+(** Distribute one batch of decision-vector evaluations (used beneath
+    {!Repro_moo.Problem.cached_evaluator} — callers normally go through
+    {!remote}). *)
+
+val mc_bulk :
+  t ->
+  salt:string ->
+  params:float array ->
+  local:
+    (Repro_util.Prng.t array ->
+    (Repro_spice.Vco_measure.performance, string) result array) ->
+  Repro_util.Prng.t array ->
+  (Repro_spice.Vco_measure.performance, string) result array
+(** Distribute one Monte-Carlo sample batch (the
+    {!Hieropt.Variation_model.mc_bulk} shape). *)
+
+val remote : t -> Hieropt.Hierarchy.remote
+(** The hook record for {!Hieropt.Hierarchy.run} /
+    {!Hieropt.Hierarchy.run_system_level}. *)

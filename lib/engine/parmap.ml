@@ -5,7 +5,7 @@ let resolve = function Some p -> p | None -> Pool.get_default ()
 let assemble results =
   Array.map (function Some v -> v | None -> assert false) results
 
-let map ?pool f arr =
+let map ?pool ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
@@ -19,25 +19,25 @@ let map ?pool f arr =
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set failure None (Some (e, bt)))
     in
-    Pool.run_items pool n body;
+    Pool.run_items ?chunk pool n body;
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> assemble results
   end
 
-let mapi ?pool f arr =
+let mapi ?pool ?chunk f arr =
   let n = Array.length arr in
   let indexed = Array.init n (fun i -> (i, arr.(i))) in
-  map ?pool (fun (i, x) -> f i x) indexed
+  map ?pool ?chunk (fun (i, x) -> f i x) indexed
 
-let init ?pool n f =
+let init ?pool ?chunk n f =
   if n < 0 then invalid_arg "Parmap.init: negative length";
-  map ?pool f (Array.init n (fun i -> i))
+  map ?pool ?chunk f (Array.init n (fun i -> i))
 
-let map_seeded ?pool ~prng f arr =
+let map_seeded ?pool ?chunk ~prng f arr =
   (* One child stream per element, split sequentially *before* dispatch:
      stream identity depends only on the element index, never on which
      worker runs it or in what order — the determinism keystone. *)
   let streams = Prng.split_n prng (Array.length arr) in
   let indexed = Array.mapi (fun i x -> (streams.(i), x)) arr in
-  map ?pool (fun (stream, x) -> f stream x) indexed
+  map ?pool ?chunk (fun (stream, x) -> f stream x) indexed

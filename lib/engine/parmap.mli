@@ -6,20 +6,23 @@
     output is byte-identical whether the pool has 1 worker or 64.
 
     When [?pool] is omitted the shared {!Pool.get_default} pool is used,
-    i.e. parallelism follows [-j] / [HIEROPT_JOBS]. *)
+    i.e. parallelism follows [-j] / [HIEROPT_JOBS].  [?chunk] forwards
+    to {!Pool.run_items} and only tunes dispatch granularity — it never
+    changes results. *)
 
-val map : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map].  The first exception raised by [f] is
     re-raised on the calling domain (remaining items may or may not have
     been evaluated). *)
 
-val mapi : ?pool:Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi : ?pool:Pool.t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
-val init : ?pool:Pool.t -> int -> (int -> 'b) -> 'b array
+val init : ?pool:Pool.t -> ?chunk:int -> int -> (int -> 'b) -> 'b array
 (** Parallel [Array.init].  @raise Invalid_argument on negative size. *)
 
 val map_seeded :
   ?pool:Pool.t ->
+  ?chunk:int ->
   prng:Repro_util.Prng.t ->
   (Repro_util.Prng.t -> 'a -> 'b) ->
   'a array ->

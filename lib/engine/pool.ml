@@ -94,7 +94,7 @@ let get_default () =
    contiguous index range from a shared counter and runs [body] on it.
    [body] must not raise (callers wrap exceptions themselves) and writes
    only to per-index slots, so any worker count yields the same output. *)
-let run_items t n body =
+let run_items ?chunk t n body =
   if n > 0 then begin
     let workers = min t.size n in
     if workers <= 1 || inside_worker () then
@@ -105,7 +105,11 @@ let run_items t n body =
             body i
           done)
     else begin
-      let chunk = max 1 (n / (workers * 8)) in
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> max 1 (n / (workers * 8))
+      in
       let next = Atomic.make 0 in
       let completed = Atomic.make 0 in
       let m = Mutex.create () in

@@ -22,13 +22,20 @@ val submit : t -> (unit -> unit) -> unit
     are swallowed (wrap your own error channel).
     @raise Invalid_argument after {!shutdown}. *)
 
-val run_items : t -> int -> (int -> unit) -> unit
+val run_items : ?chunk:int -> t -> int -> (int -> unit) -> unit
 (** [run_items t n body] runs [body i] for every [i] in [0..n-1] across
     the pool, chunked, returning when all items completed.  [body] must
     not raise and must only write per-index state.  Runs inline and
     serially when the pool has one worker or when called from inside a
     pool task (nested parallelism falls back to serial rather than
-    deadlocking). *)
+    deadlocking).
+
+    [chunk] overrides the dispatch granularity (default
+    [n / (workers * 8)], clamped to at least 1).  Chunking never affects
+    results — slots are written by index — only how much work a domain
+    claims per trip to the shared counter; coarse chunks amortise
+    per-item dispatch and keep per-domain scratch state (e.g. solver
+    workspaces) hot across consecutive items. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent. *)

@@ -74,10 +74,17 @@ let eval_hist = lazy (Repro_obs.Histogram.get "eval.duration")
 let timed_evaluate t x =
   Repro_obs.Histogram.time (Lazy.force eval_hist) (fun () -> t.evaluate x)
 
-let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
+let cache_kind ~salt t =
+  "eval:" ^ t.name ^ if salt = "" then "" else ":" ^ salt
+
+(* Shared cache-then-bulk skeleton: consult the cache on the calling
+   domain, hand only the misses to [bulk] (local pool map or the remote
+   worker farm — anything honouring "one result per input, in order"),
+   store and reassemble by index so output order and content are
+   independent of who computed what. *)
+let cached_evaluator ?cache ?(salt = "") ~bulk () t xs =
   let module E = Repro_engine in
   let n = Array.length xs in
-  let kind = "eval:" ^ t.name ^ if salt = "" then "" else ":" ^ salt in
   Repro_obs.Trace.span "eval.batch"
     ~args:[ ("problem", t.name); ("points", string_of_int n) ]
   @@ fun () ->
@@ -85,11 +92,12 @@ let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
   match cache with
   | None ->
     E.Telemetry.incr "eval.runs" ~by:n;
-    E.Parmap.map ?pool (timed_evaluate t) xs
+    let fresh = bulk t xs in
+    if Array.length fresh <> n then
+      failwith "Problem.cached_evaluator: bulk returned wrong arity";
+    fresh
   | Some cache ->
-    (* consult the cache on the calling domain, dispatch only misses;
-       results land back by index so output order (and content) is
-       independent of the worker count *)
+    let kind = cache_kind ~salt t in
     let keys = Array.map (fun x -> E.Cache.key ~kind x) xs in
     let out = Array.make n None in
     let miss_idx = ref [] in
@@ -107,10 +115,16 @@ let parallel_evaluator ?pool ?cache ?(salt = "") () t xs =
           ("hits", string_of_int (n - Array.length misses));
           ("misses", string_of_int (Array.length misses));
         ];
-    let fresh = E.Parmap.map ?pool (fun i -> timed_evaluate t xs.(i)) misses in
+    let fresh = bulk t (Array.map (fun i -> xs.(i)) misses) in
+    if Array.length fresh <> Array.length misses then
+      failwith "Problem.cached_evaluator: bulk returned wrong arity";
     Array.iteri
       (fun k i ->
         E.Cache.store cache keys.(i) (pack fresh.(k));
         out.(i) <- Some fresh.(k))
       misses;
     Array.map (function Some e -> e | None -> assert false) out
+
+let parallel_evaluator ?pool ?cache ?salt () t xs =
+  let bulk t xs = Repro_engine.Parmap.map ?pool (timed_evaluate t) xs in
+  cached_evaluator ?cache ?salt ~bulk () t xs

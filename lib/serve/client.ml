@@ -53,18 +53,40 @@ let round_trip t ~meth ~target ~body =
     ~meth ~target ~body fd;
   Http.read_response (Http.Reader.of_fd fd)
 
+(* ECONNREFUSED is deliberately transient: during worker/server startup
+   the listener may not be bound yet, and the retry loop doubles as the
+   readiness wait. *)
 let transient = function
   | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ETIMEDOUT
   | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.EAGAIN | Unix.EWOULDBLOCK ->
     true
   | _ -> false
 
+(* Full-jitter exponential backoff (delay uniform in [0, base·2^n],
+   capped).  A deterministic schedule synchronises retry storms: when a
+   coordinator's worker dies, every in-flight client would otherwise
+   retry the survivors in lockstep.  The jitter PRNG is self-seeded and
+   mutex-protected — it only shapes timing, never results. *)
+let backoff_base = 0.05
+let backoff_cap = 2.0
+let jitter_mutex = Mutex.create ()
+let jitter_state = lazy (Random.State.make_self_init ())
+
+let backoff_delay n =
+  let ceiling =
+    Float.min backoff_cap (backoff_base *. float_of_int (1 lsl min n 16))
+  in
+  Mutex.lock jitter_mutex;
+  let d = Random.State.float (Lazy.force jitter_state) ceiling in
+  Mutex.unlock jitter_mutex;
+  d
+
 let request t ~meth ~target ~body =
   let rec attempt n =
     let retry msg =
       if n < t.retries then begin
         Repro_engine.Telemetry.incr "serve.client_retries";
-        Thread.delay (0.05 *. float_of_int (n + 1));
+        Thread.delay (backoff_delay n);
         attempt (n + 1)
       end
       else Error (Connect_failure msg)
@@ -84,6 +106,7 @@ let request t ~meth ~target ~body =
 
 let get t target = request t ~meth:"GET" ~target ~body:""
 let post t target ~body = request t ~meth:"POST" ~target ~body
+let put t target ~body = request t ~meth:"PUT" ~target ~body
 
 let expect_json resp =
   match resp with

@@ -1,7 +1,11 @@
 (** Blocking HTTP client for the model server — one connection per
     call, stdlib sockets only.  Transient failures (connection refused,
-    reset, timeout) are retried with linear backoff; protocol-level
-    errors (4xx/5xx, malformed JSON) are not.
+    reset, timeout) are retried with full-jitter exponential backoff
+    (uniform in [0, 50ms·2^n], capped at 2s), so a fleet of clients
+    losing one endpoint never retries in lockstep; protocol-level
+    errors (4xx/5xx, malformed JSON) are not retried.  Connection
+    refused counts as transient on purpose — the retry loop doubles as
+    the startup-readiness wait against a worker that is still binding.
 
     Because both ends use {!Json}'s lossless float encoding,
     {!query_points} returns floats bit-identical to calling
@@ -26,6 +30,7 @@ val create :
 
 val get : t -> string -> (Http.response, error) result
 val post : t -> string -> body:string -> (Http.response, error) result
+val put : t -> string -> body:string -> (Http.response, error) result
 
 val get_json : t -> string -> (Json.t, error) result
 (** GET expecting a 200 with a JSON body. *)

@@ -1,7 +1,9 @@
 module Telemetry = Repro_engine.Telemetry
 
+type handler = Http.request -> int * (string * string) list * string
+
 type t = {
-  api : Api.t;
+  handler : handler;
   listener : Unix.file_descr;
   bound_port : int;
   request_timeout : float;
@@ -42,7 +44,7 @@ let serve_connection t fd =
     | Error (`Too_large msg) ->
       ignore (send ~keep_alive:false 413 (error_body msg))
     | Ok req ->
-      let status, headers, body = Api.handle t.api req in
+      let status, headers, body = t.handler req in
       (* a draining server answers the request it already accepted,
          then closes instead of waiting for the next one *)
       let keep_alive = Http.keep_alive req && not (Atomic.get t.stopping) in
@@ -86,8 +88,8 @@ let rec accept_loop t =
     (* listener closed by [stop] — wake every worker for the drain *)
     locked t (fun () -> Condition.broadcast t.cond)
 
-let start ?(addr = "127.0.0.1") ?(port = 8190) ?(workers = 2)
-    ?(request_timeout = 10.) ~api () =
+let start_with ?(addr = "127.0.0.1") ?(port = 8190) ?(workers = 2)
+    ?(request_timeout = 10.) ~handler () =
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match
@@ -106,7 +108,7 @@ let start ?(addr = "127.0.0.1") ?(port = 8190) ?(workers = 2)
   in
   let t =
     {
-      api;
+      handler;
       listener;
       bound_port;
       request_timeout = (if request_timeout <= 0. then 10. else request_timeout);
@@ -126,6 +128,9 @@ let start ?(addr = "127.0.0.1") ?(port = 8190) ?(workers = 2)
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   Telemetry.set "serve.workers" workers;
   t
+
+let start ?addr ?port ?workers ?request_timeout ~api () =
+  start_with ?addr ?port ?workers ?request_timeout ~handler:(Api.handle api) ()
 
 let stop ?(drain_timeout = 5.0) t =
   if not (Atomic.exchange t.stopping true) then begin

@@ -15,15 +15,33 @@
 
 type t
 
-val start :
+type handler = Http.request -> int * (string * string) list * string
+(** A request handler: returns (status, extra headers, body).  Must be
+    safe to call from several worker domains at once. *)
+
+val start_with :
   ?addr:string ->             (* bind address, default "127.0.0.1" *)
   ?port:int ->                (* default 8190; 0 = ephemeral *)
   ?workers:int ->             (* worker domains, default 2, min 1 *)
   ?request_timeout:float ->   (* seconds, default 10. *)
+  handler:handler ->
+  unit ->
+  t
+(** Start the HTTP machinery around an arbitrary request handler — the
+    transport (accept loop, keep-alive, drain) is shared between the
+    model server and the distributed eval-workers; only the routing
+    differs.  @raise Unix.Unix_error if the address cannot be bound. *)
+
+val start :
+  ?addr:string ->
+  ?port:int ->
+  ?workers:int ->
+  ?request_timeout:float ->
   api:Api.t ->
   unit ->
   t
-(** @raise Unix.Unix_error if the address cannot be bound. *)
+(** {!start_with} over {!Api.handle} — the model server.
+    @raise Unix.Unix_error if the address cannot be bound. *)
 
 val port : t -> int
 (** The actually-bound port (useful after [?port:0]). *)

@@ -16,9 +16,14 @@ let try_newton ?max_iter ?solver ~workspace c x ~gmin ~source_scale =
 let fail detail =
   Error (Solver_error.No_convergence { stage = "dcop"; detail })
 
-let solve_result ?x0 ?solver c =
+let solve_result ?x0 ?solver ?workspace c =
   let solver_used = Mna.solver_name ?solver c in
-  let workspace = Mna.make_workspace () in
+  (* default to the domain's persistent workspace so numeric factors
+     survive across the operating points of one Monte-Carlo trial (and
+     across trials run on the same domain) *)
+  let workspace =
+    match workspace with Some w -> w | None -> Mna.domain_workspace ()
+  in
   let n = Mna.size c in
   let fresh () =
     match x0 with
@@ -71,8 +76,8 @@ let solve_result ?x0 ?solver c =
     end
   end
 
-let solve ?x0 ?solver c =
-  match solve_result ?x0 ?solver c with
+let solve ?x0 ?solver ?workspace c =
+  match solve_result ?x0 ?solver ?workspace c with
   | Ok r -> r
   | Error (Solver_error.No_convergence { detail; _ }) ->
     raise (No_convergence detail)

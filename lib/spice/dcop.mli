@@ -13,19 +13,23 @@ exception No_convergence of string
 val solve_result :
   ?x0:Repro_linalg.Vec.t ->
   ?solver:Repro_engine.Config.solver_mode ->
+  ?workspace:Mna.workspace ->
   Mna.compiled ->
   (result, Solver_error.t) Stdlib.result
 (** Find the DC operating point.  [x0] seeds the Newton iteration (e.g.
     a previous solution during a sweep).  Non-convergence of every
     continuation strategy is an [Error] carrying the structured
     {!Solver_error.t} — this is the primary entry point; {!solve} is a
-    thin raising wrapper kept for compatibility.
+    thin raising wrapper kept for compatibility.  [workspace] defaults
+    to {!Mna.domain_workspace} (a pure performance hint; results are
+    identical either way).
     @raise Invalid_argument on an [x0] size mismatch (a programming
     error, not a solver failure). *)
 
 val solve :
   ?x0:Repro_linalg.Vec.t ->
   ?solver:Repro_engine.Config.solver_mode ->
+  ?workspace:Mna.workspace ->
   Mna.compiled ->
   result
 (** Raising wrapper over {!solve_result}.

@@ -492,6 +492,13 @@ type workspace = { mutable ws : solver_ws option }
 
 let make_workspace () = { ws = None }
 
+(* One persistent workspace per domain: Monte-Carlo trials dispatched to
+   a pool domain rebind it from sample to sample, so sparse numeric
+   factors (and the value stores) survive across structurally identical
+   netlists instead of being reallocated per trial. *)
+let domain_ws_key = Domain.DLS.new_key (fun () -> make_workspace ())
+let domain_workspace () = Domain.DLS.get domain_ws_key
+
 let build_solver_ws c =
   let ctx = sp_ctx c in
   let a = Sparse.like ctx.pattern in
@@ -567,12 +574,35 @@ let solver_ws workspace c =
   | Some w -> (
     match w.ws with
     | Some s when s.ws_for == c -> s
-    | _ ->
+    | prev ->
       let s = build_solver_ws c in
+      (* Rebinding to a structurally identical circuit (the Monte-Carlo
+         case: every sample compiles the same topology with perturbed
+         values): carry the numeric factors over, but only when their
+         symbolic is the one the registry would hand out anyway — that
+         makes the carried path identical, bit for bit, to building a
+         fresh numeric from the registry symbolic, so reuse stays purely
+         an allocation saving. *)
+      (match prev with
+      | Some p -> (
+        match p.ws_num with
+        | Some nm
+          when Sparse.same_pattern p.ws_a s.ws_a
+               && (match Sparse_lu.find_symbolic s.ws_a with
+                  | Some sym -> sym == Sparse_lu.symbolic nm
+                  | None -> false) ->
+          s.ws_num <- Some nm
+        | _ -> ())
+      | None -> ());
       w.ws <- Some s;
       s)
 
 (* ---- solver selection --------------------------------------------- *)
+
+(* Resolved once: Histogram.get takes the registry mutex, and the solver
+   loop below runs from every pool domain at once. *)
+let factorise_hist = lazy (Histogram.get "solver.factorise")
+let refactorise_hist = lazy (Histogram.get "solver.refactorise")
 
 (* below this many unknowns the dense kernel's simplicity wins *)
 let sparse_threshold = 8
@@ -704,7 +734,7 @@ let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
          fresh factorisation (new pivot order). *)
       let full_factorise () =
         match
-          Histogram.time (Histogram.get "solver.factorise") (fun () ->
+          Histogram.time (Lazy.force factorise_hist) (fun () ->
               Sparse_lu.factorise a)
         with
         | exception Sparse_lu.Singular _ -> None
@@ -714,13 +744,20 @@ let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
           ws.ws_num <- Some nm;
           Some nm
       in
+      (* The refactorise counter/histogram updates are batched over the
+         whole Newton call: both sit behind global mutexes, and hitting
+         them per iteration from every pool domain serialises the
+         Monte-Carlo trials that this solver exists to parallelise
+         (ROADMAP item 1).  The counter total is exact; the histogram
+         records one observation per Newton call (the summed
+         refactorisation time of its iterations). *)
+      let refact_n = ref 0 and refact_s = ref 0.0 in
       let refactorise nm =
-        match
-          Histogram.time (Histogram.get "solver.refactorise") (fun () ->
-              Sparse_lu.refactorise nm a)
-        with
+        let t0 = Unix.gettimeofday () in
+        match Sparse_lu.refactorise nm a with
         | () ->
-          Telemetry.incr "solver.refactorise";
+          refact_s := !refact_s +. (Unix.gettimeofday () -. t0);
+          incr refact_n;
           ws.ws_num <- Some nm;
           Some nm
         | exception Sparse_lu.Singular _ ->
@@ -745,8 +782,15 @@ let newton ?(max_iter = 50) ?(vtol = 1e-6) ?(rtol = 1e-6) ?(itol = 1e-9)
           Sparse_lu.solve_into nm ~b:rhs ~x:dx;
           Some dx
       in
-      newton_loop ~max_iter ~vtol ~rtol ~itol ~dv_limit ~nb_base ~x ~residual
-        ~assemble_residual ~prepare_jacobian ~solve
+      let report =
+        newton_loop ~max_iter ~vtol ~rtol ~itol ~dv_limit ~nb_base ~x ~residual
+          ~assemble_residual ~prepare_jacobian ~solve
+      in
+      if !refact_n > 0 then begin
+        Telemetry.incr "solver.refactorise" ~by:!refact_n;
+        Histogram.observe (Lazy.force refactorise_hist) !refact_s
+      end;
+      report
   in
   if Trace.enabled () then
     Trace.span "mna.newton"

@@ -96,6 +96,14 @@ type workspace
 
 val make_workspace : unit -> workspace
 
+val domain_workspace : unit -> workspace
+(** The calling domain's persistent workspace (domain-local storage).
+    Monte-Carlo trials dispatched across a pool rebind it from sample to
+    sample, so sparse numeric factors survive across structurally
+    identical netlists.  Carried factors are used only when they match
+    what the symbolic registry would provide, so results stay
+    bit-identical to a fresh workspace. *)
+
 val solver_name : ?solver:Repro_engine.Config.solver_mode -> compiled -> string
 (** ["dense"] or ["sparse"]: the backend {!newton} will pick for this
     circuit under the given mode (default {!Repro_engine.Config.solver}).

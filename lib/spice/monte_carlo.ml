@@ -37,12 +37,18 @@ let decode_outcome codec row =
   else failwith "Monte_carlo: malformed checkpoint row"
 
 let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshold)
-    ?checkpoint ~n ~prng net trial =
+    ?checkpoint ?bulk ~n ~prng net trial =
   if n <= 0 then invalid_arg "Monte_carlo.run: n must be positive";
   (* per-trial streams are split before dispatch, and outcomes are
      collected in trial order, so results are identical to the serial
-     loop for any pool size *)
+     loop for any pool size (and for any [bulk] evaluator honouring the
+     same contract) *)
   let module E = Repro_engine in
+  let pool = match pool with Some p -> p | None -> E.Pool.get_default () in
+  (* per-domain batches: a trial costs hundreds of milliseconds, so
+     fine-grained chunks buy no load balance but defeat the per-domain
+     workspace reuse that keeps sparse factors warm across samples *)
+  let chunk = max 1 (n / E.Pool.size pool) in
   let sample_hist = Repro_obs.Histogram.get "mc.sample.duration" in
   let timed_trial stream =
     Repro_obs.Histogram.time sample_hist (fun () ->
@@ -53,16 +59,19 @@ let run ?(spec = Process.default) ?pool ?(warn_threshold = default_warn_threshol
     @@ fun () ->
     E.Telemetry.time "mc.wall" @@ fun () ->
     match checkpoint with
-    | None ->
-      E.Parmap.map_seeded ?pool ~prng
-        (fun stream () -> timed_trial stream)
-        (Array.make n ())
+    | None -> (
+      match bulk with
+      | Some b -> b (Prng.split_n prng n)
+      | None ->
+        E.Parmap.map_seeded ~pool ~chunk ~prng
+          (fun stream () -> timed_trial stream)
+          (Array.make n ()))
     | Some (ck, key, codec) ->
       (* same index-stable streams as map_seeded, but evaluated in
          resumable chunks with the completed prefix persisted under
          [key] — bit-identical to the un-checkpointed path *)
       let streams = Prng.split_n prng n in
-      E.Checkpoint.resumable_map ?pool ck ~key
+      E.Checkpoint.resumable_map ~pool ~chunk ?bulk ck ~key
         ~encode:(encode_outcome codec) ~decode:(decode_outcome codec)
         timed_trial streams
   in

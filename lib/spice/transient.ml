@@ -44,16 +44,22 @@ let solver r = r.solver
 (* internal control-flow escape for the result-based driver *)
 exception Abort of Solver_error.t
 
-let run_result ?solver compiled opts =
+let run_result ?solver ?workspace compiled opts =
   if opts.t_stop <= 0.0 || opts.dt <= 0.0 then
     invalid_arg "Transient.run: t_stop and dt must be positive";
+  (* default to the domain's persistent workspace: the DC start and the
+     stepping loop share factors, and they survive into the next
+     same-topology run on this domain (Monte-Carlo samples) *)
+  let workspace =
+    match workspace with Some w -> w | None -> Mna.domain_workspace ()
+  in
   match
     begin
   let n = Mna.size compiled in
   let x =
     if opts.skip_dcop then Vec.create n
     else
-      match Dcop.solve_result ?solver compiled with
+      match Dcop.solve_result ?solver ~workspace compiled with
       | Ok dc -> Vec.copy dc.Dcop.solution
       | Error e -> raise (Abort e)
   in
@@ -65,7 +71,6 @@ let run_result ?solver compiled opts =
       | None -> invalid_arg "Transient.run: cannot override ground"
       | Some i -> x.(i) <- v)
     opts.ic;
-  let workspace = Mna.make_workspace () in
   let ncaps = Mna.cap_count compiled in
   let v_prev = Array.init ncaps (fun k -> Mna.cap_voltage compiled k x) in
   let i_prev = Array.make ncaps 0.0 in
@@ -139,8 +144,8 @@ let run_result ?solver compiled opts =
   | r -> Ok r
   | exception Abort e -> Error e
 
-let run ?solver compiled opts =
-  match run_result ?solver compiled opts with
+let run ?solver ?workspace compiled opts =
+  match run_result ?solver ?workspace compiled opts with
   | Ok r -> r
   | Error (Solver_error.Step_underflow { time }) -> raise (Step_failure time)
   | Error (Solver_error.No_convergence { detail; _ }) ->

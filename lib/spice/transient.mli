@@ -26,18 +26,22 @@ type result
 
 val run_result :
   ?solver:Repro_engine.Config.solver_mode ->
+  ?workspace:Mna.workspace ->
   Mna.compiled ->
   options ->
   (result, Solver_error.t) Stdlib.result
 (** Run the transient analysis.  DC-start non-convergence and step-size
     underflow are returned as structured {!Solver_error.t} values — this
     is the primary entry point; {!run} is a thin raising wrapper kept
-    for compatibility.
+    for compatibility.  [workspace] defaults to {!Mna.domain_workspace}
+    and is shared between the DC start and the stepping loop (a pure
+    performance hint; results are identical either way).
     @raise Invalid_argument on non-positive [t_stop]/[dt] or an [ic]
     override of ground (programming errors, not solver failures). *)
 
 val run :
   ?solver:Repro_engine.Config.solver_mode ->
+  ?workspace:Mna.workspace ->
   Mna.compiled ->
   options ->
   result

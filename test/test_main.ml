@@ -21,4 +21,5 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
+      ("dist", Test_dist.suite);
     ]

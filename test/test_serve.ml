@@ -182,6 +182,36 @@ let test_registry_invalidation () =
   Alcotest.(check bool) "reloaded" true (bits after <> bits before);
   Alcotest.(check (float 1e-30)) "doubled jitter" (before *. 2.0) after
 
+let test_registry_concurrent () =
+  (* several threads resolve the same ids through an LRU registry whose
+     capacity forces constant eviction/reload churn; every get must
+     return a structurally complete table and the registry must stay
+     within capacity afterwards *)
+  with_root @@ fun root ->
+  List.iter
+    (fun id ->
+      let dir = Filename.concat root id in
+      Unix.mkdir dir 0o755;
+      H.Perf_table.save ~dir Test_core.model)
+    [ "a"; "b"; "c" ];
+  let reg = S.Registry.create ~capacity:1 ~root () in
+  let failures = Atomic.make 0 in
+  let worker seed () =
+    let ids = [| "a"; "b"; "c" |] in
+    for i = 0 to 149 do
+      match S.Registry.get reg ids.((i + seed) mod 3) with
+      | Ok table ->
+        if H.Perf_table.size table <> 8 then Atomic.incr failures
+      | Error _ -> Atomic.incr failures
+    done
+  in
+  let threads = [ Thread.create (worker 0) (); Thread.create (worker 1) () ] in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "every concurrent get succeeded" 0
+    (Atomic.get failures);
+  Alcotest.(check int) "capacity respected after churn" 1
+    (S.Registry.loaded_count reg)
+
 let test_registry_lru () =
   with_root @@ fun root ->
   List.iter
@@ -439,6 +469,8 @@ let suite =
     Alcotest.test_case "registry load and ids" `Quick test_registry_load_and_ids;
     Alcotest.test_case "registry invalidation" `Quick test_registry_invalidation;
     Alcotest.test_case "registry lru" `Quick test_registry_lru;
+    Alcotest.test_case "registry concurrent gets" `Quick
+      test_registry_concurrent;
     Alcotest.test_case "serve query bit-identical" `Quick
       test_serve_query_bit_identical;
     Alcotest.test_case "serve verify" `Quick test_serve_verify;
