@@ -32,6 +32,15 @@ let write_bench_json path =
   let module J = Repro_serve.Json in
   (* recorded newest-first; the file reads in run order *)
   let ms = List.rev !bench_metrics in
+  (* fail loudly instead of emitting a file where one leg's numbers
+     silently shadow another's (bench_check rejects duplicates too) *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (s, k, _) ->
+      if Hashtbl.mem seen (s, k) then
+        failwith (Printf.sprintf "duplicate bench metric %s/%s" s k)
+      else Hashtbl.add seen (s, k) ())
+    ms;
   let sections =
     List.fold_left
       (fun acc (s, _, _) -> if List.mem s acc then acc else acc @ [ s ])
@@ -277,9 +286,11 @@ let checkpoint_bench (result : H.Hierarchy.result) =
     = 0);
   rm_rf dir
 
-(* loopback model server under load: queries/sec and latency quantiles
-   at several worker counts, plus the served-vs-local bit-identity
-   check that justifies offloading evaluation at all *)
+(* loopback model server under saturation: queries/sec and latency
+   quantiles at 1/2/4 reactors (offered concurrency scaled with the
+   reactor count so every leg can saturate), plus the served-vs-local
+   bit-identity check that justifies offloading evaluation at all.
+   Each leg keeps the best of a few reps to shave scheduler noise. *)
 let serve_bench (result : H.Hierarchy.result) =
   let module S = Repro_serve in
   let rec rm_rf path =
@@ -304,61 +315,66 @@ let serve_bench (result : H.Hierarchy.result) =
         (klo +. (f *. (khi -. klo)), ilo +. (f *. (ihi -. ilo))))
   in
   let expected = H.Perf_table.eval_points local batch in
-  let clients = 4 and requests_per_client = 64 in
-  let bench_workers workers =
+  (* the load legs probe protocol throughput with single-point queries
+     (batched evaluation is compute-bound and would hide the serving
+     core's own ceiling behind spline math) *)
+  let body =
+    S.Json.to_string
+      (S.Json.Obj
+         [
+           ("kvco", S.Json.Num ((klo +. khi) /. 2.0));
+           ("ivco", S.Json.Num ((ilo +. ihi) /. 2.0));
+         ])
+  in
+  let duration = 1.5 and warmup = 0.3 and reps = 3 in
+  let bench_reactors (reactors, connections) =
     let registry = S.Registry.create ~root:dir () in
     let api = S.Api.create ~registry () in
-    let server = S.Server.start ~port:0 ~workers ~api () in
+    let server = S.Server.start ~port:0 ~reactors ~api () in
     let port = S.Server.port server in
     Fun.protect
       ~finally:(fun () ->
         S.Server.stop ~drain_timeout:2. server;
         S.Server.wait server)
     @@ fun () ->
-    let identical = Atomic.make true in
-    (* client-observed latency goes through the new histogram machinery
-       (a local instance, not the registry — each worker count gets a
-       fresh one); fine-grained low buckets since these are sub-ms *)
-    let hist =
-      Repro_obs.Histogram.create ~buckets:120 ~lo:1e-5 ~hi:10.0 ()
+    (* the equivalence guarantee first: one served batch must come back
+       byte-for-byte the local evaluation (same floats, same order) *)
+    let client = S.Client.create ~port () in
+    let identical =
+      match S.Client.query_points client ~model:"default" batch with
+      | Ok got -> got = expected
+      | Error _ -> false
     in
-    let client_loop ~record () =
-      let client = S.Client.create ~port () in
-      for _ = 1 to requests_per_client do
-        let t0 = Unix.gettimeofday () in
-        (match S.Client.query_points client ~model:"default" batch with
-        | Ok got -> if got <> expected then Atomic.set identical false
-        | Error _ -> Atomic.set identical false);
-        if record then
-          Repro_obs.Histogram.observe hist (Unix.gettimeofday () -. t0)
-      done
-    in
-    (* warm the registry so the load leg measures queries, not loads *)
-    client_loop ~record:false ();
-    let wall0 = Unix.gettimeofday () in
-    let threads =
-      List.init clients (fun _ -> Thread.create (client_loop ~record:true) ())
-    in
-    List.iter Thread.join threads;
-    let wall = Unix.gettimeofday () -. wall0 in
-    let s = Repro_obs.Histogram.stats hist in
-    let qps = float_of_int s.Repro_obs.Histogram.count /. wall in
-    let tag key v = metric "serve" (Printf.sprintf "%s_w%d" key workers) v in
-    tag "qps" qps;
-    tag "p50_ms" (1e3 *. s.Repro_obs.Histogram.p50);
-    tag "p99_ms" (1e3 *. s.Repro_obs.Histogram.p99);
+    S.Client.shutdown client;
+    let best = ref None in
+    for _ = 1 to reps do
+      let r =
+        S.Loadgen.run ~connections ~duration ~warmup ~port
+          ~target:"/v1/models/default/query" ~body ()
+      in
+      match !best with
+      | Some b when b.S.Loadgen.qps >= r.S.Loadgen.qps -> ()
+      | _ -> best := Some r
+    done;
+    let r = Option.get !best in
+    let tag key v = metric "serve" (Printf.sprintf "%s_r%d" key reactors) v in
+    tag "qps" r.S.Loadgen.qps;
+    tag "p50_ms" r.S.Loadgen.p50_ms;
+    tag "p99_ms" r.S.Loadgen.p99_ms;
     Printf.printf
-      "  %d worker(s)  %8.0f queries/s   p50 %6.2f ms   p99 %6.2f ms   \
-       bit-identical: %b\n"
-      workers qps
-      (1e3 *. s.Repro_obs.Histogram.p50)
-      (1e3 *. s.Repro_obs.Histogram.p99)
-      (Atomic.get identical)
+      "  %d reactor(s) %2d conns  %8.0f queries/s   p50 %6.2f ms   p99 \
+       %6.2f ms   errors %d   bit-identical: %b\n%!"
+      reactors connections r.S.Loadgen.qps r.S.Loadgen.p50_ms
+      r.S.Loadgen.p99_ms r.S.Loadgen.errors identical
   in
   Printf.printf
-    "loopback HTTP load: %d clients x %d requests, %d points per batch:\n"
-    clients requests_per_client (Array.length batch);
-  List.iter bench_workers [ 1; 2; max 2 (E.Config.jobs ()) ];
+    "loopback HTTP saturation: closed-loop keep-alive clients, \
+     single-point queries (identity checked on a %d-point batch):\n"
+    (Array.length batch);
+  (* offered load is fixed across legs: scaling connections with
+     reactors would conflate accept-sharding gains with queueing delay
+     on hosts with fewer cores than reactors *)
+  List.iter bench_reactors [ (1, 4); (2, 4); (4, 4) ];
   rm_rf dir
 
 (* loopback distributed-eval farm: dispatch overhead and scaling of a

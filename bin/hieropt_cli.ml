@@ -560,25 +560,30 @@ let serve_cmd =
       value & opt int 8190
       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks a free one).")
   in
-  let workers_t =
+  let reactors_t =
     Arg.(
       value & opt int 2
-      & info [ "workers" ] ~docv:"N" ~doc:"Worker domains handling requests.")
+      & info
+          [ "reactors"; "workers" ]
+          ~docv:"N"
+          ~doc:
+            "Reactor domains (event loops) handling connections. \
+             $(b,--workers) is a deprecated alias.")
   in
   let timeout_t =
     Arg.(
       value & opt float 10.
       & info [ "request-timeout" ] ~docv:"SECONDS"
-          ~doc:"Per-connection socket read timeout.")
+          ~doc:"Per-connection idle/stall timeout.")
   in
-  let run model_dir addr port workers request_timeout trace verbose =
+  let run model_dir addr port reactors request_timeout trace verbose =
     setup_logging verbose;
     let registry = Repro_serve.Registry.create ~root:model_dir () in
     let api = Repro_serve.Api.create ~version ~registry () in
     with_trace trace @@ fun () ->
     let server =
       match
-        Repro_serve.Server.start ~addr ~port ~workers ~request_timeout ~api ()
+        Repro_serve.Server.start ~addr ~port ~reactors ~request_timeout ~api ()
       with
       | server -> server
       | exception Unix.Unix_error (code, _, _) ->
@@ -587,9 +592,9 @@ let serve_cmd =
       | exception Failure msg -> die exit_serve "cannot start server: %s" msg
     in
     Repro_serve.Server.install_signal_handlers server;
-    Fmt.pr "serving %s on http://%s:%d (%d workers)@." model_dir addr
+    Fmt.pr "serving %s on http://%s:%d (%d reactors)@." model_dir addr
       (Repro_serve.Server.port server)
-      workers;
+      reactors;
     Repro_serve.Server.wait server;
     Fmt.pr "%s@." (Repro_engine.Telemetry.line ())
   in
@@ -599,7 +604,7 @@ let serve_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ model_dir_t $ addr_t $ port_t $ workers_t $ timeout_t
+      const run $ model_dir_t $ addr_t $ port_t $ reactors_t $ timeout_t
       $ trace_t $ verbose_t)
 
 (* ---- worker ---- *)
@@ -616,11 +621,15 @@ let worker_cmd =
       value & opt int 8191
       & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks a free one).")
   in
-  let http_workers_t =
+  let reactors_t =
     Arg.(
       value & opt int 2
-      & info [ "http-workers" ] ~docv:"N"
-          ~doc:"Server domains handling requests.")
+      & info
+          [ "reactors"; "http-workers" ]
+          ~docv:"N"
+          ~doc:
+            "Reactor domains (event loops) handling connections. \
+             $(b,--http-workers) is a deprecated alias.")
   in
   let timeout_t =
     Arg.(
@@ -646,7 +655,7 @@ let worker_cmd =
              system-level (PLL) shards for $(b,hieropt system \
              --workers) runs over the same model.")
   in
-  let run full scale jobs solver nominal_only model_dir addr port http_workers
+  let run full scale jobs solver nominal_only model_dir addr port reactors
       request_timeout verbose =
     setup_logging verbose;
     setup_jobs jobs;
@@ -664,8 +673,7 @@ let worker_cmd =
     let worker = Repro_dist.Worker.create ~version ?model ~config:cfg () in
     let server =
       match
-        Repro_dist.Worker.serve ~addr ~port ~http_workers ~request_timeout
-          worker
+        Repro_dist.Worker.serve ~addr ~port ~reactors ~request_timeout worker
       with
       | server -> server
       | exception Unix.Unix_error (code, _, _) ->
@@ -693,7 +701,7 @@ let worker_cmd =
   Cmd.v info
     Term.(
       const run $ full_t $ scale_t $ jobs_t $ solver_t $ nominal_only_t
-      $ worker_model_dir_t $ addr_t $ port_t $ http_workers_t $ timeout_t
+      $ worker_model_dir_t $ addr_t $ port_t $ reactors_t $ timeout_t
       $ verbose_t)
 
 (* ---- query ---- *)
@@ -807,7 +815,7 @@ let query_cmd =
              ])
       | None -> ());
       if metrics then
-        print_json (check (Repro_serve.Client.get_json client "/metrics")))
+        print_json (check (Repro_serve.Client.get_json client "/v1/metrics")))
     | None ->
       (* local mode shares the remote path's JSON rendering, so the CI
          smoke test can diff the two outputs byte-for-byte *)
@@ -849,6 +857,144 @@ let query_cmd =
     Term.(
       const run $ model_dir_t $ remote_t $ point_t $ metrics_t $ verify_t
       $ wait_t $ verbose_t)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let host_t =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port_t =
+    Arg.(
+      value & opt int 8190 & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let model_t =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "model" ] ~docv:"ID" ~doc:"Model id to query.")
+  in
+  let connections_t =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Concurrent keep-alive connections.")
+  in
+  let duration_t =
+    Arg.(
+      value & opt float 2.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured window length.")
+  in
+  let warmup_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "warmup" ] ~docv:"SECONDS"
+          ~doc:"Unrecorded lead-in before the measured window.")
+  in
+  let target_qps_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-qps" ] ~docv:"QPS"
+          ~doc:
+            "Open-loop mode: fire on a fixed schedule at $(docv) instead \
+             of back-to-back (closed-loop, the default).")
+  in
+  let batch_t =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N" ~doc:"Points per query request.")
+  in
+  let assert_qps_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "assert-qps-min" ] ~docv:"QPS"
+          ~doc:"Exit non-zero when measured qps falls below $(docv).")
+  in
+  let assert_p99_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "assert-p99-max" ] ~docv:"MS"
+          ~doc:"Exit non-zero when p99 latency exceeds $(docv) ms.")
+  in
+  let allow_errors_t =
+    Arg.(
+      value & flag
+      & info [ "allow-errors" ]
+          ~doc:
+            "Do not fail on request errors (e.g. when the server is \
+             deliberately drained mid-run).")
+  in
+  let run model_dir host port model connections duration warmup target_qps
+      batch assert_qps assert_p99 allow_errors verbose =
+    setup_logging verbose;
+    (* sample points spanning the served model's own input ranges, so
+       every request exercises real interpolation *)
+    let table = load_model model_dir in
+    let klo, khi = Hieropt.Perf_table.kvco_range table in
+    let ilo, ihi = Hieropt.Perf_table.ivco_range table in
+    let n = max 1 batch in
+    let point i =
+      let f =
+        if n = 1 then 0.5 else float_of_int i /. float_of_int (n - 1)
+      in
+      Repro_serve.Json.Obj
+        [
+          ("kvco", Repro_serve.Json.Num (klo +. (f *. (khi -. klo))));
+          ("ivco", Repro_serve.Json.Num (ilo +. (f *. (ihi -. ilo))));
+        ]
+    in
+    let body =
+      Repro_serve.Json.to_string
+        (Repro_serve.Json.Obj
+           [ ("points", Repro_serve.Json.Arr (List.init n point)) ])
+    in
+    let mode =
+      match target_qps with
+      | None -> Repro_serve.Loadgen.Closed
+      | Some q -> Repro_serve.Loadgen.Open_target q
+    in
+    let r =
+      Repro_serve.Loadgen.run ~mode ~connections ~duration ~warmup ~host ~port
+        ~target:(Printf.sprintf "/v1/models/%s/query" model)
+        ~body ()
+    in
+    Repro_serve.Loadgen.pp stdout r;
+    print_newline ();
+    let failures = ref [] in
+    let fail fmt = Fmt.kstr (fun m -> failures := m :: !failures) fmt in
+    if (not allow_errors) && r.Repro_serve.Loadgen.errors > 0 then
+      fail "%d request(s) failed" r.Repro_serve.Loadgen.errors;
+    (match assert_qps with
+    | Some floor when r.Repro_serve.Loadgen.qps < floor ->
+      fail "qps %.0f below floor %.0f" r.Repro_serve.Loadgen.qps floor
+    | _ -> ());
+    (match assert_p99 with
+    | Some ceiling when r.Repro_serve.Loadgen.p99_ms > ceiling ->
+      fail "p99 %.2f ms above ceiling %.2f ms" r.Repro_serve.Loadgen.p99_ms
+        ceiling
+    | _ -> ());
+    match !failures with
+    | [] -> ()
+    | fs -> die exit_serve "load test failed: %s" (String.concat "; " fs)
+  in
+  let info =
+    Cmd.info "loadgen"
+      ~doc:
+        "Drive a running $(b,hieropt serve) with a closed- or open-loop \
+         query load and report qps + latency quantiles (optionally \
+         asserting floors/ceilings, for CI)."
+  in
+  Cmd.v info
+    Term.(
+      const run $ model_dir_t $ host_t $ port_t $ model_t $ connections_t
+      $ duration_t $ warmup_t $ target_qps_t $ batch_t $ assert_qps_t
+      $ assert_p99_t $ allow_errors_t $ verbose_t)
 
 (* ---- report ---- *)
 
@@ -1088,6 +1234,7 @@ let main_cmd =
       yield_cmd;
       serve_cmd;
       query_cmd;
+      loadgen_cmd;
       worker_cmd;
       report_cmd;
     ]

@@ -30,7 +30,7 @@ let live_workers t =
 (* ---- creation / probing ------------------------------------------- *)
 
 let probe ~salt w =
-  match Client.get_json w.client "/healthz" with
+  match Client.get_json w.client "/v1/healthz" with
   | Error e ->
     (* not fatal: a worker that is still starting (or already gone) is
        just marked dead; the run proceeds without it *)
@@ -214,7 +214,7 @@ let warm_caches t ~kind xs evals =
     let body = String.concat "\n" lines ^ "\n" in
     List.iter
       (fun w ->
-        match Client.put w.client "/cache" ~body with
+        match Client.put w.client "/v1/cache" ~body with
         | Ok _ | Error _ -> ())
       (eligible t ~name:"")
   end
@@ -234,7 +234,7 @@ let eval_bulk t ~salt (problem : P.t) xs =
         points = Array.sub xs lo len;
       }
     in
-    match post_json w "/eval" (Protocol.eval_request_to_json req) with
+    match post_json w "/v1/eval" (Protocol.eval_request_to_json req) with
     | None -> false
     | Some j -> (
       match Protocol.results_of_json j with
@@ -277,7 +277,7 @@ let mc_bulk t ~salt ~params ~local streams =
     let req =
       { Protocol.mc_salt = salt; params; streams = Array.sub streams lo len }
     in
-    match post_json w "/eval" (Protocol.mc_request_to_json req) with
+    match post_json w "/v1/eval" (Protocol.mc_request_to_json req) with
     | None -> false
     | Some j -> (
       match Protocol.results_of_json j with

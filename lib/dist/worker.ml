@@ -219,8 +219,12 @@ let cache_put_bulk t body =
 
 (* ---- routing ------------------------------------------------------ *)
 
-let endpoint_of (req : Http.request) =
-  match req.Http.path with
+(* /v1/* is canonical; bare paths are aliases for one release, same
+   policy as the model server *)
+let split_version (req : Http.request) =
+  match req.Http.path with "v1" :: rest -> (rest, true) | p -> (p, false)
+
+let endpoint_of_path = function
   | [ "healthz" ] -> "healthz"
   | [ "eval" ] -> "eval"
   | "cache" :: _ -> "cache"
@@ -228,13 +232,16 @@ let endpoint_of (req : Http.request) =
 
 let handler t (req : Http.request) =
   E.Telemetry.incr "dist.requests";
-  let endpoint = endpoint_of req in
+  let path, versioned = split_version req in
+  let endpoint = endpoint_of_path path in
+  if (not versioned) && endpoint <> "other" then
+    E.Telemetry.incr "dist.legacy_requests";
   let latency = Repro_obs.Histogram.get ("dist.latency." ^ endpoint) in
   Repro_obs.Histogram.time latency @@ fun () ->
   Repro_obs.Trace.span ("dist." ^ endpoint) ~args:[ ("method", req.Http.meth) ]
   @@ fun () ->
   match
-    match (req.Http.meth, req.Http.path) with
+    match (req.Http.meth, path) with
     | "GET", [ "healthz" ] -> healthz t
     | "POST", [ "eval" ] -> eval t req.Http.body
     | "GET", [ "cache"; id ] -> cache_get t id
@@ -250,6 +257,6 @@ let handler t (req : Http.request) =
     E.Telemetry.incr "dist.handler_errors";
     (500, [], error_body (Printexc.to_string exn))
 
-let serve ?addr ?port ?(http_workers = 2) ?request_timeout t =
-  Repro_serve.Server.start_with ?addr ?port ~workers:http_workers
-    ?request_timeout ~handler:(handler t) ()
+let serve ?addr ?port ?(reactors = 2) ?request_timeout t =
+  Repro_serve.Server.start_with ?addr ?port ~reactors ?request_timeout
+    ~handler:(handler t) ()

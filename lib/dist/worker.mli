@@ -33,18 +33,20 @@ val problems : t -> string list
 
 val handler :
   t -> Repro_serve.Http.request -> int * (string * string) list * string
-(** The request handler, for {!Repro_serve.Server.start_with}.  Safe to
-    call from several server domains at once.  Per-endpoint request
-    latencies are recorded under [dist.latency.*] histograms. *)
+(** The request handler, for {!Repro_serve.Server.start_with}.  Routes
+    live under [/v1/*] (bare paths remain as aliases for one release,
+    counted by [dist.legacy_requests]).  Safe to call from several
+    reactor domains at once.  Per-endpoint request latencies are
+    recorded under [dist.latency.*] histograms. *)
 
 val serve :
   ?addr:string ->
   ?port:int ->
-  ?http_workers:int ->
+  ?reactors:int ->
   ?request_timeout:float ->
   t ->
   Repro_serve.Server.t
-(** Start serving {!handler} (defaults: 127.0.0.1:8190, 2 HTTP worker
+(** Start serving {!handler} (defaults: 127.0.0.1:8190, 2 reactor
     domains).  The returned server follows the usual
     {!Repro_serve.Server} lifecycle (stop/wait/signal handlers).
     @raise Unix.Unix_error if the address cannot be bound. *)

@@ -182,8 +182,81 @@ let models t =
   in
   ok (json_body (Json.Obj [ ("models", Json.Arr (List.map entry infos)) ]))
 
+(* --- per-reactor hot-path state --------------------------------------- *)
+
+(* Each reactor domain keeps its own model handles (revalidated against
+   the on-disk fingerprint with one lock-free stat per request — the
+   shared LRU mutex is only taken on miss/reload) and a reusable
+   serialisation buffer, so the hot query route neither contends nor
+   allocates scratch per request. *)
+type scratch = {
+  buf : Buffer.t;
+  handles : (string, Perf_table.t * float * int) Hashtbl.t;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { buf = Buffer.create 4096; handles = Hashtbl.create 4 })
+
+let local_table t sc id =
+  match Registry.fingerprint t.registry id with
+  | Error e ->
+    Hashtbl.remove sc.handles id;
+    Error e
+  | Ok (mtime, size) -> (
+    match Hashtbl.find_opt sc.handles id with
+    | Some (table, m, s) when m = mtime && s = size -> Ok table
+    | _ -> (
+      match Registry.get t.registry id with
+      | Error e ->
+        Hashtbl.remove sc.handles id;
+        Error e
+      | Ok table ->
+        Hashtbl.replace sc.handles id (table, mtime, size);
+        Ok table))
+
+(* direct serialisation of the query response into the reactor's
+   scratch buffer — byte-for-byte what [Json.to_string] produces for
+   the equivalent tree (asserted by test), without building the tree *)
+let render_query_response sc ~id results =
+  let buf = sc.buf in
+  Buffer.clear buf;
+  let num x = Buffer.add_string buf (Json.float_repr x) in
+  let triple name (nominal, lo, hi) =
+    Buffer.add_string buf name;
+    Buffer.add_string buf "{\"nominal\":";
+    num nominal;
+    Buffer.add_string buf ",\"min\":";
+    num lo;
+    Buffer.add_string buf ",\"max\":";
+    num hi;
+    Buffer.add_char buf '}'
+  in
+  (* the id passed the registry's safe-name check: no characters that
+     need JSON escaping *)
+  Buffer.add_string buf "{\"model\":\"";
+  Buffer.add_string buf id;
+  Buffer.add_string buf "\",\"count\":";
+  num (float_of_int (Array.length results));
+  Buffer.add_string buf ",\"results\":[";
+  Array.iteri
+    (fun i (pe : Perf_table.point_eval) ->
+      if i > 0 then Buffer.add_char buf ',';
+      triple "{\"kvco\":" pe.q_kvco;
+      triple ",\"ivco\":" pe.q_ivco;
+      triple ",\"jvco\":" pe.q_jvco;
+      Buffer.add_string buf ",\"fmin\":";
+      num pe.q_fmin;
+      Buffer.add_string buf ",\"fmax\":";
+      num pe.q_fmax;
+      Buffer.add_char buf '}')
+    results;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 let query t id body =
-  match Registry.get t.registry id with
+  let sc = Domain.DLS.get scratch_key in
+  match local_table t sc id with
   | Error e -> registry_error e
   | Ok table -> (
     match points_of_body body with
@@ -192,19 +265,11 @@ let query t id body =
       let results = Perf_table.eval_points table points in
       Telemetry.incr "serve.queries";
       Telemetry.incr ~by:(Array.length points) "serve.points_queried";
-      ok
-        (json_body
-           (Json.Obj
-              [
-                ("model", Json.Str id);
-                ("count", Json.Num (float_of_int (Array.length results)));
-                ( "results",
-                  Json.Arr
-                    (Array.to_list (Array.map point_eval_to_json results)) );
-              ])))
+      ok (render_query_response sc ~id results))
 
 let verify t id body =
-  match Registry.get t.registry id with
+  let sc = Domain.DLS.get scratch_key in
+  match local_table t sc id with
   | Error e -> registry_error e
   | Ok table -> (
     match performance_of_body body with
@@ -216,10 +281,15 @@ let verify t id body =
         (json_body
            (Json.Obj [ ("model", Json.Str id); ("params", params_to_json params) ])))
 
+(* /v1/* is the canonical surface; bare unversioned paths remain as
+   aliases for one release (tracked by serve.legacy_requests so the
+   removal can be data-driven) *)
+let split_version (req : Http.request) =
+  match req.path with "v1" :: rest -> (rest, true) | p -> (p, false)
+
 (* stable label per route, so latency histograms have a bounded name
    set regardless of what ids/paths clients throw at the server *)
-let endpoint_of (req : Http.request) =
-  match req.path with
+let endpoint_of_path = function
   | [ "healthz" ] -> "healthz"
   | [ "metrics" ] -> "metrics"
   | [ "models" ] -> "models"
@@ -229,14 +299,17 @@ let endpoint_of (req : Http.request) =
 
 let handle t (req : Http.request) =
   Telemetry.incr "serve.requests";
-  let endpoint = endpoint_of req in
+  let path, versioned = split_version req in
+  let endpoint = endpoint_of_path path in
+  if (not versioned) && endpoint <> "other" then
+    Telemetry.incr "serve.legacy_requests";
   let latency = Repro_obs.Histogram.get ("serve.latency." ^ endpoint) in
   Repro_obs.Histogram.time latency @@ fun () ->
   Repro_obs.Trace.span ("http." ^ endpoint)
     ~args:[ ("method", req.meth) ]
   @@ fun () ->
   match
-    match (req.meth, req.path) with
+    match (req.meth, path) with
     | "GET", [ "healthz" ] -> healthz t
     | "GET", [ "metrics" ] -> metrics ()
     | "GET", [ "models" ] -> models t

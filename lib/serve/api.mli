@@ -1,27 +1,33 @@
 (** Endpoint routing and JSON (de)serialisation for the model server.
 
-    Routes (all responses [application/json]):
+    Routes (all responses [application/json]; [/v1/*] is the canonical
+    surface, the bare unversioned paths are aliases kept for one
+    release and counted under [serve.legacy_requests]):
 
-    - [GET /healthz] — liveness + build/uptime info (version string,
+    - [GET /v1/healthz] — liveness + build/uptime info (version string,
       start time, uptime, servable and loaded model counts);
-    - [GET /metrics] — combined observability snapshot: Telemetry
+    - [GET /v1/metrics] — combined observability snapshot: Telemetry
       counters and timers plus every registered
       {!Repro_obs.Histogram} as count/sum/min/max/p50/p90/p99 (notably
       the per-endpoint [serve.latency.*] request-latency histograms
       recorded by [handle]);
-    - [GET /models] — servable ids with load state;
-    - [POST /models/:id/query] — batched {!Hieropt.Perf_table.eval_points}
-      over [{"points": [{"kvco": .., "ivco": ..}, ...]}] (or one bare
-      point object); floats travel in lossless decimal, so served
-      results are bit-identical to in-process evaluation;
-    - [POST /models/:id/verify] — parameter recovery: a 5-performance
-      point back to the 7 transistor dimensions
+    - [GET /v1/models] — servable ids with load state;
+    - [POST /v1/models/:id/query] — batched
+      {!Hieropt.Perf_table.eval_points} over
+      [{"points": [{"kvco": .., "ivco": ..}, ...]}] (or one bare point
+      object); floats travel in lossless decimal, so served results are
+      bit-identical to in-process evaluation.  This is the hot path: it
+      runs on per-reactor model handles (one lock-free stat revalidates
+      the handle; the LRU registry mutex is only taken on miss/reload)
+      and serialises into a reused per-reactor scratch buffer;
+    - [POST /v1/models/:id/verify] — parameter recovery: a
+      5-performance point back to the 7 transistor dimensions
       ({!Hieropt.Perf_table.params_of_perf}).
 
     Unknown paths map to 404, wrong verbs on known paths to 405,
     malformed bodies to 400, load failures and handler exceptions to
     500.  [handle] never raises; it is called concurrently from every
-    worker domain. *)
+    reactor domain. *)
 
 type t
 

@@ -3,6 +3,8 @@ type t = {
   port : int;
   timeout : float;
   retries : int;
+  mutex : Mutex.t;  (* serialises calls and guards the cached socket *)
+  mutable fd : Unix.file_descr option;  (* kept-alive connection *)
 }
 
 type error =
@@ -27,7 +29,14 @@ let error_to_string = function
 
 let create ?(host = "127.0.0.1") ?(port = 8190) ?(timeout = 10.) ?(retries = 2)
     () =
-  { host; port; timeout = max 0.1 timeout; retries = max 0 retries }
+  {
+    host;
+    port;
+    timeout = max 0.1 timeout;
+    retries = max 0 retries;
+    mutex = Mutex.create ();
+    fd = None;
+  }
 
 let resolve host =
   match Unix.inet_addr_of_string host with
@@ -38,20 +47,76 @@ let resolve host =
     | { Unix.h_addr_list; _ } -> h_addr_list.(0)
     | exception Not_found -> failwith ("cannot resolve " ^ host))
 
-(* one request over one fresh connection *)
+let drop_connection t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+
+(* the cached keep-alive socket, or a fresh connection; the bool says
+   which, so a failure on a reused socket (the server may have idled it
+   out between calls) can be distinguished from a real one *)
+let obtain t =
+  match t.fd with
+  | Some fd -> (fd, true)
+  | None ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+       Unix.setsockopt fd Unix.TCP_NODELAY true;
+       Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port))
+     with
+    | () -> ()
+    | exception exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise exn);
+    t.fd <- Some fd;
+    (fd, false)
+
+let response_keeps_alive (resp : Http.response) =
+  match Http.header "connection" resp.resp_headers with
+  | Some v -> String.lowercase_ascii v <> "close"
+  | None -> true
+
+(* one request over the kept-alive connection.  A reused socket that
+   turns out dead (idled out server-side between our calls) is retried
+   once on a fresh connection before the failure counts — that retry is
+   free, not one of the caller's transient retries. *)
 let round_trip t ~meth ~target ~body =
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Fun.protect ~finally:(fun () ->
-      try Unix.close fd with Unix.Unix_error _ -> ())
-  @@ fun () ->
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
-  Unix.connect fd (Unix.ADDR_INET (resolve t.host, t.port));
-  Http.write_request
-    ~headers:[ ("Host", Printf.sprintf "%s:%d" t.host t.port);
-               ("Connection", "close") ]
-    ~meth ~target ~body fd;
-  Http.read_response (Http.Reader.of_fd fd)
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
+  let once () =
+    match obtain t with
+    | exception exn -> `Raised (exn, false)
+    | fd, reused -> (
+      match
+        Http.write_request
+          ~headers:[ ("Host", Printf.sprintf "%s:%d" t.host t.port) ]
+          ~meth ~target ~body fd;
+        Http.read_response (Http.Reader.of_fd fd)
+      with
+      | Ok resp ->
+        if not (response_keeps_alive resp) then drop_connection t;
+        `Ok resp
+      | Error e ->
+        drop_connection t;
+        `Err (e, reused)
+      | exception exn ->
+        drop_connection t;
+        `Raised (exn, reused))
+  in
+  let settle = function
+    | `Ok resp -> Ok resp
+    | `Err (e, _) -> Error e
+    | `Raised (exn, _) -> raise exn
+  in
+  match once () with
+  | `Err ((`Eof | `Timeout), true)
+  | `Raised (Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _), true) ->
+    settle (once ())
+  | outcome -> settle outcome
 
 (* ECONNREFUSED is deliberately transient: during worker/server startup
    the listener may not be bound yet, and the retry loop doubles as the
@@ -104,6 +169,11 @@ let request t ~meth ~target ~body =
   in
   attempt 0
 
+let shutdown t =
+  Mutex.lock t.mutex;
+  drop_connection t;
+  Mutex.unlock t.mutex
+
 let get t target = request t ~meth:"GET" ~target ~body:""
 let post t target ~body = request t ~meth:"POST" ~target ~body
 let put t target ~body = request t ~meth:"PUT" ~target ~body
@@ -132,7 +202,7 @@ let query_points t ~model points =
          [ ("points",
             Json.Arr (Array.to_list (Array.map point_to_json points))) ])
   in
-  match post_json t (Printf.sprintf "/models/%s/query" model) ~body with
+  match post_json t (Printf.sprintf "/v1/models/%s/query" model) ~body with
   | Error _ as e -> e
   | Ok j -> (
     match Json.member "results" j with
@@ -165,7 +235,7 @@ let verify_point t ~model (perf : Repro_spice.Vco_measure.performance) =
            ("fmax", Json.Num perf.fmax);
          ])
   in
-  match post_json t (Printf.sprintf "/models/%s/verify" model) ~body with
+  match post_json t (Printf.sprintf "/v1/models/%s/verify" model) ~body with
   | Error _ as e -> e
   | Ok j -> (
     match Json.member "params" j with
@@ -183,7 +253,7 @@ let verify_point t ~model (perf : Repro_spice.Vco_measure.performance) =
 let wait_ready ?(deadline = 5.) t =
   let stop_at = Unix.gettimeofday () +. deadline in
   let rec poll () =
-    match get t "/healthz" with
+    match get t "/v1/healthz" with
     | Ok { Http.status = 200; _ } -> true
     | _ ->
       if Unix.gettimeofday () >= stop_at then false

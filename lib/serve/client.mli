@@ -1,11 +1,16 @@
-(** Blocking HTTP client for the model server — one connection per
-    call, stdlib sockets only.  Transient failures (connection refused,
-    reset, timeout) are retried with full-jitter exponential backoff
-    (uniform in [0, 50ms·2^n], capped at 2s), so a fleet of clients
-    losing one endpoint never retries in lockstep; protocol-level
-    errors (4xx/5xx, malformed JSON) are not retried.  Connection
-    refused counts as transient on purpose — the retry loop doubles as
-    the startup-readiness wait against a worker that is still binding.
+(** Blocking HTTP client for the model server — stdlib sockets only,
+    with keep-alive: one connection is cached per client and reused
+    across calls (calls on one [t] are serialised by a mutex; use one
+    client per thread for parallel traffic).  A reused socket the
+    server idled out in the meantime is replaced transparently.  The
+    typed helpers target the [/v1] API.  Transient failures (connection
+    refused, reset, timeout) are retried with full-jitter exponential
+    backoff (uniform in [0, 50ms·2^n], capped at 2s), so a fleet of
+    clients losing one endpoint never retries in lockstep;
+    protocol-level errors (4xx/5xx, malformed JSON) are not retried.
+    Connection refused counts as transient on purpose — the retry loop
+    doubles as the startup-readiness wait against a worker that is
+    still binding.
 
     Because both ends use {!Json}'s lossless float encoding,
     {!query_points} returns floats bit-identical to calling
@@ -28,6 +33,11 @@ val create :
   unit ->
   t
 
+val shutdown : t -> unit
+(** Close the cached keep-alive connection (if any).  The client
+    remains usable — the next call reconnects.  Call it when a client
+    is done, to release the socket promptly. *)
+
 val get : t -> string -> (Http.response, error) result
 val post : t -> string -> body:string -> (Http.response, error) result
 val put : t -> string -> body:string -> (Http.response, error) result
@@ -40,7 +50,7 @@ val query_points :
   model:string ->
   (float * float) array ->
   (Hieropt.Perf_table.point_eval array, error) result
-(** POST the (kvco, ivco) batch to [/models/:model/query] and decode
+(** POST the (kvco, ivco) batch to [/v1/models/:model/query] and decode
     the results, checking count and order. *)
 
 val verify_point :
@@ -48,9 +58,9 @@ val verify_point :
   model:string ->
   Repro_spice.Vco_measure.performance ->
   ((string * float) list, error) result
-(** POST to [/models/:model/verify]; returns the recovered parameter
+(** POST to [/v1/models/:model/verify]; returns the recovered parameter
     (name, value) pairs in vector order. *)
 
 val wait_ready : ?deadline:float -> t -> bool
-(** Poll [/healthz] until it answers 200 or [deadline] seconds
+(** Poll [/v1/healthz] until it answers 200 or [deadline] seconds
     (default 5) elapse.  For scripts that just forked a server. *)

@@ -2,6 +2,10 @@ let max_line = 8192
 let max_headers = 100
 let max_body = 8 * 1024 * 1024
 
+(* backstop for incremental parsing: a head block larger than every
+   per-line/per-count limit combined is hostile by construction *)
+let max_head = max_line * (max_headers + 2)
+
 module Reader = struct
   type t = {
     refill : bytes -> int -> int -> int;
@@ -179,21 +183,27 @@ let parse_headers reader =
   in
   loop [] 0
 
-let read_body reader headers =
+let body_length headers =
   match header "transfer-encoding" headers with
   | Some _ -> Error (`Bad_request "chunked transfer encoding not supported")
   | None -> (
     match header "content-length" headers with
-    | None -> Ok ""
+    | None -> Ok 0
     | Some v -> (
       match int_of_string_opt (String.trim v) with
       | None -> Error (`Bad_request "malformed content-length")
       | Some len when len < 0 -> Error (`Bad_request "negative content-length")
       | Some len when len > max_body -> Error (`Too_large "body")
-      | Some len -> (
-        match Reader.read_exact reader len with
-        | Some body -> Ok body
-        | None -> Error (`Bad_request "eof inside body"))))
+      | Some len -> Ok len))
+
+let read_body reader headers =
+  match body_length headers with
+  | Error _ as e -> e
+  | Ok 0 -> Ok ""
+  | Ok len -> (
+    match Reader.read_exact reader len with
+    | Some body -> Ok body
+    | None -> Error (`Bad_request "eof inside body"))
 
 let guard_io f =
   match f () with
@@ -202,8 +212,9 @@ let guard_io f =
   | exception Invalid_argument _ -> Error (`Too_large "line")
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error `Eof
 
-let read_request reader =
-  guard_io @@ fun () ->
+(* request line + headers from [reader]; the body (if any) is read by
+   the caller — shared between the blocking and incremental paths *)
+let request_head_of_reader reader =
   match Reader.read_line reader with
   | None -> Error `Eof
   | Some line -> (
@@ -212,7 +223,6 @@ let read_request reader =
       when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
       let ( let* ) = Result.bind in
       let* headers = parse_headers reader in
-      let* body = read_body reader headers in
       Ok
         {
           meth = String.uppercase_ascii meth;
@@ -220,12 +230,11 @@ let read_request reader =
           path = split_target target;
           version;
           headers;
-          body;
+          body = "";
         })
     | _ -> Error (`Bad_request "malformed request line"))
 
-let read_response reader =
-  guard_io @@ fun () ->
+let response_head_of_reader reader =
   match Reader.read_line reader with
   | None -> Error `Eof
   | Some line -> (
@@ -238,15 +247,37 @@ let read_response reader =
       | Some status ->
         let ( let* ) = Result.bind in
         let* headers = parse_headers reader in
-        let* body = read_body reader headers in
         Ok
           {
             status;
             reason = String.concat " " rest;
             resp_headers = headers;
-            resp_body = body;
+            resp_body = "";
           })
     | _ -> Error (`Bad_request "malformed status line"))
+
+let read_request reader =
+  guard_io @@ fun () ->
+  let ( let* ) = Result.bind in
+  let* head = request_head_of_reader reader in
+  let* body = read_body reader head.headers in
+  Ok { head with body }
+
+let read_response reader =
+  guard_io @@ fun () ->
+  let ( let* ) = Result.bind in
+  let* head = response_head_of_reader reader in
+  let* body = read_body reader head.resp_headers in
+  Ok { head with resp_body = body }
+
+(* the incremental entry points: a complete head block (everything up
+   to and including the blank line) parsed in one go, body left to the
+   state machine *)
+let parse_request_head s =
+  guard_io @@ fun () -> request_head_of_reader (Reader.of_string s)
+
+let parse_response_head s =
+  guard_io @@ fun () -> response_head_of_reader (Reader.of_string s)
 
 let keep_alive req =
   match (req.version, header "connection" req.headers) with
@@ -277,8 +308,7 @@ let write_all fd s =
 let has_header name headers =
   List.exists (fun (k, _) -> String.lowercase_ascii k = name) headers
 
-let write_response ?(headers = []) ~keep_alive ~status ~body fd =
-  let buf = Buffer.create (256 + String.length body) in
+let render_response ?(headers = []) ~keep_alive ~status ~body buf =
   Printf.ksprintf (Buffer.add_string buf) "HTTP/1.1 %d %s\r\n" status
     (reason_phrase status);
   if not (has_header "content-type" headers) then
@@ -291,7 +321,11 @@ let write_response ?(headers = []) ~keep_alive ~status ~body fd =
   Printf.ksprintf (Buffer.add_string buf) "Connection: %s\r\n"
     (if keep_alive then "keep-alive" else "close");
   Buffer.add_string buf "\r\n";
-  Buffer.add_string buf body;
+  Buffer.add_string buf body
+
+let write_response ?headers ~keep_alive ~status ~body fd =
+  let buf = Buffer.create (256 + String.length body) in
+  render_response ?headers ~keep_alive ~status ~body buf;
   write_all fd (Buffer.contents buf)
 
 let write_request ?(headers = []) ~meth ~target ~body fd =

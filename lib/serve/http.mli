@@ -16,6 +16,15 @@ module Reader : sig
   val of_string : string -> t
 end
 
+val max_body : int
+(** Largest accepted [Content-Length], in bytes. *)
+
+val max_head : int
+(** Backstop for incremental parsing: the largest head block (request
+    line + headers + blank line) a {!Conn} will buffer before giving up
+    with [`Too_large].  Looser than the per-line/per-count limits that
+    apply once the block parses. *)
+
 type request = {
   meth : string;         (** verb, uppercased: GET, POST, ... *)
   target : string;       (** raw request target, e.g. /models/a/query?x=1 *)
@@ -46,11 +55,35 @@ val header : string -> (string * string) list -> string option
 val read_request : Reader.t -> (request, error) result
 val read_response : Reader.t -> (response, error) result
 
+val body_length : (string * string) list -> (int, error) result
+(** Bytes of body the headers announce: [Content-Length] validated
+    against {!max_body}, 0 when absent, [`Bad_request] on
+    [Transfer-Encoding] (chunked is not supported). *)
+
+val parse_request_head : string -> (request, error) result
+(** Parse a complete head block — request line through the terminating
+    blank line — delivered by the incremental state machine.  The
+    returned [body] is [""]; callers read {!body_length} more bytes. *)
+
+val parse_response_head : string -> (response, error) result
+(** Same, for the client side ([resp_body] is [""]). *)
+
 val keep_alive : request -> bool
 (** HTTP/1.1 defaults to persistent connections; [Connection: close]
     (or HTTP/1.0 without [Connection: keep-alive]) turns it off. *)
 
 val reason_phrase : int -> string
+
+val render_response :
+  ?headers:(string * string) list ->
+  keep_alive:bool ->
+  status:int ->
+  body:string ->
+  Buffer.t ->
+  unit
+(** Serialise one response into [buf] — the single source of response
+    bytes, shared by {!write_response} and the event-loop write path so
+    both emit identical wire output. *)
 
 val write_response :
   ?headers:(string * string) list ->

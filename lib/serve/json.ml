@@ -285,6 +285,41 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+(* RFC 8259 leaves duplicate object keys to the implementation;
+   [member] silently takes the first, which can shadow a value that was
+   meant to be read.  Consumers that must not tolerate that (the bench
+   regression gate) check here. *)
+let duplicate_key v =
+  let rec walk path v =
+    match v with
+    | Null | Bool _ | Num _ | Str _ -> None
+    | Arr items ->
+      let rec each i = function
+        | [] -> None
+        | item :: rest -> (
+          match walk (Printf.sprintf "%s[%d]" path i) item with
+          | Some _ as hit -> hit
+          | None -> each (i + 1) rest)
+      in
+      each 0 items
+    | Obj fields ->
+      let seen = Hashtbl.create (List.length fields) in
+      let rec each = function
+        | [] -> None
+        | (k, item) :: rest ->
+          let here = if path = "" then k else path ^ "." ^ k in
+          if Hashtbl.mem seen k then Some here
+          else begin
+            Hashtbl.add seen k ();
+            match walk here item with
+            | Some _ as hit -> hit
+            | None -> each rest
+          end
+      in
+      each fields
+  in
+  walk "" v
+
 let type_name = function
   | Null -> "null"
   | Bool _ -> "bool"

@@ -36,7 +36,13 @@ val of_string : string -> (t, string) result
    message so endpoint handlers can surface precise 400s *)
 
 val member : string -> t -> t option
-(** Object field lookup ([None] on missing field or non-object). *)
+(** Object field lookup ([None] on missing field or non-object).
+    Duplicate keys resolve to the first occurrence. *)
+
+val duplicate_key : t -> string option
+(** Dotted path of the first repeated object key anywhere in the value
+    ([None] when every object has distinct keys).  For consumers that
+    must reject silently-shadowed fields, e.g. the bench gate. *)
 
 val get_field : string -> t -> (t, string) result
 val get_float : string -> t -> (float, string) result

@@ -121,6 +121,15 @@ let get t id =
         load_entry t id dir fp
       | None -> load_entry t id dir fp)
 
+(* lock-free on purpose: the hot query path revalidates its per-domain
+   handle against the on-disk archive with one stat, no mutex *)
+let fingerprint t id =
+  if not (valid_id id) then Error (Invalid_id id)
+  else
+    match stat_archive (dir_of t id) with
+    | None -> Error (Unknown_model id)
+    | Some fp -> Ok fp
+
 type info = {
   id : string;
   dir : string;

@@ -33,6 +33,12 @@ val get : t -> string -> (Hieropt.Perf_table.t, error) result
     [[A-Za-z0-9._-]+] without leading dots — path traversal is an
     {!Invalid_id}, not a filesystem probe. *)
 
+val fingerprint : t -> string -> (float * int, error) result
+(** (mtime, size) of the id's [pareto.tbl] right now — the cache
+    -invalidation fingerprint, without touching the registry lock or
+    loading anything.  Lets per-domain handle caches revalidate with a
+    single [stat] on the hot path. *)
+
 type info = {
   id : string;
   dir : string;

@@ -1,41 +1,50 @@
-(** The model server: a listening socket, an accept loop and a fixed
-    pool of worker domains, each handling whole keep-alive connections
-    through {!Api.handle}.
+(** The model server: a readiness-based event loop.  Each reactor is
+    one Domain running a [Unix.select] loop over its own SO_REUSEPORT
+    listener (kernel-side accept sharding; single shared listener with
+    racing non-blocking accepts when the kernel lacks reuseport), its
+    wake pipe and its connections.  Sockets are non-blocking; bytes are
+    fed to a per-connection {!Conn} state machine and complete requests
+    are answered inline, with responses drained through a write buffer
+    under backpressure (a connection whose output backlog passes the
+    high watermark stops being read until it drains).
 
     Lifecycle: {!start} binds and returns immediately (port 0 is
     resolved — read the bound port back from {!port}); {!stop} begins a
-    graceful drain — the listener closes, queued connections are served
-    a final [Connection: close] response, in-flight requests finish,
-    and workers exit; past [drain_timeout] remaining connections are
-    force-closed.  {!wait} blocks until the drain completes.
-    {!install_signal_handlers} maps SIGTERM/SIGINT onto {!stop}.
+    graceful drain — listeners close, idle connections are dropped,
+    half-read requests get answered with [Connection: close] — and past
+    [drain_timeout] remaining connections are force-closed.  {!wait}
+    blocks until the drain completes.  {!install_signal_handlers} maps
+    SIGTERM/SIGINT onto {!stop}.
 
-    Per-connection reads are bounded by [request_timeout] (socket
-    receive timeout), so a stalled client cannot pin a worker. *)
+    Per-connection activity is bounded by [request_timeout] (idle or
+    stalled-mid-request connections are reaped by the reactor), so a
+    slow or hostile client cannot pin a reactor.  Handlers run inline
+    on the reactor that owns the connection: they must be quick and
+    safe to call from several domains at once. *)
 
 type t
 
 type handler = Http.request -> int * (string * string) list * string
 (** A request handler: returns (status, extra headers, body).  Must be
-    safe to call from several worker domains at once. *)
+    safe to call from several reactor domains at once. *)
 
 val start_with :
   ?addr:string ->             (* bind address, default "127.0.0.1" *)
   ?port:int ->                (* default 8190; 0 = ephemeral *)
-  ?workers:int ->             (* worker domains, default 2, min 1 *)
-  ?request_timeout:float ->   (* seconds, default 10. *)
+  ?reactors:int ->            (* reactor domains, default 2, min 1 *)
+  ?request_timeout:float ->   (* idle/stall bound, seconds, default 10. *)
   handler:handler ->
   unit ->
   t
 (** Start the HTTP machinery around an arbitrary request handler — the
-    transport (accept loop, keep-alive, drain) is shared between the
+    transport (reactors, keep-alive, drain) is shared between the
     model server and the distributed eval-workers; only the routing
     differs.  @raise Unix.Unix_error if the address cannot be bound. *)
 
 val start :
   ?addr:string ->
   ?port:int ->
-  ?workers:int ->
+  ?reactors:int ->
   ?request_timeout:float ->
   api:Api.t ->
   unit ->

@@ -40,6 +40,21 @@ let test_json_strictness () =
     Alcotest.(check string) "utf8" "\xc3\xa9\xf0\x9f\x98\x80" s
   | Ok _ | Error _ -> Alcotest.fail "unicode escape decode failed"
 
+let test_json_duplicate_key () =
+  let dup s =
+    match Json.of_string s with
+    | Ok j -> Json.duplicate_key j
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  Alcotest.(check (option string)) "clean" None
+    (dup "{\"a\":1,\"b\":{\"a\":2},\"c\":[{\"a\":3}]}");
+  Alcotest.(check (option string)) "top-level" (Some "a")
+    (dup "{\"a\":1,\"a\":2}");
+  Alcotest.(check (option string)) "nested path" (Some "serve.qps")
+    (dup "{\"serve\":{\"qps\":1,\"p50\":2,\"qps\":3}}");
+  Alcotest.(check (option string)) "inside array" (Some "xs[1].k")
+    (dup "{\"xs\":[{\"k\":1},{\"k\":1,\"k\":2}]}")
+
 let prop_json_float_exact =
   (* the float codec is the bit-identity guarantee: every finite float
      must survive encode/decode with the same bit pattern *)
@@ -106,6 +121,72 @@ let test_http_connection_header () =
   Alcotest.(check bool) "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
   Alcotest.(check bool) "1.0 keep-alive" true
     (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+(* ---- conn state machine ---- *)
+
+let feed_str conn s =
+  S.Conn.feed conn (Bytes.of_string s) 0 (String.length s)
+
+let test_conn_split_feeds () =
+  (* a request arriving one byte at a time, terminator split across
+     feeds, must yield exactly one Request with the right body *)
+  let conn = S.Conn.create () in
+  let raw =
+    "POST /v1/models/m/query HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody"
+  in
+  let events = ref [] in
+  String.iter
+    (fun c -> events := !events @ feed_str conn (String.make 1 c))
+    raw;
+  match !events with
+  | [ S.Conn.Request req ] ->
+    Alcotest.(check string) "body" "body" req.Http.body;
+    Alcotest.(check (list string)) "path"
+      [ "v1"; "models"; "m"; "query" ]
+      req.Http.path;
+    Alcotest.(check bool) "no input parked" false (S.Conn.input_pending conn)
+  | evs -> Alcotest.failf "expected one request, got %d events" (List.length evs)
+
+let test_conn_pipelined () =
+  (* two requests in one feed → two events, in order *)
+  let conn = S.Conn.create () in
+  let one = "GET /v1/healthz HTTP/1.1\r\n\r\n" in
+  let two = "POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi" in
+  match feed_str conn (one ^ two) with
+  | [ S.Conn.Request a; S.Conn.Request b ] ->
+    Alcotest.(check string) "first" "GET" a.Http.meth;
+    Alcotest.(check string) "second" "POST" b.Http.meth;
+    Alcotest.(check string) "second body" "hi" b.Http.body
+  | evs -> Alcotest.failf "expected two requests, got %d events" (List.length evs)
+
+let test_conn_protocol_error_breaks () =
+  (* an oversized header line is one Protocol_error; the machine then
+     parses nothing more, no matter what arrives *)
+  let conn = S.Conn.create () in
+  let raw =
+    "GET / HTTP/1.1\r\nX-Big: " ^ String.make 9000 'a' ^ "\r\n\r\n"
+  in
+  (match feed_str conn raw with
+  | [ S.Conn.Protocol_error (`Too_large _) ] -> ()
+  | _ -> Alcotest.fail "oversized header line must be Too_large");
+  Alcotest.(check bool) "broken" true (S.Conn.broken conn);
+  Alcotest.(check int) "inert after break" 0
+    (List.length (feed_str conn "GET / HTTP/1.1\r\n\r\n"))
+
+let test_conn_response_bytes () =
+  (* push_response queues exactly the blocking writer's bytes and the
+     drain bookkeeping adds up *)
+  let conn = S.Conn.create () in
+  S.Conn.push_response ~keep_alive:true ~status:200 ~body:"{}" conn;
+  let buf, off, len = S.Conn.output conn in
+  let first = Bytes.sub_string buf off len in
+  Alcotest.(check bool) "status line" true
+    (String.length first > 17 && String.sub first 0 17 = "HTTP/1.1 200 OK\r\n");
+  Alcotest.(check bool) "not closing" false (S.Conn.close_after_flush conn);
+  S.Conn.output_consumed conn len;
+  Alcotest.(check int) "drained" 0 (S.Conn.output_pending conn);
+  S.Conn.push_response ~keep_alive:false ~status:503 ~body:"x" conn;
+  Alcotest.(check bool) "close requested" true (S.Conn.close_after_flush conn)
 
 (* ---- registry ---- *)
 
@@ -233,13 +314,13 @@ let test_registry_lru () =
 (* the server serves what it loads from disk, and the archive keeps 10
    significant digits (%.9e) — so bit-identity claims must compare
    against the same loaded table, exactly as a real run would *)
-let with_server ?(workers = 2) f =
+let with_server ?(reactors = 2) ?request_timeout f =
   with_root @@ fun root ->
   H.Perf_table.save ~dir:root Test_core.model;
   let loaded = H.Perf_table.load ~dir:root in
   let registry = S.Registry.create ~root () in
   let api = S.Api.create ~version:"test" ~registry () in
-  let server = S.Server.start ~port:0 ~workers ~api () in
+  let server = S.Server.start ~port:0 ~reactors ?request_timeout ~api () in
   Fun.protect
     ~finally:(fun () ->
       S.Server.stop ~drain_timeout:2. server;
@@ -289,17 +370,17 @@ let test_serve_verify () =
 let test_serve_endpoints () =
   with_server @@ fun ~loaded:_ _server client ->
   (* healthz *)
-  let health = check_client (S.Client.get_json client "/healthz") in
+  let health = check_client (S.Client.get_json client "/v1/healthz") in
   (match Json.member "status" health with
   | Some (Json.Str "ok") -> ()
   | _ -> Alcotest.fail "healthz status");
   (* metrics: well-formed JSON with counters/timers objects *)
-  let metrics = check_client (S.Client.get_json client "/metrics") in
+  let metrics = check_client (S.Client.get_json client "/v1/metrics") in
   (match (Json.member "counters" metrics, Json.member "timers" metrics) with
   | Some (Json.Obj _), Some (Json.Obj _) -> ()
   | _ -> Alcotest.fail "metrics shape");
   (* model listing *)
-  let models = check_client (S.Client.get_json client "/models") in
+  let models = check_client (S.Client.get_json client "/v1/models") in
   (match Json.member "models" models with
   | Some (Json.Arr (_ :: _)) -> ()
   | _ -> Alcotest.fail "models listing");
@@ -313,19 +394,100 @@ let test_serve_endpoints () =
     | Error e -> Alcotest.failf "request failed: %s" (S.Client.error_to_string e)
   in
   Alcotest.(check int) "404 unknown path" 404 (status "/nope" "GET" "");
+  Alcotest.(check int) "404 unknown v1 path" 404 (status "/v1/nope" "GET" "");
   Alcotest.(check int) "404 unknown model" 404
-    (status "/models/missing/query" "POST" "{\"kvco\":1,\"ivco\":1}");
-  Alcotest.(check int) "405 wrong verb" 405 (status "/models/default/query" "GET" "");
-  Alcotest.(check int) "400 bad body" 400 (status "/models/default/query" "POST" "{");
+    (status "/v1/models/missing/query" "POST" "{\"kvco\":1,\"ivco\":1}");
+  Alcotest.(check int) "405 wrong verb" 405
+    (status "/v1/models/default/query" "GET" "");
+  Alcotest.(check int) "400 bad body" 400
+    (status "/v1/models/default/query" "POST" "{");
   Alcotest.(check int) "400 missing field" 400
-    (status "/models/default/query" "POST" "{\"kvco\":1}")
+    (status "/v1/models/default/query" "POST" "{\"kvco\":1}")
+
+let test_serve_legacy_aliases () =
+  with_server @@ fun ~loaded:_ _server client ->
+  let counter name =
+    let metrics = check_client (S.Client.get_json client "/v1/metrics") in
+    match Json.member "counters" metrics with
+    | Some c -> (
+      match Json.member name c with Some (Json.Num v) -> v | _ -> 0.0)
+    | _ -> Alcotest.fail "metrics has no counters"
+  in
+  let body path =
+    match S.Client.get client path with
+    | Ok r -> r.Http.resp_body
+    | Error e -> Alcotest.failf "GET %s: %s" path (S.Client.error_to_string e)
+  in
+  (* the unversioned alias serves the same bytes as the /v1 route *)
+  Alcotest.(check string) "alias = /v1 bytes" (body "/v1/models")
+    (body "/models");
+  (* legacy hits are counted (for the removal decision); /v1 hits are not *)
+  let c0 = counter "serve.legacy_requests" in
+  ignore (body "/healthz");
+  ignore (body "/models");
+  ignore (body "/v1/healthz");
+  let c1 = counter "serve.legacy_requests" in
+  Alcotest.(check (float 0.0)) "two legacy hits counted" (c0 +. 2.0) c1
+
+(* the hot-path serialiser must emit byte-for-byte what Json.to_string
+   produces for the equivalent tree — the property the bit-identity
+   guarantee (and every JSON consumer) rests on *)
+let test_serve_query_fast_path_bytes () =
+  with_server @@ fun ~loaded server _client ->
+  let results = H.Perf_table.eval_points loaded query_batch in
+  let triple (nominal, lo, hi) =
+    Json.Obj
+      [ ("nominal", Json.Num nominal); ("min", Json.Num lo);
+        ("max", Json.Num hi) ]
+  in
+  let expected =
+    Json.to_string
+      (Json.Obj
+         [
+           ("model", Json.Str "default");
+           ("count", Json.Num (float_of_int (Array.length results)));
+           ( "results",
+             Json.Arr
+               (Array.to_list
+                  (Array.map
+                     (fun (pe : H.Perf_table.point_eval) ->
+                       Json.Obj
+                         [
+                           ("kvco", triple pe.q_kvco);
+                           ("ivco", triple pe.q_ivco);
+                           ("jvco", triple pe.q_jvco);
+                           ("fmin", Json.Num pe.q_fmin);
+                           ("fmax", Json.Num pe.q_fmax);
+                         ])
+                     results)) );
+         ])
+  in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [ ( "points",
+             Json.Arr
+               (Array.to_list
+                  (Array.map
+                     (fun (k, i) ->
+                       Json.Obj
+                         [ ("kvco", Json.Num k); ("ivco", Json.Num i) ])
+                     query_batch)) ) ])
+  in
+  let client = S.Client.create ~port:(S.Server.port server) () in
+  match S.Client.post client "/v1/models/default/query" ~body with
+  | Error e -> Alcotest.failf "query: %s" (S.Client.error_to_string e)
+  | Ok r ->
+    Alcotest.(check int) "200" 200 r.Http.status;
+    Alcotest.(check string) "wire bytes = Json.to_string tree" expected
+      r.Http.resp_body
 
 let test_serve_healthz_info () =
   with_server @@ fun ~loaded:_ _server client ->
   (* load a model so models_loaded is non-zero *)
   ignore
     (check_client (S.Client.query_points client ~model:"default" query_batch));
-  let health = check_client (S.Client.get_json client "/healthz") in
+  let health = check_client (S.Client.get_json client "/v1/healthz") in
   let num name =
     match Json.member name health with
     | Some (Json.Num v) -> v
@@ -344,7 +506,7 @@ let test_serve_metrics_histograms () =
   (* at least one query so the per-endpoint latency histogram exists *)
   ignore
     (check_client (S.Client.query_points client ~model:"default" query_batch));
-  let metrics = check_client (S.Client.get_json client "/metrics") in
+  let metrics = check_client (S.Client.get_json client "/v1/metrics") in
   let hists =
     match Json.member "histograms" metrics with
     | Some (Json.Obj h) -> h
@@ -404,6 +566,112 @@ let test_serve_graceful_drain () =
   | () -> Alcotest.fail "stopped server still accepting connections"
   | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
 
+(* ---- adversarial connections ---- *)
+
+let connect_raw port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let with_raw port f =
+  let fd = connect_raw port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+(* whatever the hostile connection did, the server must still answer a
+   well-behaved client afterwards *)
+let still_serving client =
+  let health = check_client (S.Client.get_json client "/v1/healthz") in
+  match Json.member "status" health with
+  | Some (Json.Str "ok") -> ()
+  | _ -> Alcotest.fail "server no longer healthy"
+
+let test_serve_pipelined_keepalive () =
+  with_server @@ fun ~loaded:_ server client ->
+  with_raw (S.Server.port server) @@ fun fd ->
+  (* three requests in one burst on one connection: three responses, in
+     order, all on the same socket *)
+  let req = "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n" in
+  write_all fd (req ^ req ^ req);
+  let reader = Http.Reader.of_fd fd in
+  for i = 1 to 3 do
+    match Http.read_response reader with
+    | Ok resp -> Alcotest.(check int) (Printf.sprintf "pipelined %d" i) 200
+                   resp.Http.status
+    | Error e ->
+      Alcotest.failf "pipelined response %d: %s" i (Http.error_to_string e)
+  done;
+  still_serving client
+
+let test_serve_slowloris () =
+  (* a client trickling a request slower than request_timeout must be
+     reaped, not allowed to pin a reactor *)
+  with_server ~reactors:1 ~request_timeout:0.4
+  @@ fun ~loaded:_ server client ->
+  with_raw (S.Server.port server) @@ fun fd ->
+  write_all fd "GET /v1/health";
+  (* server should cut us off while we stall mid-head *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  let closed =
+    match Unix.read fd (Bytes.create 64) 0 64 with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      false
+  in
+  Alcotest.(check bool) "slow connection reaped" true closed;
+  still_serving client
+
+let test_serve_oversized_requests () =
+  with_server @@ fun ~loaded:_ server client ->
+  let port = S.Server.port server in
+  (* a header line beyond the per-line cap: 413 and close *)
+  (with_raw port @@ fun fd ->
+   write_all fd
+     ("GET /v1/healthz HTTP/1.1\r\nX-Big: " ^ String.make 9000 'a'
+    ^ "\r\n\r\n");
+   match Http.read_response (Http.Reader.of_fd fd) with
+   | Ok resp ->
+     Alcotest.(check int) "oversized header -> 413" 413 resp.Http.status;
+     Alcotest.(check (option string)) "told to close" (Some "close")
+       (Http.header "connection" resp.Http.resp_headers)
+   | Error e -> Alcotest.failf "oversized header: %s" (Http.error_to_string e));
+  (* an announced body beyond max_body: rejected from the headers alone,
+     without reading (or allocating) the body *)
+  (with_raw port @@ fun fd ->
+   write_all fd
+     (Printf.sprintf
+        "POST /v1/models/default/query HTTP/1.1\r\nContent-Length: %d\r\n\r\n"
+        (Http.max_body + 1));
+   match Http.read_response (Http.Reader.of_fd fd) with
+   | Ok resp -> Alcotest.(check int) "oversized body -> 413" 413 resp.Http.status
+   | Error e -> Alcotest.failf "oversized body: %s" (Http.error_to_string e));
+  still_serving client
+
+let test_serve_mid_request_disconnect () =
+  with_server @@ fun ~loaded:_ server client ->
+  let port = S.Server.port server in
+  (* clients vanishing at every interesting point of the exchange *)
+  List.iter
+    (fun partial ->
+      let fd = connect_raw port in
+      write_all fd partial;
+      Unix.close fd)
+    [
+      "";  (* connect and vanish *)
+      "POST /v1/mo";  (* mid request-line *)
+      "POST /v1/models/default/query HTTP/1.1\r\nContent-Le";  (* mid header *)
+      "POST /v1/models/default/query HTTP/1.1\r\nContent-Length: 30\r\n\r\n{\"kv";
+      (* mid body *)
+    ];
+  Thread.delay 0.1;
+  still_serving client;
+  (* and real work still round-trips bit-identically *)
+  ignore
+    (check_client (S.Client.query_points client ~model:"default" query_batch))
+
 (* ---- remote evaluation ---- *)
 
 let design_point = (600e6, 4.5e-3, 10e-12, 0.6e-12, 6e3)
@@ -462,10 +730,16 @@ let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json strictness" `Quick test_json_strictness;
+    Alcotest.test_case "json duplicate key" `Quick test_json_duplicate_key;
     QCheck_alcotest.to_alcotest prop_json_float_exact;
     Alcotest.test_case "http parse request" `Quick test_http_parse_request;
     Alcotest.test_case "http parse errors" `Quick test_http_parse_errors;
     Alcotest.test_case "http connection header" `Quick test_http_connection_header;
+    Alcotest.test_case "conn split feeds" `Quick test_conn_split_feeds;
+    Alcotest.test_case "conn pipelined" `Quick test_conn_pipelined;
+    Alcotest.test_case "conn protocol error breaks" `Quick
+      test_conn_protocol_error_breaks;
+    Alcotest.test_case "conn response bytes" `Quick test_conn_response_bytes;
     Alcotest.test_case "registry load and ids" `Quick test_registry_load_and_ids;
     Alcotest.test_case "registry invalidation" `Quick test_registry_invalidation;
     Alcotest.test_case "registry lru" `Quick test_registry_lru;
@@ -475,10 +749,20 @@ let suite =
       test_serve_query_bit_identical;
     Alcotest.test_case "serve verify" `Quick test_serve_verify;
     Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
+    Alcotest.test_case "serve legacy aliases" `Quick test_serve_legacy_aliases;
+    Alcotest.test_case "serve query fast-path bytes" `Quick
+      test_serve_query_fast_path_bytes;
     Alcotest.test_case "serve healthz info" `Quick test_serve_healthz_info;
     Alcotest.test_case "serve metrics histograms" `Quick
       test_serve_metrics_histograms;
     Alcotest.test_case "serve graceful drain" `Quick test_serve_graceful_drain;
+    Alcotest.test_case "serve pipelined keep-alive" `Quick
+      test_serve_pipelined_keepalive;
+    Alcotest.test_case "serve slowloris reaped" `Quick test_serve_slowloris;
+    Alcotest.test_case "serve oversized requests" `Quick
+      test_serve_oversized_requests;
+    Alcotest.test_case "serve mid-request disconnect" `Quick
+      test_serve_mid_request_disconnect;
     Alcotest.test_case "remote pll bit-identical" `Quick
       test_remote_pll_bit_identical;
     Alcotest.test_case "remote fallback" `Quick test_remote_fallback;
