@@ -782,7 +782,21 @@ let timing_tests (result : H.Hierarchy.result) =
                 zdt1
                 (Repro_util.Prng.split nsga_prng))))
   in
-  [ fig7; table1; table2; fig8; yield_test; assemble; lu; spline_test; nsga ]
+  (* netlist front end + exporter: render the fitted table as SPICE and
+     elaborate it back — the full text -> deck -> flat netlist path *)
+  let spice_export = Repro_netlist.Export.spice model in
+  let netlist_roundtrip =
+    Test.make ~name:"netlist/export-parse-elaborate"
+      (Staged.stage (fun () ->
+           ignore
+             (Repro_netlist.Elab.subckt_netlist
+                (Repro_netlist.Parse.deck spice_export)
+                "hieropt_vco")))
+  in
+  [
+    fig7; table1; table2; fig8; yield_test; assemble; lu; spline_test; nsga;
+    netlist_roundtrip;
+  ]
 
 let run_timings result =
   let open Bechamel in

@@ -7,6 +7,7 @@
      flow          run the full hierarchical flow (Figure 4)
      system        re-run the system level over a saved table model
      yield         Monte-Carlo a design point from a saved table model
+     export        render a saved table model as Verilog-A or SPICE
      serve         serve saved table models over HTTP
      query         query a table model (local dir or running server)
      worker        run a distributed eval-worker (for flow/system --workers)
@@ -14,7 +15,8 @@
 
    Exit codes: 0 success; 1 generic failure; 3 circuit solver error;
    4 invalid/unloadable table model; 5 model-server error (bind,
-   unreachable, bad response); 130 interrupted. *)
+   unreachable, bad response); 6 netlist parse/elaboration error;
+   130 interrupted. *)
 
 open Cmdliner
 
@@ -23,6 +25,7 @@ let version = "1.0.0"
 let exit_solver = 3
 let exit_model = 4
 let exit_serve = 5
+let exit_netlist = 6
 
 let die code fmt =
   Fmt.kstr
@@ -30,6 +33,15 @@ let die code fmt =
       Fmt.epr "%s@." msg;
       exit code)
     fmt
+
+(* every netlist front-end entry point funnels through here so a bad
+   deck always exits 6 with a file:line:col diagnostic *)
+let with_netlist_errors f =
+  try f ()
+  with
+  | Repro_netlist.Loc.Netlist_error _ as e ->
+    die exit_netlist "%s" (Repro_netlist.Loc.error_to_string e)
+  | Sys_error msg -> die exit_netlist "%s" msg
 
 let load_model dir =
   match Hieropt.Perf_table.load ~dir with
@@ -227,7 +239,9 @@ let simulate_cmd =
   let run deck tstop dt probes solver verbose =
     setup_logging verbose;
     setup_solver solver;
-    let net = Repro_circuit.Parser.parse_file deck in
+    let net =
+      with_netlist_errors (fun () -> Repro_netlist.Elab.netlist_of_file deck)
+    in
     let cm = Repro_spice.Mna.compile net in
     let dc =
       match Repro_spice.Dcop.solve_result cm with
@@ -325,6 +339,71 @@ let model_dir_t =
     & opt string "hieropt_model"
     & info [ "model-dir" ] ~docv:"DIR" ~doc:"Where the .tbl table model lives.")
 
+let netlist_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "netlist" ] ~docv:"DECK"
+        ~doc:
+          "Optimise the circuit described by $(docv) — a SPICE-like deck \
+           whose designable parameters carry $(b,.param name = {range lo \
+           hi}) templates — instead of the built-in ring-VCO builder.  A \
+           deck that elaborates to exactly the built-in topology and \
+           bounds is canonicalised onto the builder, so its artefacts, \
+           cache keys and snapshots are byte-identical to a run without \
+           this flag.")
+
+(* A --netlist deck replaces the built-in circuit builder.  When the
+   deck is provably the built-in ring VCO (same parameter vector, same
+   bounds, and structurally identical netlists at the midpoint and both
+   design-space corners) we canonicalise to [circuit = None]: the run is
+   then indistinguishable — salt, fingerprint, cache keys, artefacts —
+   from one that never passed --netlist.  Anything else becomes a
+   [Hierarchy.circuit] tagged with the template fingerprint, which
+   perturbs the salt exactly when the circuit actually differs. *)
+let circuit_of_netlist ~measure path =
+  with_netlist_errors @@ fun () ->
+  let module T = Repro_circuit.Topologies in
+  let module V = Repro_spice.Vco_measure in
+  let t = Repro_netlist.Elab.template_of_file path in
+  let builtin_equivalent =
+    t.Repro_netlist.Elab.param_names = T.vco_param_names
+    && t.Repro_netlist.Elab.bounds = T.vco_bounds
+    &&
+    let same x =
+      Repro_netlist.Elab.same_netlist
+        (t.Repro_netlist.Elab.instantiate x)
+        (T.ring_vco ~stages:measure.V.stages ~vdd:measure.V.vdd
+           ~vctl:measure.V.vctl_lo
+           (T.vco_params_of_vector x))
+    in
+    List.for_all same
+      [
+        t.Repro_netlist.Elab.default;
+        Array.map fst t.Repro_netlist.Elab.bounds;
+        Array.map snd t.Repro_netlist.Elab.bounds;
+      ]
+  in
+  if builtin_equivalent then None
+  else begin
+    let n = Array.length t.Repro_netlist.Elab.param_names in
+    if n <> Array.length T.vco_param_names then
+      die exit_netlist
+        "%s: the flow sizes %d designable parameters, but the deck \
+         declares %d {range} template(s)"
+        path
+        (Array.length T.vco_param_names)
+        n;
+    Some
+      {
+        Hieropt.Hierarchy.tag = t.Repro_netlist.Elab.fingerprint;
+        bounds = t.Repro_netlist.Elab.bounds;
+        build =
+          (fun p ->
+            t.Repro_netlist.Elab.instantiate (T.vco_vector_of_params p));
+      }
+  end
+
 (* ---- distributed evaluation ---- *)
 
 let workers_t =
@@ -373,16 +452,27 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full scale jobs solver nominal_only model_dir workers
+  let run seed full scale jobs solver nominal_only netlist model_dir workers
       checkpoint_every resume interrupt_after trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
     let scale, spec = resolve_scale full scale in
-    let cfg =
+    let make ?circuit () =
       Hieropt.Hierarchy.make_config ~seed ~scale ?spec
         ~use_variation:(not nominal_only) ~model_dir ?checkpoint_every ~resume
-        ()
+        ?circuit ()
+    in
+    let cfg = make () in
+    let cfg =
+      match netlist with
+      | None -> cfg
+      | Some path -> (
+        match
+          circuit_of_netlist ~measure:cfg.Hieropt.Hierarchy.measure path
+        with
+        | None -> cfg
+        | Some _ as circuit -> make ?circuit ())
     in
     (* the flow builds its table model mid-run in memory, so only the
        circuit GA and Monte-Carlo batches distribute; system-level
@@ -420,7 +510,7 @@ let flow_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ ablation_t
-      $ model_dir_t $ workers_t $ checkpoint_every_t $ resume_t
+      $ netlist_t $ model_dir_t $ workers_t $ checkpoint_every_t $ resume_t
       $ interrupt_after_t $ trace_t $ verbose_t)
 
 (* ---- system ---- *)
@@ -546,6 +636,50 @@ let yield_cmd =
       $ filt_t "r1" ~doc:"Loop filter R1." ~default:"6k"
       $ samples_t $ seed_t $ jobs_t $ solver_t $ verbose_t)
 
+(* ---- export ---- *)
+
+let export_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("va", `Va); ("verilog-a", `Va); ("spice", `Spice) ]) `Va
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,va) (Verilog-A \\$table_model module over \
+             the saved .tbl files, the paper's Listings 1-2) or \
+             $(b,spice) (subcircuit of the median Pareto sizing, \
+             re-parseable by this tool).")
+  in
+  let output_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of standard output.")
+  in
+  let run model_dir format output verbose =
+    setup_logging verbose;
+    let table = load_model model_dir in
+    let body =
+      match format with
+      | `Va -> Repro_netlist.Export.verilog_a table
+      | `Spice -> Repro_netlist.Export.spice table
+    in
+    match output with
+    | None -> print_string body
+    | Some path -> (
+      try Out_channel.with_open_bin path (fun oc -> output_string oc body)
+      with Sys_error msg -> die 1 "cannot write %s: %s" path msg)
+  in
+  let info =
+    Cmd.info "export"
+      ~doc:
+        "Render a saved table model as a Verilog-A behavioural module or \
+         a SPICE subcircuit (byte-identical to the server's \
+         /v1/models/:id/export)."
+  in
+  Cmd.v info Term.(const run $ model_dir_t $ format_t $ output_t $ verbose_t)
+
 (* ---- serve ---- *)
 
 let serve_cmd =
@@ -655,8 +789,8 @@ let worker_cmd =
              system-level (PLL) shards for $(b,hieropt system \
              --workers) runs over the same model.")
   in
-  let run full scale jobs solver nominal_only model_dir addr port reactors
-      request_timeout verbose =
+  let run full scale jobs solver nominal_only netlist model_dir addr port
+      reactors request_timeout verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -664,10 +798,24 @@ let worker_cmd =
     (* the worker's evaluation closures must capture the same ambient
        configuration as the coordinator's run — the config salt checks
        exactly the fields that matter (spec, measure, process,
-       variation flag, solver mode); seed and model_dir do not *)
-    let cfg =
+       variation flag, solver mode, circuit tag); seed and model_dir do
+       not.  A --netlist deck must match the coordinator's (same deck →
+       same fingerprint tag → same salt); a builtin-equivalent deck
+       canonicalises away exactly as it does in the flow. *)
+    let make ?circuit () =
       Hieropt.Hierarchy.make_config ~scale ?spec
-        ~use_variation:(not nominal_only) ()
+        ~use_variation:(not nominal_only) ?circuit ()
+    in
+    let cfg = make () in
+    let cfg =
+      match netlist with
+      | None -> cfg
+      | Some path -> (
+        match
+          circuit_of_netlist ~measure:cfg.Hieropt.Hierarchy.measure path
+        with
+        | None -> cfg
+        | Some _ as circuit -> make ?circuit ())
     in
     let model = Option.map load_model model_dir in
     let worker = Repro_dist.Worker.create ~version ?model ~config:cfg () in
@@ -701,8 +849,8 @@ let worker_cmd =
   Cmd.v info
     Term.(
       const run $ full_t $ scale_t $ jobs_t $ solver_t $ nominal_only_t
-      $ worker_model_dir_t $ addr_t $ port_t $ reactors_t $ timeout_t
-      $ verbose_t)
+      $ netlist_t $ worker_model_dir_t $ addr_t $ port_t $ reactors_t
+      $ timeout_t $ verbose_t)
 
 (* ---- query ---- *)
 
@@ -1232,6 +1380,7 @@ let main_cmd =
       flow_cmd;
       system_cmd;
       yield_cmd;
+      export_cmd;
       serve_cmd;
       query_cmd;
       loadgen_cmd;

@@ -1,0 +1,27 @@
+* Parameterised resistive ladder — exercises nested .subckt
+* definitions (a subcircuit defined inside another, visible only
+* there), lexical scoping, and overrides flowing through two levels of
+* instantiation.  Parse it with (internal nodes carry the instance
+* prefix)
+*   hieropt simulate examples/netlists/divider.sp --probe Xlad.mid --probe tap
+*
+* Elaborated element names show the flattening convention:
+* Xlad.Xtop.R1, Xlad.Xbot.R2, ...
+
+.param runit = 1k
+
+.subckt ladder in out gnd_ref ratio=2
+* `half` is only visible inside `ladder`; its default resistance is
+* derived from the global unit and the ladder's ratio
+.subckt half a b r={runit * ratio}
+R1 a m {r}
+R2 m b {r}
+.ends half
+Xtop in mid half
+Xbot mid out half r={runit / ratio}
+Rload out gnd_ref {4 * runit}
+.ends ladder
+
+Vin in 0 DC 1.0
+Xlad in tap 0 ladder ratio=4
+.end

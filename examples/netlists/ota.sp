@@ -1,0 +1,40 @@
+* Two-stage Miller OTA testbench — demonstrates .subckt with ports,
+* per-instance parameter overrides and .param arithmetic.  Fully
+* specified (no {range} templates): parse it with
+*   hieropt simulate examples/netlists/ota.sp --probe out
+*
+* The subcircuit takes its device dimensions as header defaults; the
+* instantiation below overrides the second-stage width.
+
+* global bias / geometry parameters
+.param vdd_val = 1.2
+.param vcm = {vdd_val * 0.58}
+.param lmin = 0.5u
+
+.subckt ota inp inn out vdd w_diff=20u w_load=10u w_p2=40u l={lmin} cc=1.5p
+* bias chain: Ibias into the diode-connected m8, mirrored by the tail
+* m5 and the second-stage sink m7
+Ibias vdd nbias DC 50u
+m8 nbias nbias 0 nmos_012 W={w_diff / 2} L={l}
+m5 ntail nbias 0 nmos_012 W={w_diff} L={l}
+* first stage: NMOS pair with PMOS mirror load
+m1 n1 inp ntail nmos_012 W={w_diff} L={l}
+m2 n2 inn ntail nmos_012 W={w_diff} L={l}
+m3 n1 n1 vdd pmos_012 W={w_load} L={l}
+m4 n2 n1 vdd pmos_012 W={w_load} L={l}
+* second stage with Miller compensation
+m6 out n2 vdd pmos_012 W={w_p2} L={l}
+m7 out nbias 0 nmos_012 W={2 * w_diff} L={l}
+Cc n2 out {cc}
+.ends ota
+
+* supplies and common-mode drive
+Vdd vdd 0 DC {vdd_val}
+Vinp inp 0 DC {vcm}
+Vinn inn 0 DC {vcm}
+
+* the amplifier under test, second stage upsized per-instance
+Xamp inp inn out vdd ota w_p2=60u
+Cl out 0 1p
+
+.end

@@ -1,0 +1,57 @@
+* Current-starved ring VCO (paper Figure 6) — the built-in topology,
+* written out as an optimisable netlist.  The seven .param cards carry
+* {range lo hi} templates spanning the paper's §4.2 design space, so
+* `hieropt flow --netlist examples/netlists/vco.sp` optimises exactly
+* the space the built-in builder does.  Because this deck elaborates to
+* the identical topology and bounds, the flow canonicalises it onto the
+* builder: artefacts, cache keys and snapshots are byte-identical to a
+* run without --netlist.
+*
+* Designable parameters, in optimisation-vector order (wn ln wp lp wcn
+* wcp lc).  Bounds are plain scientific literals so they round-trip to
+* exactly the builder's floats.
+.param wn  = {range 10e-6 100e-6}
+.param ln  = {range 0.12e-6 1e-6}
+.param wp  = {range 10e-6 100e-6}
+.param lp  = {range 0.12e-6 1e-6}
+.param wcn = {range 10e-6 100e-6}
+.param wcp = {range 10e-6 100e-6}
+.param lc  = {range 0.12e-6 1e-6}
+
+* supplies — the characterisation testbench re-drives Vctl over the
+* control sweep; 1.2 V / 0.5 V are the measurement defaults
+Vdd vdd 0 DC 1.2
+Vctl vctl 0 DC 0.5
+
+* bias mirror: Vctl sets the starving current through mbn, mirrored by
+* the diode-connected mbp onto vbp (the PMOS starving gates)
+mbn vbp vctl 0 nmos_012 W={wcn} L={lc}
+mbp vbp vbp vdd pmos_012 W={wcp} L={lc}
+
+* five current-starved inverter stages; s5 feeds back into stage 1
+mcp1 sp1 vbp vdd pmos_012 W={wcp} L={lc}
+mp1 s1 s5 sp1 pmos_012 W={wp} L={lp}
+mn1 s1 s5 sn1 nmos_012 W={wn} L={ln}
+mcn1 sn1 vctl 0 nmos_012 W={wcn} L={lc}
+
+mcp2 sp2 vbp vdd pmos_012 W={wcp} L={lc}
+mp2 s2 s1 sp2 pmos_012 W={wp} L={lp}
+mn2 s2 s1 sn2 nmos_012 W={wn} L={ln}
+mcn2 sn2 vctl 0 nmos_012 W={wcn} L={lc}
+
+mcp3 sp3 vbp vdd pmos_012 W={wcp} L={lc}
+mp3 s3 s2 sp3 pmos_012 W={wp} L={lp}
+mn3 s3 s2 sn3 nmos_012 W={wn} L={ln}
+mcn3 sn3 vctl 0 nmos_012 W={wcn} L={lc}
+
+mcp4 sp4 vbp vdd pmos_012 W={wcp} L={lc}
+mp4 s4 s3 sp4 pmos_012 W={wp} L={lp}
+mn4 s4 s3 sn4 nmos_012 W={wn} L={ln}
+mcn4 sn4 vctl 0 nmos_012 W={wcn} L={lc}
+
+mcp5 sp5 vbp vdd pmos_012 W={wcp} L={lc}
+mp5 s5 s4 sp5 pmos_012 W={wp} L={lp}
+mn5 s5 s4 sn5 nmos_012 W={wn} L={ln}
+mcn5 sn5 vctl 0 nmos_012 W={wcn} L={lc}
+
+.end

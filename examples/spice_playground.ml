@@ -23,7 +23,7 @@ Cl out 0 50f
 
 let () =
   Format.printf "deck:@.%s@." deck;
-  let net = C.Parser.parse deck in
+  let net = Repro_netlist.Elab.netlist_of_string deck in
   let cm = S.Mna.compile net in
   (* DC operating point with the input low *)
   let dc = S.Dcop.solve cm in

@@ -75,4 +75,5 @@ val mos_count : t -> int
 val copy : t -> t
 
 val to_spice : t -> string
-(** Render as a SPICE-like deck (inverse of {!Parser.parse}). *)
+(** Render as a SPICE-like deck (re-parseable by the [repro_netlist]
+    front end; values rounded to {!Repro_util.Si.format} precision). *)

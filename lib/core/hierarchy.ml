@@ -61,6 +61,18 @@ let tiny_spec =
 
 let scale_of_env () = if E.Config.full () then paper_scale else bench_scale
 
+(* a pluggable circuit front end: how to turn the 7-float sizing vector
+   into a measurable netlist.  [tag] is the template's content
+   fingerprint — the only part of the record that may enter cache salts
+   and snapshot fingerprints (the closure must never be hashed).  A
+   template equivalent to the built-in ring VCO is canonicalised to
+   [None] by the CLI so its artefacts stay byte-identical. *)
+type circuit = {
+  tag : string;
+  bounds : (float * float) array;
+  build : Repro_circuit.Topologies.vco_params -> Repro_circuit.Netlist.t;
+}
+
 type config = {
   seed : int;
   scale : scale;
@@ -71,6 +83,7 @@ type config = {
   model_dir : string option;
   checkpoint_every : int option;
   resume : bool;
+  circuit : circuit option;
 }
 
 let default_config ?(scale = bench_scale) () =
@@ -84,6 +97,7 @@ let default_config ?(scale = bench_scale) () =
     model_dir = None;
     checkpoint_every = None;
     resume = false;
+    circuit = None;
   }
 
 let validate_scale s =
@@ -104,11 +118,28 @@ let validate_scale s =
   if s.front_max < 2 then
     fail "Hierarchy.make_config: front_max must be >= 2 (got %d)" s.front_max
 
+let validate_circuit c =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if c.tag = "" then fail "Hierarchy.make_config: circuit tag must be non-empty";
+  let n = Array.length c.bounds in
+  if n <> Array.length Repro_circuit.Topologies.vco_param_names then
+    fail "Hierarchy.make_config: circuit needs %d parameter bounds (got %d)"
+      (Array.length Repro_circuit.Topologies.vco_param_names)
+      n;
+  Array.iteri
+    (fun i (lo, hi) ->
+      if not (lo < hi) then
+        fail "Hierarchy.make_config: circuit bound %d is empty [%g, %g]" i lo
+          hi)
+    c.bounds
+
 let make_config ?(seed = 2009) ?(scale = bench_scale) ?(spec = Spec.default)
     ?(measure = V.default_options) ?(process = Repro_circuit.Process.default)
-    ?(use_variation = true) ?model_dir ?checkpoint_every ?(resume = false) () =
+    ?(use_variation = true) ?model_dir ?checkpoint_every ?(resume = false)
+    ?circuit () =
   validate_scale scale;
   Spec.validate spec;
+  Option.iter validate_circuit circuit;
   (match checkpoint_every with
   | Some n when n < 1 ->
     Printf.ksprintf invalid_arg
@@ -119,7 +150,7 @@ let make_config ?(seed = 2009) ?(scale = bench_scale) ?(spec = Spec.default)
       "Hierarchy.make_config: resume/checkpointing requires a model_dir to \
        hold the snapshot";
   { seed; scale; spec; measure; process; use_variation; model_dir;
-    checkpoint_every; resume }
+    checkpoint_every; resume; circuit }
 
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 
@@ -223,6 +254,11 @@ let cache_path cfg =
 
 (* The cache persists across runs, so keys must change whenever the
    ambient configuration captured by the objective closures changes. *)
+(* only the circuit's content tag goes into hashes: the record holds a
+   closure, and closure hashing is not stable across builds *)
+let circuit_tag cfg =
+  match cfg.circuit with None -> "" | Some c -> c.tag
+
 let config_salt cfg =
   Printf.sprintf "%08x"
     (Hashtbl.hash_param 256 256
@@ -230,6 +266,7 @@ let config_salt cfg =
          cfg.measure,
          cfg.process,
          cfg.use_variation,
+         circuit_tag cfg,
          (* dense and sparse solves agree only to rounding, so cached
             entries must not leak across solver modes *)
          E.Config.solver_mode_name (E.Config.solver ()) ))
@@ -280,6 +317,27 @@ let evaluator_for ?remote cfg cache =
 let mc_bulk_for ?remote cfg =
   Option.map (fun r -> r.remote_mc ~salt:(config_salt cfg)) remote
 
+(* ---- circuit front end -------------------------------------------- *)
+
+(* the two construction seams every consumer (flow, verification,
+   eval-workers) must share: with [circuit = None] both are exactly the
+   built-in paths, so built-in artefacts stay byte-identical *)
+let circuit_problem cfg =
+  match cfg.circuit with
+  | None -> Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec ()
+  | Some c ->
+    Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec
+      ~builder:c.build ~bounds:c.bounds ()
+
+let circuit_netlist cfg params =
+  match cfg.circuit with
+  | None ->
+    Repro_circuit.Topologies.ring_vco ~stages:cfg.measure.V.stages
+      ~vdd:cfg.measure.V.vdd ~vctl:cfg.measure.V.vctl_lo params
+  | Some c -> c.build params
+
+let circuit_builder cfg = Option.map (fun c -> c.build) cfg.circuit
+
 (* ---- checkpoint wiring ------------------------------------------- *)
 
 (* Unlike the cache salt, the snapshot fingerprint also covers seed and
@@ -297,6 +355,7 @@ let fingerprint ?(extra = "") cfg =
          cfg.measure,
          cfg.process,
          cfg.use_variation,
+         circuit_tag cfg,
          E.Config.solver_mode_name (E.Config.solver ()) ))
     extra
 
@@ -445,7 +504,12 @@ let verify_design cfg ~model (row : Pll_problem.table2_row) =
   in
   let mapped = Perf_table.params_of_perf model requested in
   let measured =
-    match V.characterise ~options:cfg.measure mapped with
+    let outcome =
+      match cfg.circuit with
+      | None -> V.characterise ~options:cfg.measure mapped
+      | Some c -> V.characterise_netlist ~options:cfg.measure (c.build mapped)
+    in
+    match outcome with
     | Ok p -> Ok p
     | Error f -> Error (V.failure_to_string f)
   in
@@ -575,9 +639,7 @@ let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
         say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
           scale.vco_population scale.vco_generations;
         let prng = Prng.create cfg.seed in
-        let vco_problem =
-          Vco_problem.problem ~measure_options:cfg.measure ~spec:cfg.spec ()
-        in
+        let vco_problem = circuit_problem cfg in
         let pop =
           timed_phase "circuit-ga" @@ fun () ->
           run_ga ~progress ~label:"circuit" ~key:"ga.circuit"
@@ -657,6 +719,7 @@ let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
                 measure = cfg.measure;
               }
             ?mc_bulk:(mc_bulk_for ?remote cfg)
+            ?builder:(circuit_builder cfg)
             ~progress:(fun i n ->
               say progress "variation model: design %d/%d" (i + 1) n)
             ~already ?on_entry ?checkpoint:ck

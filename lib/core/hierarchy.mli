@@ -57,6 +57,27 @@ val scale_of_env : unit -> scale
 (** [paper_scale] when {!Repro_engine.Config.full} reports that
     HIEROPT_FULL is set, else [bench_scale]. *)
 
+(** {2 Pluggable circuit front end}
+
+    By default the flow sizes the built-in
+    {!Repro_circuit.Topologies.ring_vco}.  A [circuit] record swaps in
+    any netlist factory over the same 7-float sizing vector — in
+    practice an elaborated [.sp] template from [repro_netlist] — while
+    keeping every downstream phase (measurement, Monte-Carlo,
+    verification, distributed evaluation) unchanged. *)
+
+type circuit = {
+  tag : string;
+      (** content fingerprint of the template; the only part of the
+          record entering {!config_salt} and snapshot fingerprints (the
+          closure is never hashed).  Must be non-empty. *)
+  bounds : (float * float) array;
+      (** design box of the 7 ranged parameters, declaration order *)
+  build : Repro_circuit.Topologies.vco_params -> Repro_circuit.Netlist.t;
+      (** sizing vector to measurable netlist; must be pure and
+          deterministic *)
+}
+
 type config = {
   seed : int;
   scale : scale;
@@ -69,6 +90,8 @@ type config = {
       (** flush a snapshot every N generations / MC chunks; [None]
           disables checkpointing *)
   resume : bool;  (** restart from [model_dir]'s snapshot if compatible *)
+  circuit : circuit option;
+      (** custom circuit front end; [None] is the built-in ring VCO *)
 }
 
 val default_config : ?scale:scale -> unit -> config
@@ -83,21 +106,23 @@ val make_config :
   ?model_dir:string ->
   ?checkpoint_every:int ->
   ?resume:bool ->
+  ?circuit:circuit ->
   unit ->
   config
 (** Validating constructor — prefer this over record literals.
     @raise Invalid_argument when a count is non-positive, a population
     is odd or < 4, [front_max < 2], [checkpoint_every < 1], the spec is
-    inconsistent (see {!Spec.validate}), or resume/checkpointing is
-    requested without a [model_dir] to hold the snapshot. *)
+    inconsistent (see {!Spec.validate}), resume/checkpointing is
+    requested without a [model_dir] to hold the snapshot, or [circuit]
+    has an empty tag, the wrong number of bounds, or an empty bound. *)
 
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 (** The named Pareto front has too few designs to build a model from. *)
 
 val config_salt : config -> string
 (** Fingerprint of the configuration captured by the objective closures
-    (spec, measurement, process, variation flag, solver mode) — the
-    eval-cache keyspace salt.  A remote eval-worker must be started
+    (spec, measurement, process, variation flag, circuit tag, solver
+    mode) — the eval-cache keyspace salt.  A remote eval-worker must be started
     from a config with the same salt to serve a run; the distributed
     protocol carries it on every request so mismatched set-ups are
     rejected instead of silently poisoning caches. *)
@@ -223,7 +248,23 @@ val run_system_level :
 
 val verify_design :
   config -> model:Perf_table.t -> Pll_problem.table2_row -> verification
-(** Bottom-up verification of a chosen row. *)
+(** Bottom-up verification of a chosen row (re-simulated through the
+    config's circuit front end). *)
+
+val circuit_problem : config -> Repro_moo.Problem.t
+(** The circuit-level optimisation problem the flow runs: the built-in
+    {!Vco_problem.problem} with [circuit = None], otherwise the same
+    problem with the circuit's builder and bounds.  Exposed so a
+    distributed eval-worker builds the {e same} problem (hence
+    bit-identical evaluations) from its own copy of the config. *)
+
+val circuit_netlist :
+  config ->
+  Repro_circuit.Topologies.vco_params ->
+  Repro_circuit.Netlist.t
+(** The netlist the flow measures at a sizing: built-in ring VCO (at
+    the config's measurement stage count / supplies) or the custom
+    circuit's build — the Monte-Carlo seam eval-workers must match. *)
 
 val pll_config_of :
   ?pll_query:Pll_problem.model_query ->

@@ -63,11 +63,14 @@ type mc_bulk =
   Repro_util.Prng.t array ->
   (V.performance, string) result array
 
-let analyse_design ?(options = default_options) ?mc_bulk ?checkpoint ~prng
-    (design : Vco_problem.sized_design) =
+let analyse_design ?(options = default_options) ?mc_bulk ?builder ?checkpoint
+    ~prng (design : Vco_problem.sized_design) =
   let net =
-    T.ring_vco ~stages:options.measure.V.stages ~vdd:options.measure.V.vdd
-      ~vctl:options.measure.V.vctl_lo design.Vco_problem.params
+    match builder with
+    | Some build -> build design.Vco_problem.params
+    | None ->
+      T.ring_vco ~stages:options.measure.V.stages ~vdd:options.measure.V.vdd
+        ~vctl:options.measure.V.vctl_lo design.Vco_problem.params
   in
   let trial perturbed =
     match V.characterise_netlist ~options:options.measure perturbed with
@@ -140,8 +143,8 @@ let entry_of_row row =
         })
       (Vco_problem.design_of_vector (Array.sub row 0 12))
 
-let analyse_front ?options ?mc_bulk ?progress ?(already = [||]) ?on_entry
-    ?checkpoint ~prng designs =
+let analyse_front ?options ?mc_bulk ?builder ?progress ?(already = [||])
+    ?on_entry ?checkpoint ~prng designs =
   let n = Array.length designs in
   let k = min (Array.length already) n in
   let out = Array.make n None in
@@ -156,8 +159,8 @@ let analyse_front ?options ?mc_bulk ?progress ?(already = [||]) ?on_entry
         Option.map (fun ck -> (ck, "mc." ^ string_of_int i)) checkpoint
       in
       let e =
-        analyse_design ?options ?mc_bulk ?checkpoint:design_ck ~prng:prng_i
-          designs.(i)
+        analyse_design ?options ?mc_bulk ?builder ?checkpoint:design_ck
+          ~prng:prng_i designs.(i)
       in
       out.(i) <- Some e;
       match on_entry with Some f -> f i e | None -> ()

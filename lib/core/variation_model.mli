@@ -41,11 +41,15 @@ type mc_bulk =
 val analyse_design :
   ?options:options ->
   ?mc_bulk:mc_bulk ->
+  ?builder:(Repro_circuit.Topologies.vco_params -> Repro_circuit.Netlist.t) ->
   ?checkpoint:Repro_engine.Checkpoint.t * string ->
   prng:Repro_util.Prng.t ->
   Vco_problem.sized_design ->
   entry
-(** MC-characterise one design.  Failed trials (non-oscillating corners)
+(** MC-characterise one design.  [builder] swaps the built-in ring-VCO
+    construction for a custom netlist factory (an elaborated [.sp]
+    template); the default is the paper's
+    {!Repro_circuit.Topologies.ring_vco}.  Failed trials (non-oscillating corners)
     are counted but excluded from the spread statistics; when fewer than
     3 trials survive the spreads fall back to 0.  [checkpoint:(ck, key)]
     persists/restores the completed Monte-Carlo sample prefix under
@@ -56,6 +60,7 @@ val analyse_design :
 val analyse_front :
   ?options:options ->
   ?mc_bulk:mc_bulk ->
+  ?builder:(Repro_circuit.Topologies.vco_params -> Repro_circuit.Netlist.t) ->
   ?progress:(int -> int -> unit) ->
   ?already:entry array ->
   ?on_entry:(int -> entry -> unit) ->

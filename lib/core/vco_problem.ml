@@ -26,10 +26,17 @@ let band_violation (spec : Spec.t) (perf : V.performance) =
   over perf.V.fmin spec.Spec.f_out_low
   +. over spec.Spec.f_out_high perf.V.fmax
 
-let problem ?measure_options ?(spec = Spec.default) () =
+let problem ?measure_options ?(spec = Spec.default) ?builder
+    ?(bounds = T.vco_bounds) () =
+  let characterise params =
+    match builder with
+    | None -> V.characterise ?options:measure_options params
+    | Some build ->
+      V.characterise_netlist ?options:measure_options (build params)
+  in
   let evaluate x =
     let params = T.vco_params_of_vector x in
-    match V.characterise ?options:measure_options params with
+    match characterise params with
     | Ok perf ->
       {
         P.objectives = objectives_of_perf perf;
@@ -40,8 +47,7 @@ let problem ?measure_options ?(spec = Spec.default) () =
          tournament but still carry gradient through the violation *)
       { P.objectives = Array.make 5 infinity; constraint_violation = 10.0 }
   in
-  P.create ~name:"vco-sizing" ~bounds:T.vco_bounds
-    ~objective_names evaluate
+  P.create ~name:"vco-sizing" ~bounds ~objective_names evaluate
 
 let design_of_individual (ind : Repro_moo.Nsga2.individual) =
   if P.feasible ind.Repro_moo.Nsga2.evaluation then

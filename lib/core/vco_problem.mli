@@ -28,11 +28,19 @@ val perf_of_objectives : float array -> Repro_spice.Vco_measure.performance
 val problem :
   ?measure_options:Repro_spice.Vco_measure.options ->
   ?spec:Spec.t ->
+  ?builder:(Repro_circuit.Topologies.vco_params -> Repro_circuit.Netlist.t) ->
+  ?bounds:(float * float) array ->
   unit ->
   Repro_moo.Problem.t
 (** The NSGA-II-ready problem over the paper's design box
     ({!Repro_circuit.Topologies.vco_bounds}); [spec] supplies the
-    propagated band-coverage constraint (default {!Spec.default}). *)
+    propagated band-coverage constraint (default {!Spec.default}).
+
+    [builder] swaps the built-in ring-VCO construction for a custom
+    netlist factory (e.g. an elaborated [.sp] template) evaluated
+    through {!Repro_spice.Vco_measure.characterise_netlist}; [bounds]
+    overrides the design box to the template's ranges.  With neither,
+    the problem is exactly the paper's built-in one. *)
 
 val design_of_individual : Repro_moo.Nsga2.individual -> sized_design option
 (** Decode an individual back to (sizing, performance); [None] for

@@ -28,9 +28,7 @@ let create ?(version = "dev") ?model ~config () =
     version;
     salt = H.config_salt config;
     cfg = config;
-    vco =
-      Hieropt.Vco_problem.problem ~measure_options:config.H.measure
-        ~spec:config.H.spec ();
+    vco = H.circuit_problem config;
     pll;
     cache = E.Cache.create ();
     started = Unix.gettimeofday ();
@@ -98,8 +96,7 @@ let run_mc t (req : Protocol.mc_request) =
   else begin
     let m = t.cfg.H.measure in
     let net =
-      T.ring_vco ~stages:m.V.stages ~vdd:m.V.vdd ~vctl:m.V.vctl_lo
-        (T.vco_params_of_vector req.Protocol.params)
+      H.circuit_netlist t.cfg (T.vco_params_of_vector req.Protocol.params)
     in
     let trial perturbed =
       match V.characterise_netlist ~options:m perturbed with

@@ -1,0 +1,91 @@
+(* Typed card AST produced by {!Parse} and consumed by {!Elab}.
+
+   Numeric fields are unevaluated expressions: a plain SPICE number
+   ("2.2k"), a bare parameter reference, or a braced arithmetic
+   expression ("{wn*2}").  Node and element names keep their source
+   spelling; model/subcircuit/parameter names are matched
+   case-insensitively at elaboration time. *)
+
+type expr =
+  | Num of float
+  | Ref of string * Loc.pos  (* parameter reference, lowercased *)
+  | Neg of expr
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr * Loc.pos
+  | Call of string * expr list * Loc.pos  (* min max pow sqrt abs *)
+
+(* a .param right-hand side: a value, or an optimisation range template *)
+type pvalue =
+  | Value of expr
+  | Range of expr * expr  (* {range lo hi} *)
+
+type source_def =
+  | Dc of expr
+  | Pulse of expr list  (* v1 v2 delay rise fall width [period] *)
+  | Sin of expr list    (* offset ampl freq [delay damp phase] *)
+  | Pwl of expr list    (* t v pairs *)
+
+type element =
+  | R of { name : string; pos : Loc.pos; n1 : string; n2 : string;
+           value : expr }
+  | C of { name : string; pos : Loc.pos; n1 : string; n2 : string;
+           value : expr }
+  | V of { name : string; pos : Loc.pos; npos : string; nneg : string;
+           src : source_def }
+  | I of { name : string; pos : Loc.pos; npos : string; nneg : string;
+           src : source_def }
+  | M of { name : string; pos : Loc.pos; drain : string; gate : string;
+           source : string; bulk : string option; model : string;
+           model_pos : Loc.pos; w : expr; l : expr }
+  | X of { name : string; pos : Loc.pos; nodes : string list; sub : string;
+           sub_pos : Loc.pos; overrides : (string * expr) list }
+
+let element_name = function
+  | R { name; _ } | C { name; _ } | V { name; _ } | I { name; _ }
+  | M { name; _ } | X { name; _ } -> name
+
+let element_pos = function
+  | R { pos; _ } | C { pos; _ } | V { pos; _ } | I { pos; _ } | M { pos; _ }
+  | X { pos; _ } -> pos
+
+type param_def = { p_name : string; p_pos : Loc.pos; p_value : pvalue }
+
+type model_def = {
+  m_name : string;  (* source spelling; matched case-insensitively *)
+  m_pos : Loc.pos;
+  m_kind : [ `Nmos | `Pmos ];
+  m_params : (string * Loc.pos * expr) list;
+}
+
+(* .subckt definitions nest lexically: [s_subs] are the definitions
+   local to this body, visible only from inside it (shadowing outer
+   names); [s_params] are the header/body parameter defaults *)
+type subckt = {
+  s_name : string;  (* lowercased *)
+  s_pos : Loc.pos;
+  ports : string list;
+  s_params : param_def list;
+  s_elements : element list;
+  s_subs : subckt list;
+}
+
+type deck = {
+  elements : element list;  (* top level, in source order *)
+  subs : subckt list;
+  models : model_def list;
+  params : param_def list;
+}
+
+let rec expr_refs acc = function
+  | Num _ -> acc
+  | Ref (n, _) -> n :: acc
+  | Neg e -> expr_refs acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b, _) ->
+    expr_refs (expr_refs acc a) b
+  | Call (_, args, _) -> List.fold_left expr_refs acc args
+
+let pvalue_refs = function
+  | Value e -> expr_refs [] e
+  | Range (lo, hi) -> expr_refs (expr_refs [] lo) hi

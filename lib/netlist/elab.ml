@@ -1,0 +1,412 @@
+open Ast
+module Netlist = Repro_circuit.Netlist
+module Mosfet = Repro_circuit.Mosfet
+module Source = Repro_circuit.Source
+
+type template = {
+  param_names : string array;
+  bounds : (float * float) array;
+  default : float array;
+  instantiate : float array -> Netlist.t;
+  fingerprint : string;
+}
+
+(* ---- expression evaluation ------------------------------------------ *)
+
+let rec eval ?file env = function
+  | Num v -> v
+  | Ref (n, pos) -> (
+    match Hashtbl.find_opt env n with
+    | Some v -> v
+    | None -> Loc.fail ?file pos "unknown parameter %S" n)
+  | Neg e -> -.eval ?file env e
+  | Add (a, b) -> eval ?file env a +. eval ?file env b
+  | Sub (a, b) -> eval ?file env a -. eval ?file env b
+  | Mul (a, b) -> eval ?file env a *. eval ?file env b
+  | Div (a, b, pos) ->
+    let d = eval ?file env b in
+    if d = 0.0 then Loc.fail ?file pos "division by zero";
+    eval ?file env a /. d
+  | Call (name, args, pos) -> (
+    match (name, List.map (eval ?file env) args) with
+    | "min", [ a; b ] -> Float.min a b
+    | "max", [ a; b ] -> Float.max a b
+    | "pow", [ a; b ] -> Float.pow a b
+    | "sqrt", [ a ] -> Float.sqrt a
+    | "abs", [ a ] -> Float.abs a
+    | ("min" | "max" | "pow"), _ ->
+      Loc.fail ?file pos "%s takes 2 arguments" name
+    | ("sqrt" | "abs"), _ -> Loc.fail ?file pos "%s takes 1 argument" name
+    | _ -> Loc.fail ?file pos "unknown function %S" name)
+
+(* ---- parameter resolution ------------------------------------------- *)
+
+let check_duplicates ?file defs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.p_name then
+        Loc.fail ?file p.p_pos "duplicate parameter %S" p.p_name;
+      Hashtbl.replace seen p.p_name ())
+    defs
+
+(* resolve plain (non-range) definitions into [env] in dependency order.
+   A definition may reference parameters defined later in the deck;
+   cycles error at the definition that closes them.  With [tolerant],
+   a definition whose evaluation fails (e.g. it references a ranged
+   parameter that is not bound yet) is skipped instead — used when
+   computing range bounds, where only the parameters the bounds actually
+   reach must resolve. *)
+let resolve ?file ~tolerant defs env =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace tbl p.p_name p) defs;
+  let state = Hashtbl.create 16 in
+  let rec visit p =
+    match Hashtbl.find_opt state p.p_name with
+    | Some `Done -> ()
+    | Some `Visiting ->
+      Loc.fail ?file p.p_pos "parameter cycle involving %S" p.p_name
+    | None ->
+      Hashtbl.replace state p.p_name `Visiting;
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem env r) then
+            match Hashtbl.find_opt tbl r with
+            | Some q -> visit q
+            | None -> () (* eval reports the unknown reference precisely *))
+        (pvalue_refs p.p_value);
+      (match p.p_value with
+      | Range _ -> assert false (* callers filter ranges out *)
+      | Value e -> (
+        match eval ?file env e with
+        | v -> Hashtbl.replace env p.p_name v
+        | exception Loc.Netlist_error _ when tolerant -> ()));
+      Hashtbl.replace state p.p_name `Done
+  in
+  List.iter visit defs
+
+let split_params defs =
+  List.partition_map
+    (fun p ->
+      match p.p_value with
+      | Range (lo, hi) -> Left (p, lo, hi)
+      | Value _ -> Right p)
+    defs
+
+(* ---- models ---------------------------------------------------------- *)
+
+let builtin_models =
+  [ ("nmos", Mosfet.nmos_012); ("pmos", Mosfet.pmos_012);
+    ("nmos_012", Mosfet.nmos_012); ("pmos_012", Mosfet.pmos_012) ]
+
+let apply_model_param ?file (m : Mosfet.model) (k, pos, v) =
+  match k with
+  | "vth0" -> { m with Mosfet.vth0 = v }
+  | "kp" -> { m with Mosfet.kp = v }
+  | "theta" -> { m with Mosfet.theta = v }
+  | "n" -> { m with Mosfet.n_slope = v }
+  | "clm" -> { m with Mosfet.clm = v }
+  | "cox" -> { m with Mosfet.cox = v }
+  | "cov" -> { m with Mosfet.cov = v }
+  | "cj" -> { m with Mosfet.cj = v }
+  | "avt" -> { m with Mosfet.avt = v }
+  | "akp" -> { m with Mosfet.akp = v }
+  | k -> Loc.fail ?file pos "unknown model parameter %S" k
+
+let model_table ?file models env =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, m) -> Hashtbl.replace tbl k m) builtin_models;
+  List.iter
+    (fun md ->
+      let base =
+        match md.m_kind with `Nmos -> Mosfet.nmos_012 | `Pmos -> Mosfet.pmos_012
+      in
+      let m =
+        List.fold_left
+          (fun m (k, pos, e) ->
+            apply_model_param ?file m (k, pos, eval ?file env e))
+          base md.m_params
+      in
+      Hashtbl.replace tbl
+        (String.lowercase_ascii md.m_name)
+        { m with Mosfet.name = md.m_name })
+    models;
+  tbl
+
+(* ---- flattening ------------------------------------------------------ *)
+
+let to_source ?file env = function
+  | Dc e -> Source.Dc (eval ?file env e)
+  | Pulse es -> (
+    match List.map (eval ?file env) es with
+    | [ v1; v2; delay; rise; fall; width; period ] ->
+      Source.Pulse { v1; v2; delay; rise; fall; width; period }
+    | [ v1; v2; delay; rise; fall; width ] ->
+      Source.Pulse { v1; v2; delay; rise; fall; width; period = 0.0 }
+    | _ -> assert false (* arity checked at parse time *))
+  | Sin es -> (
+    match List.map (eval ?file env) es with
+    | [ offset; ampl; freq ] -> Source.Sin { offset; ampl; freq; phase_deg = 0.0 }
+    | [ offset; ampl; freq; _delay; _damp; phase_deg ] ->
+      Source.Sin { offset; ampl; freq; phase_deg }
+    | _ -> assert false)
+  | Pwl es ->
+    let rec pairs = function
+      | [] -> []
+      | t :: v :: rest -> (eval ?file env t, eval ?file env v) :: pairs rest
+      | [ _ ] -> assert false
+    in
+    Source.Pwl (Array.of_list (pairs es))
+
+let max_depth = 64
+
+(* subcircuit scope: a chain of frames, innermost first.  Finding a
+   definition in some frame means it was defined there, so its body
+   sees its own locals on top of the chain from that frame outward —
+   lexical scoping. *)
+let rec lookup_sub scope name =
+  match scope with
+  | [] -> None
+  | frame :: rest -> (
+    match List.find_opt (fun s -> s.s_name = name) frame with
+    | Some s -> Some (s, scope)
+    | None -> lookup_sub rest name)
+
+let emit_deck ?file net ~models ~scope ~env ?(root_port_map = [])
+    ~deck_elements () =
+  let guarded pos f =
+    try f () with Invalid_argument msg -> Loc.fail ?file pos "%s" msg
+  in
+  let rec emit ~scope ~env ~prefix ~port_map ~depth el =
+    let ctx_name name = prefix ^ name in
+    let ctx_node node =
+      let key = String.lowercase_ascii (String.trim node) in
+      if key = "0" || key = "gnd" then node
+      else
+        match List.assoc_opt key port_map with
+        | Some outer -> outer
+        | None -> prefix ^ node
+    in
+    match el with
+    | R { name; pos; n1; n2; value } ->
+      guarded pos (fun () ->
+          Netlist.resistor net (ctx_name name) (ctx_node n1) (ctx_node n2)
+            (eval ?file env value))
+    | C { name; pos; n1; n2; value } ->
+      guarded pos (fun () ->
+          Netlist.capacitor net (ctx_name name) (ctx_node n1) (ctx_node n2)
+            (eval ?file env value))
+    | V { name; pos; npos; nneg; src } ->
+      guarded pos (fun () ->
+          Netlist.vsource net (ctx_name name) (ctx_node npos) (ctx_node nneg)
+            (to_source ?file env src))
+    | I { name; pos; npos; nneg; src } ->
+      guarded pos (fun () ->
+          Netlist.isource net (ctx_name name) (ctx_node npos) (ctx_node nneg)
+            (to_source ?file env src))
+    | M { name; pos; drain; gate; source; bulk = _; model; model_pos; w; l } ->
+      let m =
+        match Hashtbl.find_opt models (String.lowercase_ascii model) with
+        | Some m -> m
+        | None -> Loc.fail ?file model_pos "unknown MOS model %S" model
+      in
+      guarded pos (fun () ->
+          Netlist.mosfet net (ctx_name name) ~drain:(ctx_node drain)
+            ~gate:(ctx_node gate) ~source:(ctx_node source) ~model:m
+            ~w:(eval ?file env w) ~l:(eval ?file env l))
+    | X { name; pos; nodes; sub; sub_pos; overrides } ->
+      if depth >= max_depth then
+        Loc.fail ?file pos "subcircuit nesting deeper than %d (recursion?)"
+          max_depth;
+      let s, def_scope =
+        match lookup_sub scope sub with
+        | Some found -> found
+        | None -> Loc.fail ?file sub_pos "unknown subcircuit %S" sub
+      in
+      if List.length s.ports <> List.length nodes then
+        Loc.fail ?file pos "subcircuit %S expects %d ports, got %d" sub
+          (List.length s.ports) (List.length nodes);
+      let inner_map =
+        List.map2
+          (fun port outer -> (String.lowercase_ascii port, ctx_node outer))
+          s.ports nodes
+      in
+      (* overrides evaluate in the caller's scope and shadow the
+         definition's defaults *)
+      let inner_env = Hashtbl.copy env in
+      List.iter
+        (fun (k, e) -> Hashtbl.replace inner_env k (eval ?file env e))
+        overrides;
+      let defaults =
+        List.filter
+          (fun p -> not (List.mem_assoc p.p_name overrides))
+          s.s_params
+      in
+      check_duplicates ?file s.s_params;
+      resolve ?file ~tolerant:false defaults inner_env;
+      List.iter
+        (emit ~scope:(s.s_subs :: def_scope) ~env:inner_env
+           ~prefix:(ctx_name name ^ ".") ~port_map:inner_map
+           ~depth:(depth + 1))
+        s.s_elements
+  in
+  List.iter
+    (emit ~scope ~env ~prefix:"" ~port_map:root_port_map ~depth:0)
+    deck_elements
+
+let reject_range ?file what (p, _, _) =
+  Loc.fail ?file p.p_pos
+    "parameter %S has an optimisation {range}; %s" p.p_name what
+
+let flatten ?file deck =
+  check_duplicates ?file deck.params;
+  let ranged, plain = split_params deck.params in
+  (match ranged with
+  | r :: _ ->
+    reject_range ?file
+      "a ranged deck must be instantiated (flow --netlist, or the \
+       template API)"
+      r
+  | [] -> ());
+  let env = Hashtbl.create 16 in
+  resolve ?file ~tolerant:false plain env;
+  let models = model_table ?file deck.models env in
+  let net = Netlist.create () in
+  emit_deck ?file net ~models ~scope:[ deck.subs ] ~env
+    ~deck_elements:deck.elements ();
+  net
+
+(* ---- range templates ------------------------------------------------- *)
+
+let rec first_ranged_ref ranged = function
+  | Num _ -> None
+  | Ref (n, pos) -> if Hashtbl.mem ranged n then Some (n, pos) else None
+  | Neg e -> first_ranged_ref ranged e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b, _) -> (
+    match first_ranged_ref ranged a with
+    | Some _ as r -> r
+    | None -> first_ranged_ref ranged b)
+  | Call (_, args, _) ->
+    List.find_map (first_ranged_ref ranged) args
+
+let template ?file deck =
+  check_duplicates ?file deck.params;
+  let ranged, plain = split_params deck.params in
+  if ranged = [] then
+    Loc.fail ?file { Loc.line = 1; col = 1 }
+      "deck has no {range lo hi} parameters to optimise";
+  let ranged_names = Hashtbl.create 8 in
+  List.iter (fun (p, _, _) -> Hashtbl.replace ranged_names p.p_name ()) ranged;
+  (* bounds see the plain parameters that do not depend on ranged ones *)
+  let bounds_env = Hashtbl.create 16 in
+  resolve ?file ~tolerant:true plain bounds_env;
+  let bound_of (p, lo, hi) =
+    List.iter
+      (fun e ->
+        match first_ranged_ref ranged_names e with
+        | Some (n, pos) ->
+          Loc.fail ?file pos
+            "range bounds may not reference ranged parameter %S" n
+        | None -> ())
+      [ lo; hi ];
+    let lo = eval ?file bounds_env lo and hi = eval ?file bounds_env hi in
+    if not (lo < hi) then
+      Loc.fail ?file p.p_pos "empty range [%g, %g] for parameter %S" lo hi
+        p.p_name;
+    (lo, hi)
+  in
+  let ranged = Array.of_list ranged in
+  let param_names = Array.map (fun (p, _, _) -> p.p_name) ranged in
+  let bounds = Array.map bound_of ranged in
+  let default = Array.map (fun (lo, hi) -> 0.5 *. (lo +. hi)) bounds in
+  let instantiate x =
+    if Array.length x <> Array.length param_names then
+      invalid_arg
+        (Printf.sprintf "Elab.instantiate: need %d parameters, got %d"
+           (Array.length param_names) (Array.length x));
+    let env = Hashtbl.create 16 in
+    Array.iteri (fun i n -> Hashtbl.replace env n x.(i)) param_names;
+    resolve ?file ~tolerant:false plain env;
+    let models = model_table ?file deck.models env in
+    let net = Netlist.create () in
+    emit_deck ?file net ~models ~scope:[ deck.subs ] ~env
+      ~deck_elements:deck.elements ();
+    net
+  in
+  let fingerprint =
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun i n ->
+        let lo, hi = bounds.(i) in
+        Buffer.add_string buf (Printf.sprintf "%s %.17g %.17g\n" n lo hi))
+      param_names;
+    Buffer.add_string buf (Netlist.to_spice (instantiate default));
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  { param_names; bounds; default; instantiate; fingerprint }
+
+(* ---- standalone subcircuit elaboration ------------------------------- *)
+
+let subckt_netlist ?file deck name =
+  check_duplicates ?file deck.params;
+  let ranged, plain = split_params deck.params in
+  (match ranged with
+  | r :: _ -> reject_range ?file "cannot elaborate a subcircuit from it" r
+  | [] -> ());
+  let key = String.lowercase_ascii name in
+  let s =
+    match List.find_opt (fun s -> s.s_name = key) deck.subs with
+    | Some s -> s
+    | None ->
+      Loc.fail ?file { Loc.line = 1; col = 1 } "no .subckt %S in deck" name
+  in
+  let env = Hashtbl.create 16 in
+  resolve ?file ~tolerant:false plain env;
+  check_duplicates ?file s.s_params;
+  resolve ?file ~tolerant:false s.s_params env;
+  let models = model_table ?file deck.models env in
+  let net = Netlist.create () in
+  (* ports first, in declaration order, mapped to themselves so the body
+     elaborates unprefixed *)
+  List.iter (fun p -> ignore (Netlist.node net p)) s.ports;
+  let port_map = List.map (fun p -> (String.lowercase_ascii p, p)) s.ports in
+  emit_deck ?file net ~models
+    ~scope:(s.s_subs :: [ deck.subs ])
+    ~env ~root_port_map:port_map ~deck_elements:s.s_elements ();
+  net
+
+(* ---- structural equivalence ------------------------------------------ *)
+
+type norm_el =
+  | NR of string * string * string * float
+  | NC of string * string * string * float
+  | NV of string * string * string * Source.t
+  | NI of string * string * string * Source.t
+  | NM of
+      string * string * string * string * Mosfet.model * float * float * float
+      * float
+
+let normalise net =
+  let n id = String.lowercase_ascii (Netlist.node_name net id) in
+  List.map
+    (fun el ->
+      match el with
+      | Netlist.Resistor { name; n1; n2; value } -> NR (name, n n1, n n2, value)
+      | Netlist.Capacitor { name; n1; n2; value } ->
+        NC (name, n n1, n n2, value)
+      | Netlist.Vsource { name; npos; nneg; source } ->
+        NV (name, n npos, n nneg, source)
+      | Netlist.Isource { name; npos; nneg; source } ->
+        NI (name, n npos, n nneg, source)
+      | Netlist.Mos { name; drain; gate; source; model; w; l; vth_shift;
+                      kp_scale } ->
+        NM (name, n drain, n gate, n source, model, w, l, vth_shift, kp_scale))
+    (Netlist.elements net)
+
+let same_netlist a b = normalise a = normalise b
+
+(* ---- convenience ----------------------------------------------------- *)
+
+let netlist_of_string ?file text = flatten ?file (Parse.deck ?file text)
+let netlist_of_file path = flatten ~file:path (Parse.deck_of_file path)
+let template_of_file path = template ~file:path (Parse.deck_of_file path)

@@ -1,0 +1,58 @@
+(** Elaboration: typed {!Ast.deck} to flat {!Repro_circuit.Netlist.t}.
+
+    Parameters resolve in dependency order (a [.param] may reference
+    parameters defined later in the file); cycles are reported at the
+    offending definition.  [.subckt] instantiation supports arbitrary
+    definition nesting with lexical scoping, per-instance [key=value]
+    overrides evaluated in the caller's scope, and the classic
+    flattening convention: element names gain an ["Xinst."] prefix,
+    ports map to the outer connections, internal nodes gain the same
+    prefix, and ground (["0"]/["gnd"]) stays global.
+
+    A deck whose [.param] cards use [{range lo hi}] templates is an
+    {e optimisable} deck: {!template} exposes the ranged parameters, in
+    declaration order, as an optimisation vector with bounds.
+
+    All errors are {!Loc.Netlist_error}s pointing at the offending
+    token. *)
+
+type template = {
+  param_names : string array;  (** ranged parameters, declaration order *)
+  bounds : (float * float) array;  (** evaluated [{range lo hi}] pairs *)
+  default : float array;  (** range midpoints *)
+  instantiate : float array -> Repro_circuit.Netlist.t;
+      (** elaborate with the ranged parameters bound to the vector
+          (declaration order); raises [Invalid_argument] on a length
+          mismatch and {!Loc.Netlist_error} on elaboration failures *)
+  fingerprint : string;
+      (** hex digest over parameter names, bounds and the elaborated
+          midpoint netlist — a stable identity for cache salting *)
+}
+
+val flatten : ?file:string -> Ast.deck -> Repro_circuit.Netlist.t
+(** Elaborate a fully-specified deck (no [{range}] templates —
+    those are an error here; use {!template}). *)
+
+val template : ?file:string -> Ast.deck -> template
+(** Elaborate an optimisable deck; errors when no parameter has a
+    [{range lo hi}] or when a range is empty ([lo >= hi]).  Range
+    bounds may reference plain parameters but not ranged ones. *)
+
+val subckt_netlist : ?file:string -> Ast.deck -> string -> Repro_circuit.Netlist.t
+(** Elaborate one top-level [.subckt] (case-insensitive name) standalone:
+    ports are interned first in declaration order and element/node names
+    keep their unprefixed spelling.  This is how a SPICE-subcircuit
+    export round-trips back into the netlist it was emitted from. *)
+
+val same_netlist : Repro_circuit.Netlist.t -> Repro_circuit.Netlist.t -> bool
+(** Structural equivalence: same elements in the same order, connected
+    to the same node {e names} (case-insensitive, ground aliases
+    collapsed), with exactly equal values.  Interning order is ignored,
+    so a builder-made netlist and its re-parsed export compare equal. *)
+
+val netlist_of_string : ?file:string -> string -> Repro_circuit.Netlist.t
+(** [flatten] of [Parse.deck]. *)
+
+val netlist_of_file : string -> Repro_circuit.Netlist.t
+
+val template_of_file : string -> template

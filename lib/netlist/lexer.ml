@@ -1,0 +1,113 @@
+type token = { text : string; pos : Loc.pos }
+
+(* tokenize one physical line, carrying the brace depth across
+   continuation lines of the same card.  [lineno] is 1-based; [start] is
+   the index to lex from (skips the '+' of a continuation). *)
+let lex_line ?file ~lineno ~depth ~out line start =
+  let n = String.length line in
+  let buf = Buffer.create 16 in
+  let buf_start = ref 0 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out :=
+        { text = Buffer.contents buf;
+          pos = { Loc.line = lineno; col = !buf_start + 1 } }
+        :: !out;
+      Buffer.clear buf
+    end
+  in
+  let add i c =
+    if Buffer.length buf = 0 then buf_start := i;
+    Buffer.add_char buf c
+  in
+  let emit i c =
+    flush ();
+    out :=
+      { text = String.make 1 c; pos = { Loc.line = lineno; col = i + 1 } }
+      :: !out
+  in
+  (* a '+'/'-' directly after the 'e' of a numeric mantissa is an
+     exponent sign, not an operator: "10e-6" must stay one token *)
+  let in_exponent () =
+    let len = Buffer.length buf in
+    len >= 2
+    && (match Buffer.nth buf (len - 1) with 'e' | 'E' -> true | _ -> false)
+    &&
+    match Buffer.nth buf 0 with '0' .. '9' | '.' -> true | _ -> false
+  in
+  let i = ref start in
+  (try
+     while !i < n do
+       let c = line.[!i] in
+       (match c with
+       | ';' ->
+         flush ();
+         raise Exit (* trailing comment: rest of the line is ignored *)
+       | ' ' | '\t' | '\r' -> flush ()
+       | '{' ->
+         emit !i c;
+         incr depth
+       | '}' ->
+         emit !i c;
+         if !depth > 0 then decr depth
+       | '=' -> emit !i c
+       | '(' | ')' | ',' -> if !depth > 0 then emit !i c else flush ()
+       | ('+' | '-') when !depth > 0 ->
+         if in_exponent () then add !i c else emit !i c
+       | ('*' | '/') when !depth > 0 -> emit !i c
+       | c -> add !i c);
+       incr i
+     done
+   with Exit -> ());
+  flush ();
+  ignore file
+
+let tokenize ?file text =
+  let lines = String.split_on_char '\n' text in
+  let cards = ref [] in
+  (* the card being accumulated: tokens in reverse, plus the brace depth
+     so '{' expressions may span continuation lines *)
+  let current : token list ref = ref [] in
+  let open_card = ref false in
+  let depth = ref 0 in
+  let last_pos = ref { Loc.line = 1; col = 1 } in
+  let finish () =
+    if !open_card then begin
+      if !depth > 0 then
+        Loc.fail ?file !last_pos "unterminated '{' expression";
+      cards := List.rev !current :: !cards;
+      current := [];
+      open_card := false
+    end
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      (* first non-blank character decides the line kind *)
+      let rec first i =
+        if i >= String.length line then None
+        else
+          match line.[i] with
+          | ' ' | '\t' | '\r' -> first (i + 1)
+          | c -> Some (i, c)
+      in
+      match first 0 with
+      (* blank and comment lines are invisible: they neither end a card
+         nor break a continuation chain (matching classic SPICE) *)
+      | None -> ()
+      | Some (_, '*') | Some (_, ';') -> ()
+      | Some (i, '+') ->
+        if not !open_card then
+          Loc.fail ?file
+            { Loc.line = lineno; col = i + 1 }
+            "continuation line with no preceding card";
+        last_pos := { Loc.line = lineno; col = i + 1 };
+        lex_line ?file ~lineno ~depth ~out:current line (i + 1)
+      | Some (i, _) ->
+        finish ();
+        open_card := true;
+        last_pos := { Loc.line = lineno; col = i + 1 };
+        lex_line ?file ~lineno ~depth ~out:current line i)
+    lines;
+  finish ();
+  List.rev !cards

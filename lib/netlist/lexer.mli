@@ -1,0 +1,29 @@
+(** Location-tracking tokenizer for the SPICE dialect.
+
+    The lexer turns raw deck text into {e logical cards} — token lists
+    with one entry per card, continuation lines ([+ ...]) already joined
+    — while every token keeps the line/column of its first character in
+    the {e original} text, so errors raised much later (during parsing
+    or elaboration) still point at the exact spot.
+
+    Lexical rules, matching the classic SPICE conventions this repo's
+    decks already use:
+    - [*] in the first column starts a full-line comment; [;] starts a
+      trailing comment anywhere;
+    - a line whose first non-blank character is [+] continues the
+      previous card;
+    - outside braces, whitespace, [( ) ,] separate tokens (and are
+      dropped — [PULSE(0 1 ...)] and [PULSE 0 1 ...] lex identically)
+      and [=] is a token of its own;
+    - [{ ... }] delimits an arithmetic expression: inside braces the
+      operators [+ - * / ( ) =] and the braces themselves become
+      single-character tokens, with one exception — a [+]/[-]
+      immediately after the [e] of a number's exponent stays part of
+      the number, so [{10e-6}] is one token. *)
+
+type token = { text : string; pos : Loc.pos }
+
+val tokenize : ?file:string -> string -> token list list
+(** Logical cards in source order, blank/comment lines removed.
+    @raise Loc.Netlist_error on a continuation line with no preceding
+    card or an unterminated [{] expression. *)

@@ -1,0 +1,439 @@
+open Ast
+
+(* ---- token cursor over one card ----------------------------------- *)
+
+type stream = {
+  toks : Lexer.token array;
+  mutable i : int;
+  file : string option;
+}
+
+let of_card file toks = { toks = Array.of_list toks; i = 0; file }
+let peek st = if st.i < Array.length st.toks then Some st.toks.(st.i) else None
+
+let last_pos st =
+  if Array.length st.toks = 0 then { Loc.line = 1; col = 1 }
+  else st.toks.(Array.length st.toks - 1).Lexer.pos
+
+let next st what =
+  match peek st with
+  | Some t ->
+    st.i <- st.i + 1;
+    t
+  | None -> Loc.fail ?file:st.file (last_pos st) "expected %s, got end of card" what
+
+let fail_tok st (t : Lexer.token) fmt = ignore st; Loc.fail ?file:st.file t.Lexer.pos fmt
+
+let expect st text =
+  let t = next st (Printf.sprintf "%S" text) in
+  if t.Lexer.text <> text then
+    fail_tok st t "expected %S, got %S" text t.Lexer.text
+
+let at_end st = st.i >= Array.length st.toks
+
+let is_ident s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* ---- expressions --------------------------------------------------- *)
+
+(* inside braces: expr := term (('+'|'-') term)*
+                  term := unary (('*'|'/') unary)*
+                  unary := ('-'|'+') unary | primary
+                  primary := number | ident | ident '(' args ')' | '(' expr ')' *)
+let rec parse_expr st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | Some { Lexer.text = "+"; _ } ->
+      st.i <- st.i + 1;
+      loop (Add (lhs, parse_term st))
+    | Some { Lexer.text = "-"; _ } ->
+      st.i <- st.i + 1;
+      loop (Sub (lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Some { Lexer.text = "*"; _ } ->
+      st.i <- st.i + 1;
+      loop (Mul (lhs, parse_unary st))
+    | Some { Lexer.text = "/"; pos } ->
+      st.i <- st.i + 1;
+      loop (Div (lhs, parse_unary st, pos))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | Some { Lexer.text = "-"; _ } ->
+    st.i <- st.i + 1;
+    Neg (parse_unary st)
+  | Some { Lexer.text = "+"; _ } ->
+    st.i <- st.i + 1;
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st "an expression" in
+  match t.Lexer.text with
+  | "(" ->
+    let e = parse_expr st in
+    expect st ")";
+    e
+  | tok -> (
+    match Repro_util.Si.parse_opt tok with
+    | Some v -> Num v
+    | None ->
+      if not (is_ident tok) then
+        fail_tok st t "expected a number or parameter, got %S" tok
+      else
+        let name = String.lowercase_ascii tok in
+        (* function call when a '(' follows directly *)
+        (match peek st with
+        | Some { Lexer.text = "("; _ } ->
+          st.i <- st.i + 1;
+          let rec args acc =
+            let e = parse_expr st in
+            match next st "',' or ')'" with
+            | { Lexer.text = ")"; _ } -> List.rev (e :: acc)
+            | { Lexer.text = ","; _ } -> args (e :: acc)
+            | t -> fail_tok st t "expected ',' or ')', got %S" t.Lexer.text
+          in
+          Call (name, args [], t.Lexer.pos)
+        | _ -> Ref (name, t.Lexer.pos)))
+
+let expr_of_tokens ?file toks =
+  let st = of_card file toks in
+  let e = parse_expr st in
+  (match peek st with
+  | Some t -> fail_tok st t "trailing %S after expression" t.Lexer.text
+  | None -> ());
+  e
+
+(* a value in card position: a plain SPICE number, a bare parameter
+   name, or a braced expression *)
+let parse_value st =
+  let t = next st "a value" in
+  match t.Lexer.text with
+  | "{" ->
+    let e = parse_expr st in
+    expect st "}";
+    e
+  | tok -> (
+    match Repro_util.Si.parse_opt tok with
+    | Some v -> Num v
+    | None ->
+      if is_ident tok then Ref (String.lowercase_ascii tok, t.Lexer.pos)
+      else fail_tok st t "bad numeric value %S" tok)
+
+(* .param right-hand side: value, or the {range lo hi} template *)
+let parse_pvalue ~allow_range st =
+  match peek st with
+  | Some { Lexer.text = "{"; _ } -> (
+    st.i <- st.i + 1;
+    match peek st with
+    | Some ({ Lexer.text = t; _ } as tok)
+      when String.lowercase_ascii t = "range" ->
+      if not allow_range then
+        fail_tok st tok
+          "{range lo hi} templates are only allowed in top-level .param \
+           cards";
+      st.i <- st.i + 1;
+      let lo = parse_expr st in
+      let hi = parse_expr st in
+      expect st "}";
+      Range (lo, hi)
+    | _ ->
+      let e = parse_expr st in
+      expect st "}";
+      Value e)
+  | _ -> Value (parse_value st)
+
+(* ---- cards ---------------------------------------------------------- *)
+
+(* split the remaining tokens into positional tokens and key=value
+   pairs: positionals end at the first token followed by "=" *)
+let split_positional st =
+  let positional = ref [] in
+  let rec loop () =
+    match peek st with
+    | None -> ()
+    | Some t ->
+      let is_key =
+        st.i + 1 < Array.length st.toks
+        && st.toks.(st.i + 1).Lexer.text = "="
+      in
+      if is_key then ()
+      else begin
+        st.i <- st.i + 1;
+        positional := t :: !positional;
+        loop ()
+      end
+  in
+  loop ();
+  List.rev !positional
+
+let rec parse_assignments ?(allow_range = false) st acc =
+  if at_end st then List.rev acc
+  else begin
+    let key = next st "parameter name" in
+    if not (is_ident key.Lexer.text) then
+      fail_tok st key "expected param=value, got %S" key.Lexer.text;
+    expect st "=";
+    let v = parse_pvalue ~allow_range st in
+    parse_assignments ~allow_range st
+      ({ p_name = String.lowercase_ascii key.Lexer.text;
+         p_pos = key.Lexer.pos; p_value = v }
+      :: acc)
+  end
+
+(* key=value pairs where the value must be a plain expression *)
+let parse_overrides st =
+  parse_assignments st []
+  |> List.map (fun p ->
+         match p.p_value with
+         | Value e -> (p.p_name, e)
+         | Range _ ->
+           Loc.fail ?file:st.file p.p_pos
+             "{range lo hi} templates are only allowed in top-level .param \
+              cards")
+
+let parse_source st (card : Lexer.token) =
+  if at_end st then fail_tok st card "missing source value";
+  let kind = st.toks.(st.i) in
+  let rec values acc =
+    if at_end st then List.rev acc else values (parse_value st :: acc)
+  in
+  match String.lowercase_ascii kind.Lexer.text with
+  | "dc" ->
+    st.i <- st.i + 1;
+    let v = parse_value st in
+    if not (at_end st) then fail_tok st kind "DC source takes exactly one value";
+    Dc v
+  | "pulse" ->
+    st.i <- st.i + 1;
+    let vs = values [] in
+    if List.length vs <> 6 && List.length vs <> 7 then
+      fail_tok st kind "PULSE needs 6 or 7 values, got %d" (List.length vs);
+    Pulse vs
+  | "sin" ->
+    st.i <- st.i + 1;
+    let vs = values [] in
+    if List.length vs <> 3 && List.length vs <> 6 then
+      fail_tok st kind "SIN needs 3 or 6 values, got %d" (List.length vs);
+    Sin vs
+  | "pwl" ->
+    st.i <- st.i + 1;
+    let vs = values [] in
+    if List.length vs = 0 || List.length vs mod 2 <> 0 then
+      fail_tok st kind "PWL needs an even number of values";
+    Pwl vs
+  | _ ->
+    let v = parse_value st in
+    if not (at_end st) then
+      fail_tok st kind "unsupported source %S or wrong argument count"
+        kind.Lexer.text;
+    Dc v
+
+let node_tok st what =
+  let t = next st what in
+  match t.Lexer.text with
+  | "{" | "}" | "=" | "(" | ")" ->
+    fail_tok st t "expected %s, got %S" what t.Lexer.text
+  | text -> text
+
+let parse_element st (card : Lexer.token) =
+  let name = card.Lexer.text in
+  let pos = card.Lexer.pos in
+  match Char.lowercase_ascii name.[0] with
+  | 'r' | 'c' ->
+    let n1 = node_tok st "a node" in
+    let n2 = node_tok st "a node" in
+    let value = parse_value st in
+    if not (at_end st) then
+      fail_tok st card "%c card needs: name n1 n2 value"
+        (Char.uppercase_ascii name.[0]);
+    if Char.lowercase_ascii name.[0] = 'r' then R { name; pos; n1; n2; value }
+    else C { name; pos; n1; n2; value }
+  | 'v' | 'i' ->
+    let npos = node_tok st "a node" in
+    let nneg = node_tok st "a node" in
+    let src = parse_source st card in
+    if Char.lowercase_ascii name.[0] = 'v' then V { name; pos; npos; nneg; src }
+    else I { name; pos; npos; nneg; src }
+  | 'm' -> begin
+    let positional = split_positional st in
+    let params = parse_overrides st in
+    let d, g, s, bulk, model =
+      match positional with
+      | [ d; g; s; m ] -> (d, g, s, None, m)
+      | [ d; g; s; b; m ] -> (d, g, s, Some b.Lexer.text, m)
+      | _ -> fail_tok st card "M card needs: name d g s [b] model W= L="
+    in
+    let find key =
+      match List.assoc_opt key params with
+      | Some v -> v
+      | None -> fail_tok st card "M card missing %s=" (String.uppercase_ascii key)
+    in
+    M
+      {
+        name;
+        pos;
+        drain = d.Lexer.text;
+        gate = g.Lexer.text;
+        source = s.Lexer.text;
+        bulk;
+        model = model.Lexer.text;
+        model_pos = model.Lexer.pos;
+        w = find "w";
+        l = find "l";
+      }
+  end
+  | 'x' -> begin
+    let positional = split_positional st in
+    let overrides = parse_overrides st in
+    match List.rev positional with
+    | [] | [ _ ] -> fail_tok st card "X card needs nodes and a subcircuit name"
+    | sub :: rev_nodes ->
+      X
+        {
+          name;
+          pos;
+          nodes = List.rev_map (fun (t : Lexer.token) -> t.Lexer.text) rev_nodes;
+          sub = String.lowercase_ascii sub.Lexer.text;
+          sub_pos = sub.Lexer.pos;
+          overrides;
+        }
+  end
+  | _ -> fail_tok st card "unknown card %S" name
+
+let parse_model st (card : Lexer.token) =
+  let name = next st "a model name" in
+  let kind = next st "a model kind" in
+  let m_kind =
+    match String.lowercase_ascii kind.Lexer.text with
+    | "nmos" -> `Nmos
+    | "pmos" -> `Pmos
+    | k -> fail_tok st kind "unknown model kind %S" k
+  in
+  let m_params =
+    parse_assignments st []
+    |> List.map (fun p ->
+           match p.p_value with
+           | Value e -> (p.p_name, p.p_pos, e)
+           | Range _ ->
+             Loc.fail ?file:st.file p.p_pos
+               "{range lo hi} templates are only allowed in top-level .param \
+                cards")
+  in
+  ignore card;
+  { m_name = name.Lexer.text; m_pos = name.Lexer.pos; m_kind; m_params }
+
+(* ---- deck ----------------------------------------------------------- *)
+
+type accum = {
+  mutable a_elements : element list;  (* reversed *)
+  mutable a_subs : subckt list;       (* reversed *)
+  mutable a_params : param_def list;  (* reversed *)
+}
+
+let deck ?file text =
+  let cards = Array.of_list (Lexer.tokenize ?file text) in
+  let models = ref [] in
+  let cursor = ref 0 in
+  (* parse cards into [acc] until EOF (depth 0) or the matching .ends;
+     .subckt recurses, so definitions nest to any depth *)
+  let rec parse_body ~top ~opened acc =
+    if !cursor >= Array.length cards then
+      match opened with
+      | None -> ()
+      | Some (name, pos) ->
+        Loc.fail ?file pos ".subckt %s has no matching .ends" name
+    else begin
+      let card = cards.(!cursor) in
+      incr cursor;
+      match card with
+      | [] -> parse_body ~top ~opened acc
+      | head :: rest -> (
+        let st = of_card file rest in
+        let lc = String.lowercase_ascii head.Lexer.text in
+        if String.length lc > 0 && lc.[0] = '.' then
+          match lc with
+          | ".end" -> parse_body ~top ~opened acc
+          | ".ends" -> (
+            match opened with
+            | Some _ -> () (* closes this body; caller resumes *)
+            | None -> fail_tok st head ".ends without a matching .subckt")
+          | ".param" ->
+            let defs = parse_assignments ~allow_range:top st [] in
+            if defs = [] then fail_tok st head ".param needs name = value";
+            acc.a_params <- List.rev_append defs acc.a_params;
+            parse_body ~top ~opened acc
+          | ".model" ->
+            models := parse_model st head :: !models;
+            parse_body ~top ~opened acc
+          | ".subckt" -> (
+            match peek st with
+            | None -> fail_tok st head ".subckt needs a name"
+            | Some name_tok ->
+              st.i <- st.i + 1;
+              let ports = split_positional st in
+              let defaults =
+                parse_assignments st []
+                |> List.map (fun p ->
+                       match p.p_value with
+                       | Value _ -> p
+                       | Range _ ->
+                         Loc.fail ?file p.p_pos
+                           "{range lo hi} templates are only allowed in \
+                            top-level .param cards")
+              in
+              let body =
+                { a_elements = []; a_subs = []; a_params = List.rev defaults }
+              in
+              let s_name = String.lowercase_ascii name_tok.Lexer.text in
+              parse_body ~top:false ~opened:(Some (s_name, name_tok.Lexer.pos))
+                body;
+              acc.a_subs <-
+                {
+                  s_name;
+                  s_pos = name_tok.Lexer.pos;
+                  ports =
+                    List.map (fun (t : Lexer.token) -> t.Lexer.text) ports;
+                  s_params = List.rev body.a_params;
+                  s_elements = List.rev body.a_elements;
+                  s_subs = List.rev body.a_subs;
+                }
+                :: acc.a_subs;
+              parse_body ~top ~opened acc)
+          | d ->
+            fail_tok st head "unsupported directive %S" d
+        else begin
+          acc.a_elements <- parse_element st head :: acc.a_elements;
+          parse_body ~top ~opened acc
+        end)
+    end
+  in
+  let acc = { a_elements = []; a_subs = []; a_params = [] } in
+  parse_body ~top:true ~opened:None acc;
+  {
+    elements = List.rev acc.a_elements;
+    subs = List.rev acc.a_subs;
+    models = List.rev !models;
+    params = List.rev acc.a_params;
+  }
+
+let deck_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> deck ~file:path (In_channel.input_all ic))

@@ -1,0 +1,19 @@
+(** Recursive-descent parser: lexed cards to the typed {!Ast.deck}.
+
+    Understands R/C/V/I/M/X element cards, [.param] (with arithmetic
+    expressions and [{range lo hi}] templates), [.model] (NMOS/PMOS),
+    nested [.subckt]/[.ends] definitions with header parameter defaults,
+    and [.end].  All errors are {!Loc.Netlist_error}s pointing at the
+    offending token. *)
+
+val deck : ?file:string -> string -> Ast.deck
+(** Parse deck text. *)
+
+val deck_of_file : string -> Ast.deck
+(** Parse a file ([file] is recorded for error messages).
+    @raise Sys_error when the file cannot be read. *)
+
+val expr_of_tokens :
+  ?file:string -> Lexer.token list -> Ast.expr
+(** Parse one complete arithmetic expression from already-lexed tokens
+    (exposed for the tokenizer/expression property tests). *)

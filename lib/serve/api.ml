@@ -267,6 +267,45 @@ let query t id body =
       Telemetry.incr ~by:(Array.length points) "serve.points_queried";
       ok (render_query_response sc ~id results))
 
+(* minimal query-string accessor over the raw target — the API's only
+   query parameter is export's ?format=..., so there is no percent
+   decoding here (format values are plain tokens) *)
+let query_param (req : Http.request) name =
+  match String.index_opt req.Http.target '?' with
+  | None -> None
+  | Some i ->
+    let qs =
+      String.sub req.Http.target (i + 1)
+        (String.length req.Http.target - i - 1)
+    in
+    List.find_map
+      (fun pair ->
+        match String.index_opt pair '=' with
+        | Some j when String.sub pair 0 j = name ->
+          Some (String.sub pair (j + 1) (String.length pair - j - 1))
+        | _ -> None)
+      (String.split_on_char '&' qs)
+
+(* renderers are pure functions of the table, so the body is
+   byte-identical to `hieropt export` over the same model directory *)
+let export t (req : Http.request) id =
+  let sc = Domain.DLS.get scratch_key in
+  match local_table t sc id with
+  | Error e -> registry_error e
+  | Ok table -> (
+    let render f =
+      Telemetry.incr "serve.exports";
+      ( 200,
+        [ ("Content-Type", "text/plain; charset=utf-8") ],
+        f table )
+    in
+    match Option.value ~default:"va" (query_param req "format") with
+    | "va" | "verilog-a" -> render Repro_netlist.Export.verilog_a
+    | "spice" -> render (fun table -> Repro_netlist.Export.spice table)
+    | other ->
+      bad_request
+        (Printf.sprintf "format: expected va or spice, got %S" other))
+
 let verify t id body =
   let sc = Domain.DLS.get scratch_key in
   match local_table t sc id with
@@ -295,6 +334,7 @@ let endpoint_of_path = function
   | [ "models" ] -> "models"
   | [ "models"; _; "query" ] -> "query"
   | [ "models"; _; "verify" ] -> "verify"
+  | [ "models"; _; "export" ] -> "export"
   | _ -> "other"
 
 let handle t (req : Http.request) =
@@ -315,9 +355,11 @@ let handle t (req : Http.request) =
     | "GET", [ "models" ] -> models t
     | "POST", [ "models"; id; "query" ] -> query t id req.body
     | "POST", [ "models"; id; "verify" ] -> verify t id req.body
+    | "GET", [ "models"; id; "export" ] -> export t req id
     | _, [ "healthz" ] | _, [ "metrics" ] | _, [ "models" ] ->
       method_not_allowed "GET"
     | _, [ "models"; _; ("query" | "verify") ] -> method_not_allowed "POST"
+    | _, [ "models"; _; "export" ] -> method_not_allowed "GET"
     | _ -> not_found ()
   with
   | response -> response

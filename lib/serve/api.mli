@@ -22,7 +22,13 @@
       and serialises into a reused per-reactor scratch buffer;
     - [POST /v1/models/:id/verify] — parameter recovery: a
       5-performance point back to the 7 transistor dimensions
-      ({!Hieropt.Perf_table.params_of_perf}).
+      ({!Hieropt.Perf_table.params_of_perf});
+    - [GET /v1/models/:id/export?format=va|spice] — the fitted table
+      rendered by {!Repro_netlist.Export} as a Verilog-A [$table_model]
+      module ([va], the default; [verilog-a] is accepted) or a SPICE
+      subcircuit ([spice]), served as [text/plain].  The renderers are
+      pure functions of the table, so the body is byte-identical to
+      [hieropt export] over the same model directory.
 
     Unknown paths map to 404, wrong verbs on known paths to 405,
     malformed bodies to 400, load failures and handler exceptions to

@@ -1,4 +1,4 @@
-(* Source, Netlist, Parser, Process, Topologies tests *)
+(* Source, Netlist, netlist front-end, Process, Topologies tests *)
 module C = Repro_circuit
 module Source = C.Source
 module Netlist = C.Netlist
@@ -108,9 +108,9 @@ let test_to_spice_mentions_all () =
       if not (contains deck frag) then Alcotest.failf "deck missing %S" frag)
     [ "R1"; "R2"; "Vin"; ".end" ]
 
-(* ---- parser ---- *)
+(* ---- netlist front end (repro_netlist) ---- *)
 
-let parse = C.Parser.parse
+let parse s = Repro_netlist.Elab.netlist_of_string s
 
 let test_parse_rc () =
   let net = parse "R1 in out 1k\nC1 out 0 1n\nVin in 0 2.5\n.end\n" in
@@ -168,8 +168,8 @@ let test_parse_errors () =
   let expect_error deck =
     try
       ignore (parse deck);
-      Alcotest.failf "expected Parse_error for %S" deck
-    with C.Parser.Parse_error _ -> ()
+      Alcotest.failf "expected Netlist_error for %S" deck
+    with Repro_netlist.Loc.Netlist_error _ -> ()
   in
   expect_error "R1 a b\n";
   expect_error "R1 a b abc\n";
@@ -250,7 +250,7 @@ Xp in 0 pair
 let test_parse_subckt_errors () =
   let expect_error deck =
     try ignore (parse deck); Alcotest.failf "expected error for %S" deck
-    with C.Parser.Parse_error _ -> ()
+    with Repro_netlist.Loc.Netlist_error _ -> ()
   in
   expect_error ".subckt foo a
 R1 a 0 1k
@@ -263,13 +263,7 @@ R1 a b 1k
 .ends
 V1 n 0 1
 X1 n foo
-";
-  (* port count mismatch *)
-  expect_error ".subckt o a
-.subckt i b
-.ends
-.ends
-" (* nested defs *)
+" (* port count mismatch *)
 
 (* ---- process ---- *)
 

@@ -19,6 +19,7 @@ let () =
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("netlist", Test_netlist.suite);
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("dist", Test_dist.suite);

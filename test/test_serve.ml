@@ -404,6 +404,43 @@ let test_serve_endpoints () =
   Alcotest.(check int) "400 missing field" 400
     (status "/v1/models/default/query" "POST" "{\"kvco\":1}")
 
+let test_serve_export () =
+  with_server @@ fun ~loaded _server client ->
+  let get path =
+    match S.Client.get client path with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "GET %s: %s" path (S.Client.error_to_string e)
+  in
+  (* the served bytes must equal the CLI exporter's output over the
+     same loaded table — both call the same pure renderers *)
+  let va = get "/v1/models/default/export?format=va" in
+  Alcotest.(check int) "va status" 200 va.Http.status;
+  Alcotest.(check (option string))
+    "plain text" (Some "text/plain; charset=utf-8")
+    (Http.header "content-type" va.Http.resp_headers);
+  Alcotest.(check string) "va = local renderer"
+    (Repro_netlist.Export.verilog_a loaded)
+    va.Http.resp_body;
+  Alcotest.(check string) "va is the default format" va.Http.resp_body
+    (get "/v1/models/default/export").Http.resp_body;
+  let spice = get "/v1/models/default/export?format=spice" in
+  Alcotest.(check string) "spice = local renderer"
+    (Repro_netlist.Export.spice loaded)
+    spice.Http.resp_body;
+  (* and the SPICE body round-trips through the front end *)
+  let net =
+    Repro_netlist.Elab.subckt_netlist
+      (Repro_netlist.Parse.deck spice.Http.resp_body)
+      "hieropt_vco"
+  in
+  Alcotest.(check bool) "served deck re-parses" true
+    (Repro_circuit.Netlist.mos_count net > 0);
+  Alcotest.(check int) "unknown format is a 400" 400
+    (get "/v1/models/default/export?format=vhdl").Http.status;
+  match S.Client.post client "/v1/models/default/export" ~body:"" with
+  | Ok r -> Alcotest.(check int) "wrong verb is a 405" 405 r.Http.status
+  | Error e -> Alcotest.failf "POST export: %s" (S.Client.error_to_string e)
+
 let test_serve_legacy_aliases () =
   with_server @@ fun ~loaded:_ _server client ->
   let counter name =
@@ -749,6 +786,7 @@ let suite =
       test_serve_query_bit_identical;
     Alcotest.test_case "serve verify" `Quick test_serve_verify;
     Alcotest.test_case "serve endpoints" `Quick test_serve_endpoints;
+    Alcotest.test_case "serve export" `Quick test_serve_export;
     Alcotest.test_case "serve legacy aliases" `Quick test_serve_legacy_aliases;
     Alcotest.test_case "serve query fast-path bytes" `Quick
       test_serve_query_fast_path_bytes;
