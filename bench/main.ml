@@ -424,18 +424,34 @@ let dist_bench () =
     | Error msg -> failwith ("dist bench: " ^ msg)
     | Ok c -> f c (List.map fst workers) (List.map snd workers)
   in
+  (* chunk queue-wait (time between a chunk entering the coordinator's
+     work queue and a dispatcher picking it up) separates "waiting for
+     a free worker" from "worker computing" in the scaling numbers *)
+  let queue_wait = Repro_obs.Histogram.get "dist.queue_wait" in
+  let qsnap () =
+    let s = Repro_obs.Histogram.stats queue_wait in
+    (s.Repro_obs.Histogram.count, s.Repro_obs.Histogram.sum)
+  in
+  let qdelta (c0, s0) =
+    let c1, s1 = qsnap () in
+    if c1 > c0 then (s1 -. s0) /. float_of_int (c1 - c0) else 0.0
+  in
   let local, t_local =
     timed (fun () -> Repro_moo.Problem.serial_evaluator problem points)
   in
+  let q_1w = qsnap () in
   let r1, t_1w =
     with_workers 1 (fun c _ _ ->
         timed (fun () -> D.Coordinator.eval_bulk c ~salt problem points))
   in
-  let r2, t_2w, t_warm, hit_ratio =
+  let qw_1w = qdelta q_1w in
+  let q_2w = qsnap () in
+  let r2, t_2w, qw_2w, t_warm, hit_ratio =
     with_workers 2 (fun c ws _ ->
         let r2, t_2w =
           timed (fun () -> D.Coordinator.eval_bulk c ~salt problem points)
         in
+        let qw_2w = qdelta q_2w in
         let hits_before =
           List.fold_left (fun a w -> a + E.Cache.hits (D.Worker.cache w)) 0 ws
         in
@@ -446,7 +462,11 @@ let dist_bench () =
           List.fold_left (fun a w -> a + E.Cache.hits (D.Worker.cache w)) 0 ws
           - hits_before
         in
-        (r2, t_2w, t_warm, float_of_int warm_hits /. float_of_int (Array.length points)))
+        ( r2,
+          t_2w,
+          qw_2w,
+          t_warm,
+          float_of_int warm_hits /. float_of_int (Array.length points) ))
   in
   (* one worker is killed a moment into the batch: the wall time of the
      still-completing dispatch bounds the reassignment cost *)
@@ -468,6 +488,8 @@ let dist_bench () =
   metric "dist" "eval_1w_s" t_1w;
   metric "dist" "eval_2w_s" t_2w;
   metric "dist" "speedup_2v1" (t_1w /. Float.max t_2w 1e-9);
+  metric "dist" "queue_wait_1w_ms" (qw_1w *. 1e3);
+  metric "dist" "queue_wait_2w_ms" (qw_2w *. 1e3);
   metric "dist" "warm_s" t_warm;
   metric "dist" "warm_hit_ratio" hit_ratio;
   metric "dist" "reassign_s" t_kill;
@@ -475,10 +497,11 @@ let dist_bench () =
     "circuit-level batch of %d candidates over loopback eval-workers:\n"
     (Array.length points);
   Printf.printf "  local        %7.2f s\n" t_local;
-  Printf.printf "  1 worker     %7.2f s   bit-identical: %b\n" t_1w
-    (identical local r1);
-  Printf.printf "  2 workers    %7.2f s   speedup %.2fx   bit-identical: %b\n"
-    t_2w
+  Printf.printf "  1 worker     %7.2f s   mean chunk queue-wait %6.1f ms   bit-identical: %b\n"
+    t_1w (qw_1w *. 1e3) (identical local r1);
+  Printf.printf
+    "  2 workers    %7.2f s   mean chunk queue-wait %6.1f ms   speedup %.2fx   bit-identical: %b\n"
+    t_2w (qw_2w *. 1e3)
     (t_1w /. Float.max t_2w 1e-9)
     (identical local r2);
   Printf.printf "  warm re-run  %7.2f s   hit ratio %.2f\n" t_warm hit_ratio;

@@ -194,12 +194,18 @@ let trace_t =
 
 (* sits INSIDE with_lifecycle so the trace is exported (via the
    Fun.protect finaliser) even when Checkpoint.Interrupted unwinds the
-   run before with_lifecycle turns it into exit 130 *)
-let with_trace trace f =
+   run before with_lifecycle turns it into exit 130.
+
+   GC capture is always on for CLI traces (quick_stat deltas on span
+   ends feed report --profile's allocation attribution), and the whole
+   run sits under a root "run" span so the self-time table telescopes
+   to exactly the traced wall time. *)
+let with_trace ?label trace f =
   match trace with
   | None -> f ()
   | Some path ->
-    Repro_obs.Trace.start ();
+    Repro_obs.Trace.start ~gc:true ();
+    Option.iter Repro_obs.Trace.set_process_label label;
     Fun.protect
       ~finally:(fun () ->
         Repro_obs.Trace.stop ();
@@ -207,7 +213,7 @@ let with_trace trace f =
         | n -> Fmt.epr "trace: %d events written to %s@." n path
         | exception Sys_error msg ->
           Fmt.epr "trace: cannot write %s: %s@." path msg)
-      f
+      (fun () -> Repro_obs.Trace.span "run" f)
 
 (* ---- simulate ---- *)
 
@@ -479,7 +485,7 @@ let flow_cmd =
        evaluation stays local (no shared model to check against) *)
     let remote = remote_of_workers ~cfg workers in
     with_lifecycle ~checkpoint_every @@ fun () ->
-    with_trace trace @@ fun () ->
+    with_trace ~label:"coordinator" trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run
         ~progress:(fun s -> Fmt.pr "[flow] %s@." s)
@@ -561,7 +567,7 @@ let system_cmd =
         ~cfg workers
     in
     with_lifecycle ~checkpoint_every @@ fun () ->
-    with_trace trace @@ fun () ->
+    with_trace ~label:"coordinator" trace @@ fun () ->
     let result =
       Hieropt.Hierarchy.run_system_level
         ~progress:(fun s -> Fmt.pr "[system] %s@." s)
@@ -714,7 +720,7 @@ let serve_cmd =
     setup_logging verbose;
     let registry = Repro_serve.Registry.create ~root:model_dir () in
     let api = Repro_serve.Api.create ~version ~registry () in
-    with_trace trace @@ fun () ->
+    with_trace ~label:"serve" trace @@ fun () ->
     let server =
       match
         Repro_serve.Server.start ~addr ~port ~reactors ~request_timeout ~api ()
@@ -790,7 +796,7 @@ let worker_cmd =
              --workers) runs over the same model.")
   in
   let run full scale jobs solver nominal_only netlist model_dir addr port
-      reactors request_timeout verbose =
+      reactors request_timeout trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -819,6 +825,7 @@ let worker_cmd =
     in
     let model = Option.map load_model model_dir in
     let worker = Repro_dist.Worker.create ~version ?model ~config:cfg () in
+    with_trace ~label:"worker" trace @@ fun () ->
     let server =
       match
         Repro_dist.Worker.serve ~addr ~port ~reactors ~request_timeout worker
@@ -829,6 +836,11 @@ let worker_cmd =
           (Unix.error_message code)
       | exception Failure msg -> die exit_serve "cannot start worker: %s" msg
     in
+    (* the bound port is only known now (--port 0 picks a free one);
+       re-label so trace merge can pair this process with the
+       coordinator's per-endpoint clock offsets *)
+    Repro_obs.Trace.set_process_label
+      (Printf.sprintf "worker:%d" (Repro_serve.Server.port server));
     Repro_serve.Server.install_signal_handlers server;
     Fmt.pr "eval worker on http://%s:%d (salt %s, problems: %s, %d jobs)@."
       addr
@@ -850,7 +862,7 @@ let worker_cmd =
     Term.(
       const run $ full_t $ scale_t $ jobs_t $ solver_t $ nominal_only_t
       $ netlist_t $ worker_model_dir_t $ addr_t $ port_t $ reactors_t
-      $ timeout_t $ verbose_t)
+      $ timeout_t $ trace_t $ verbose_t)
 
 (* ---- query ---- *)
 
@@ -1144,6 +1156,171 @@ let loadgen_cmd =
       $ duration_t $ warmup_t $ target_qps_t $ batch_t $ assert_qps_t
       $ assert_p99_t $ allow_errors_t $ verbose_t)
 
+(* ---- trace files ---- *)
+
+let read_file_or_die ~what path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg -> die 1 "cannot read %s: %s" what msg
+
+(* decode a --trace export (traceEvents plus the process "meta" header)
+   back into the typed form repro_prof analyses.  Unknown or malformed
+   events are skipped rather than fatal: a trace from a crashed process
+   should still merge and profile. *)
+let load_trace_process path =
+  let module J = Repro_serve.Json in
+  let body = read_file_or_die ~what:("trace " ^ path) path in
+  let j =
+    match J.of_string body with
+    | Ok j -> j
+    | Error msg -> die 1 "trace %s: invalid JSON: %s" path msg
+  in
+  let jstr name j =
+    match J.member name j with Some (J.Str s) -> Some s | _ -> None
+  in
+  let jnum name j =
+    match J.member name j with Some (J.Num x) -> Some x | _ -> None
+  in
+  let meta = J.member "meta" j in
+  let events =
+    match J.member "traceEvents" j with
+    | Some (J.Arr evs) -> evs
+    | _ -> die 1 "trace %s: no traceEvents array" path
+  in
+  (* args come back as strings exactly as the tracer recorded them;
+     counter values were emitted as JSON numbers, so re-render those
+     losslessly *)
+  let arg_string = function
+    | J.Str s -> s
+    | J.Num x -> J.float_repr x
+    | v -> J.to_string v
+  in
+  let event e =
+    match (jstr "name" e, jstr "ph" e) with
+    | Some name, Some ph when String.length ph = 1 ->
+      Some
+        {
+          Repro_prof.Event.name;
+          ph = ph.[0];
+          ts = Option.value ~default:0.0 (jnum "ts" e);
+          pid = int_of_float (Option.value ~default:0.0 (jnum "pid" e));
+          tid = int_of_float (Option.value ~default:0.0 (jnum "tid" e));
+          seq = int_of_float (Option.value ~default:(-1.0) (jnum "seq" e));
+          args =
+            (match J.member "args" e with
+            | Some (J.Obj kvs) ->
+              List.map (fun (k, v) -> (k, arg_string v)) kvs
+            | _ -> []);
+        }
+    | _ -> None
+  in
+  {
+    Repro_prof.Merge.label = Option.bind meta (jstr "label");
+    pid =
+      (match Option.bind meta (jnum "pid") with
+      | Some x -> int_of_float x
+      | None -> 0);
+    epoch = Option.value ~default:0.0 (Option.bind meta (jnum "epoch"));
+    trace = Option.value ~default:"" (Option.bind meta (jstr "trace"));
+    events = List.filter_map event events;
+  }
+
+(* ---- trace ---- *)
+
+let trace_merge_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt string "merged.trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the merged trace.")
+  in
+  let check_t =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the merged trace (balanced begin/end events, \
+             resolvable propagated parent ids, remote spans contained \
+             in their parents) and exit non-zero on problems.")
+  in
+  let files_t =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TRACE"
+          ~doc:"Coordinator trace first, then one file per worker.")
+  in
+  let run out check files verbose =
+    setup_logging verbose;
+    match files with
+    | [] -> assert false (* non_empty *)
+    | base_path :: worker_paths ->
+      let base = load_trace_process base_path in
+      let workers = List.map load_trace_process worker_paths in
+      (* every process mints its own file-level id; participation in the
+         coordinator's trace shows up as worker spans tagged with the
+         propagated id.  A worker whose tagged spans all name a
+         different trace heard from some other coordinator — almost
+         certainly the wrong file. *)
+      List.iter2
+        (fun path (w : Repro_prof.Merge.process) ->
+          let tags =
+            List.filter_map
+              (fun (e : Repro_prof.Event.t) ->
+                if e.ph = 'B' then Repro_prof.Event.arg "trace" e.args
+                else None)
+              w.events
+          in
+          if
+            base.Repro_prof.Merge.trace <> ""
+            && tags <> []
+            && not (List.mem base.Repro_prof.Merge.trace tags)
+          then
+            Fmt.epr
+              "warning: no span in %s carries the coordinator's trace id \
+               %s — is it from this run? (merging anyway)@."
+              path base.Repro_prof.Merge.trace)
+        worker_paths workers;
+      let events, labels = Repro_prof.Merge.merge ~base ~workers in
+      let n = Repro_prof.Merge.export ~path:out ~labels events in
+      Fmt.pr "merged %d process%s, %d events -> %s@."
+        (1 + List.length workers)
+        (if workers = [] then "" else "es")
+        n out;
+      if check then begin
+        let errors =
+          Repro_prof.Merge.validate
+            ~coordinator_pid:base.Repro_prof.Merge.pid events
+        in
+        match errors with
+        | [] -> Fmt.pr "trace is coherent@."
+        | errors ->
+          List.iter (fun e -> Fmt.epr "error: %s@." e) errors;
+          die 1 "%d validation error%s" (List.length errors)
+            (if List.length errors = 1 then "" else "s")
+      end
+  in
+  let info =
+    Cmd.info "merge"
+      ~doc:
+        "Assemble per-process --trace files from a distributed run into \
+         one Chrome trace on the coordinator's timeline, correcting \
+         worker clocks with the per-endpoint offsets estimated from the \
+         request/response envelopes."
+  in
+  Cmd.v info Term.(const run $ out_t $ check_t $ files_t $ verbose_t)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Work with Chrome traces recorded by --trace.")
+    [ trace_merge_cmd ]
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -1168,6 +1345,25 @@ let report_cmd =
     Arg.(
       value & opt int 10
       & info [ "top" ] ~docv:"N" ~doc:"How many slowest spans to list.")
+  in
+  let profile_t =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Full profile of the --trace file instead of the slowest-span \
+             list: per-span-name self-time table, GC/allocation \
+             attribution, and per-domain utilization for the whole run \
+             and each phase.")
+  in
+  let folded_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write self-time-weighted folded stacks to FILE, ready for \
+             flamegraph.pl (implies $(b,--profile)).")
   in
   let jstr name j =
     match J.member name j with Some (J.Str s) -> Some s | _ -> None
@@ -1347,14 +1543,156 @@ let report_cmd =
             (t0 /. 1e3))
       spans
   in
-  let run model_dir journal trace top verbose =
-    setup_logging verbose;
-    let journal_path =
-      Option.value journal
-        ~default:(Filename.concat model_dir Repro_obs.Journal.default_file)
+  let report_profile path top folded =
+    let module A = Repro_prof.Analysis in
+    let module Ev = Repro_prof.Event in
+    let p = load_trace_process path in
+    let events = p.Repro_prof.Merge.events in
+    let roots = Ev.spans events in
+    if roots = [] then die 1 "trace %s contains no spans" path;
+    let unbalanced = Ev.unbalanced events in
+    let t0 = List.fold_left (fun a s -> min a s.Ev.t0) infinity roots in
+    let t1 = List.fold_left (fun a s -> max a s.Ev.t1) neg_infinity roots in
+    (* process names: the meta label for a single-process file, the
+       process_name metadata events for a merged one *)
+    let plabels =
+      let from_meta =
+        match p.Repro_prof.Merge.label with
+        | Some l -> [ (p.Repro_prof.Merge.pid, l) ]
+        | None -> []
+      in
+      List.fold_left
+        (fun acc (e : Ev.t) ->
+          match
+            (e.Ev.ph, e.Ev.name, Repro_prof.Event.arg "name" e.Ev.args)
+          with
+          | 'M', "process_name", Some l when not (List.mem_assoc e.Ev.pid acc)
+            ->
+            (e.Ev.pid, l) :: acc
+          | _ -> acc)
+        from_meta events
     in
-    report_journal (read_journal journal_path);
-    Option.iter (fun path -> report_trace path top) trace
+    let pname pid =
+      match List.assoc_opt pid plabels with
+      | Some l -> l
+      | None -> Printf.sprintf "pid%d" pid
+    in
+    (* The CLI wraps every traced run in a root "run" span, so its
+       duration IS that process's traced wall time; self-times
+       telescope to the root durations, which is how the table accounts
+       for ~100% of it.  In a merged trace every process has a "run"
+       span and workers outlive the coordinator, so prefer the process
+       labelled coordinator as the wall reference. *)
+    let wall =
+      let runs =
+        List.filter (fun (s : Ev.span) -> s.Ev.name = "run") roots
+      in
+      let coord =
+        List.find_opt (fun (s : Ev.span) -> pname s.Ev.pid = "coordinator")
+          runs
+      in
+      match (coord, runs) with
+      | Some s, _ | None, s :: _ -> Ev.dur s
+      | None, [] -> t1 -. t0
+    in
+    let rows = A.self_time roots in
+    let attributed = A.total_self rows in
+    Fmt.pr "@.profile of %s  (%d events, %d spans%s)@." path
+      (List.length events)
+      (List.length (Ev.flatten roots))
+      (if unbalanced > 0 then
+         Printf.sprintf ", %d unbalanced events" unbalanced
+       else "");
+    Fmt.pr
+      "wall %9.3f ms;  %.3f ms (%.1f%%) attributed to %d span names \
+       (concurrent domains can push this past 100%%)@."
+      (wall /. 1e3) (attributed /. 1e3)
+      (if wall > 0.0 then 100.0 *. attributed /. wall else 0.0)
+      (List.length rows);
+    Fmt.pr "@.self-time by span name (top %d of %d):@."
+      (min top (List.length rows))
+      (List.length rows);
+    Fmt.pr "  %-20s %7s %12s %12s %7s@." "span" "count" "total" "self"
+      "self%";
+    List.iteri
+      (fun i (r : A.row) ->
+        if i < top then
+          Fmt.pr "  %-20s %7d %9.3f ms %9.3f ms %6.1f%%@." r.A.name r.A.count
+            (r.A.total_us /. 1e3) (r.A.self_us /. 1e3)
+            (if wall > 0.0 then 100.0 *. r.A.self_us /. wall else 0.0))
+      rows;
+    (* allocation attribution — present when the trace was recorded with
+       GC capture (hieropt --trace always switches it on) *)
+    let gc_rows =
+      List.filter
+        (fun (r : A.row) ->
+          r.A.gc_minor_total > 0.0 || r.A.gc_major_total > 0.0)
+        rows
+      |> List.sort (fun (a : A.row) b ->
+             compare b.A.gc_minor_self a.A.gc_minor_self)
+    in
+    if gc_rows <> [] then begin
+      Fmt.pr "@.allocation by span name (top %d of %d, minor words):@."
+        (min top (List.length gc_rows))
+        (List.length gc_rows);
+      Fmt.pr "  %-20s %12s %12s %10s %10s@." "span" "self" "total"
+        "minor gcs" "major gcs";
+      List.iteri
+        (fun i (r : A.row) ->
+          if i < top then
+            Fmt.pr "  %-20s %12.4g %12.4g %10d %10d@." r.A.name
+              r.A.gc_minor_self r.A.gc_minor_total r.A.gc_minor_cols
+              r.A.gc_major_cols)
+        gc_rows
+    end;
+    let print_utilization ~what ~t0 ~t1 =
+      match A.utilization roots ~t0 ~t1 with
+      | [] -> ()
+      | util ->
+        Fmt.pr "  %-18s" what;
+        List.iter
+          (fun ((pid, tid), f) ->
+            Fmt.pr "  %s/d%d %5.1f%%" (pname pid) tid (100.0 *. f))
+          util;
+        Fmt.pr "@."
+    in
+    Fmt.pr "@.domain utilization (pool busy-time over window):@.";
+    print_utilization ~what:"whole run" ~t0 ~t1;
+    List.iter
+      (fun (s : Ev.span) ->
+        if String.length s.Ev.name > 6 && String.sub s.Ev.name 0 6 = "phase."
+        then print_utilization ~what:s.Ev.name ~t0:s.Ev.t0 ~t1:s.Ev.t1)
+      (Ev.flatten roots);
+    match folded with
+    | None -> ()
+    | Some out ->
+      let oc =
+        try open_out out
+        with Sys_error msg -> die 1 "cannot write %s: %s" out msg
+      in
+      output_string oc (A.folded ~labels:plabels roots);
+      close_out oc;
+      Fmt.pr "@.folded stacks -> %s@." out
+  in
+  let run model_dir journal trace top profile folded verbose =
+    setup_logging verbose;
+    let profiling = profile || folded <> None in
+    if profiling && trace = None then
+      die 1 "--profile needs --trace FILE (a trace recorded with --trace)";
+    (* --profile is a trace analysis: only read the journal when one was
+       named explicitly, or in the default journal-report mode *)
+    if (not profiling) || journal <> None then begin
+      let journal_path =
+        Option.value journal
+          ~default:(Filename.concat model_dir Repro_obs.Journal.default_file)
+      in
+      report_journal (read_journal journal_path)
+    end;
+    Option.iter
+      (fun path ->
+        if profiling then report_profile path top folded
+        else report_trace path top)
+      trace
   in
   let info =
     Cmd.info "report"
@@ -1362,11 +1700,13 @@ let report_cmd =
         "Summarise a run journal: per-phase time breakdown, \
          generation-by-generation GA convergence (front size, spread, \
          hypervolume), checkpoint activity and warnings — plus the \
-         slowest spans of a recorded trace."
+         slowest spans of a recorded trace, or with $(b,--profile) a \
+         full self-time/GC/utilization profile of it."
   in
   Cmd.v info
     Term.(
-      const run $ model_dir_t $ journal_t $ trace_file_t $ top_t $ verbose_t)
+      const run $ model_dir_t $ journal_t $ trace_file_t $ top_t $ profile_t
+      $ folded_t $ verbose_t)
 
 let main_cmd =
   let doc =
@@ -1385,6 +1725,7 @@ let main_cmd =
       query_cmd;
       loadgen_cmd;
       worker_cmd;
+      trace_cmd;
       report_cmd;
     ]
 

@@ -135,11 +135,15 @@ let mark_dead t w =
    local evaluation, so the dispatch always completes.  Results are
    written by item index, so the outcome is independent of who computed
    what — the determinism contract. *)
+(* time-in-queue for coordinator work items, from (re)enqueue to a
+   worker thread claiming the chunk — always-on, like the pool's *)
+let queue_wait = lazy (Repro_obs.Histogram.get "dist.queue_wait")
+
 let dispatch t ~workers ~n ~remote_chunk =
   let leftovers q =
     let rec drain acc =
       match Queue.take_opt q with
-      | Some c -> drain (c :: acc)
+      | Some (lo, len, _) -> drain ((lo, len) :: acc)
       | None -> List.rev acc
     in
     drain []
@@ -149,11 +153,19 @@ let dispatch t ~workers ~n ~remote_chunk =
     match workers with
     | [] -> [ (0, n) ]
     | ws ->
+      Repro_obs.Trace.span "dist.dispatch"
+        ~args:
+          [
+            ("items", string_of_int n);
+            ("workers", string_of_int (List.length ws));
+          ]
+      @@ fun () ->
       let chunk = max 1 (n / (List.length ws * 4)) in
       let queue = Queue.create () in
       let lo = ref 0 in
+      let now () = Unix.gettimeofday () in
       while !lo < n do
-        Queue.add (!lo, min chunk (n - !lo)) queue;
+        Queue.add (!lo, min chunk (n - !lo), now ()) queue;
         lo := !lo + chunk
       done;
       let qmutex = Mutex.create () in
@@ -161,11 +173,16 @@ let dispatch t ~workers ~n ~remote_chunk =
         Mutex.lock qmutex;
         let c = Queue.take_opt queue in
         Mutex.unlock qmutex;
-        c
+        match c with
+        | Some (lo, len, enqueued) ->
+          Repro_obs.Histogram.observe (Lazy.force queue_wait)
+            (now () -. enqueued);
+          Some (lo, len)
+        | None -> None
       in
-      let requeue c =
+      let requeue (lo, len) =
         Mutex.lock qmutex;
-        Queue.add c queue;
+        Queue.add (lo, len, now ()) queue;
         Mutex.unlock qmutex
       in
       let serve_worker w =
@@ -188,11 +205,52 @@ let dispatch t ~workers ~n ~remote_chunk =
       List.iter Thread.join threads;
       leftovers queue
 
+(* While tracing, each remote call carries the trace id, the innermost
+   open span (the dispatch/batch span — dispatcher sys-threads share
+   the main domain's span stack, which is stable while they run) and a
+   wall-clock send stamp.  The worker's echo closes the envelope: one
+   [dist.clock] instant per round trip records the NTP-style offset
+   estimate [trace merge] uses to place that worker on this timeline. *)
+let mint_ctx () =
+  if not (Repro_obs.Trace.enabled ()) then None
+  else
+    Some
+      {
+        Protocol.trace = Repro_obs.Trace.id ();
+        parent =
+          Option.value ~default:(-1) (Repro_obs.Trace.current_span ());
+        t_sent = Unix.gettimeofday ();
+      }
+
+let record_clock w (ctx : Protocol.trace_ctx) rj =
+  let t_reply_recv = Unix.gettimeofday () in
+  match Protocol.trace_echo_of_json rj with
+  | None -> ()
+  | Some e ->
+    let delta =
+      Repro_prof.Merge.offset ~t_send:ctx.Protocol.t_sent
+        ~t_recv:e.Protocol.t_recv ~t_reply_sent:e.Protocol.t_replied
+        ~t_reply_recv
+    in
+    Repro_obs.Trace.instant "dist.clock"
+      ~args:
+        [
+          ("endpoint", w.endpoint);
+          ("delta_s", Printf.sprintf "%.9f" delta);
+          ("span", string_of_int e.Protocol.span);
+        ]
+
 let post_json w target j =
-  match Client.post w.client target ~body:(Json.to_string j) with
+  let ctx = mint_ctx () in
+  match
+    Client.post w.client target
+      ~body:(Json.to_string (Protocol.with_trace_ctx ctx j))
+  with
   | Ok { Http.status = 200; resp_body; _ } -> (
     match Json.of_string resp_body with
-    | Ok j -> Some j
+    | Ok rj ->
+      Option.iter (fun c -> record_clock w c rj) ctx;
+      Some rj
     | Error _ -> None)
   | Ok _ | Error _ -> None
 

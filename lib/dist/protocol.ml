@@ -156,6 +156,74 @@ let mc_request_of_json j =
       | exception Failure msg -> Error msg))
   | Error msg, _, _ | _, Error msg, _ | _, _, Error msg -> Error msg
 
+(* ---- trace propagation envelope ----------------------------------- *)
+
+(* Optional profiling side-channel on eval/MC exchanges: the
+   coordinator stamps requests with its trace id, the span the work
+   belongs to, and a wall-clock send time; the worker echoes its own
+   span id plus wall-clock receive/reply times.  The four stamps give
+   an NTP-style clock-offset estimate per round trip, and the ids let
+   [trace merge] nest worker spans under their coordinator parents.
+   The envelope is additive JSON — untraced peers ignore it — and
+   never influences evaluation, preserving bit-identical results. *)
+
+type trace_ctx = { trace : string; parent : int; t_sent : float }
+type trace_echo = { span : int; t_recv : float; t_replied : float }
+
+let add_field name v = function
+  | Json.Obj fields -> Json.Obj (fields @ [ (name, v) ])
+  | j -> j
+
+let with_trace_ctx ctx j =
+  match ctx with
+  | None -> j
+  | Some c ->
+    add_field "trace"
+      (Json.Obj
+         [
+           ("id", Json.Str c.trace);
+           ("parent", Json.Num (float_of_int c.parent));
+           ("t_sent", Json.Num c.t_sent);
+         ])
+      j
+
+let trace_ctx_of_json j =
+  match Json.member "trace" j with
+  | Some t -> (
+    match
+      (Json.get_string "id" t, Json.member "parent" t, Json.member "t_sent" t)
+    with
+    | Ok trace, Some (Json.Num p), Some (Json.Num ts) ->
+      Some { trace; parent = int_of_float p; t_sent = ts }
+    | _ -> None)
+  | None -> None
+
+let with_trace_echo echo j =
+  match echo with
+  | None -> j
+  | Some e ->
+    add_field "trace"
+      (Json.Obj
+         [
+           ("span", Json.Num (float_of_int e.span));
+           ("t_recv", Json.Num e.t_recv);
+           ("t_replied", Json.Num e.t_replied);
+         ])
+      j
+
+let trace_echo_of_json j =
+  match Json.member "trace" j with
+  | Some t -> (
+    match
+      ( Json.member "span" t,
+        Json.member "t_recv" t,
+        Json.member "t_replied" t )
+    with
+    | Some (Json.Num s), Some (Json.Num r), Some (Json.Num p) ->
+      Some { span = int_of_float s; t_recv = r; t_replied = p }
+    | _ -> None)
+  | None -> None
+
 (* ---- responses ---------------------------------------------------- *)
 
 let results_to_json rows = Json.Obj [ ("results", rows_to_json rows) ]

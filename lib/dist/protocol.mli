@@ -62,6 +62,26 @@ type mc_request = {
 val mc_request_to_json : mc_request -> Repro_serve.Json.t
 val mc_request_of_json : Repro_serve.Json.t -> (mc_request, string) result
 
+(** {2 Trace propagation envelope}
+
+    Optional profiling side-channel on eval/MC exchanges: the
+    coordinator stamps requests with its trace id, owning span id and
+    wall-clock send time; the worker echoes its own span id plus
+    wall-clock receive/reply times.  The four stamps yield an NTP-style
+    clock-offset estimate per round trip and the ids let [trace merge]
+    nest worker spans under their coordinator parents.  Untraced peers
+    ignore the envelope; it never influences evaluation. *)
+
+type trace_ctx = { trace : string; parent : int; t_sent : float }
+type trace_echo = { span : int; t_recv : float; t_replied : float }
+
+val with_trace_ctx : trace_ctx option -> Repro_serve.Json.t -> Repro_serve.Json.t
+(** Attach a ["trace"] object to a request document ([None] = identity). *)
+
+val trace_ctx_of_json : Repro_serve.Json.t -> trace_ctx option
+val with_trace_echo : trace_echo option -> Repro_serve.Json.t -> Repro_serve.Json.t
+val trace_echo_of_json : Repro_serve.Json.t -> trace_echo option
+
 val results_to_json : float array array -> Repro_serve.Json.t
 (** [{"results": [[...], ...]}] — {!Repro_moo.Problem.pack} rows for GA
     shards, {!perf_row_of_outcome} rows for Monte-Carlo shards. *)

@@ -86,7 +86,7 @@ let healthz t =
    parameter vector and evaluate each pre-split stream exactly as
    Variation_model's local path would — same measurement options, same
    Process.sample call, so the outcome rows are bit-identical *)
-let run_mc t (req : Protocol.mc_request) =
+let run_mc t ~echo (req : Protocol.mc_request) =
   if req.Protocol.mc_salt <> t.salt then
     conflict
       (Printf.sprintf "config salt mismatch: request %s, worker %s"
@@ -115,11 +115,12 @@ let run_mc t (req : Protocol.mc_request) =
     in
     ok
       (json_body
-         (Protocol.results_to_json
-            (Array.map Protocol.perf_row_of_outcome outcomes)))
+         (Protocol.with_trace_echo (echo ())
+            (Protocol.results_to_json
+               (Array.map Protocol.perf_row_of_outcome outcomes))))
   end
 
-let run_eval t (req : Protocol.eval_request) =
+let run_eval t ~echo (req : Protocol.eval_request) =
   if req.Protocol.salt <> t.salt then
     conflict
       (Printf.sprintf "config salt mismatch: request %s, worker %s"
@@ -162,24 +163,59 @@ let run_eval t (req : Protocol.eval_request) =
         let evals =
           P.parallel_evaluator ~cache:t.cache ~salt:t.salt () problem points
         in
-        ok (json_body (Protocol.results_to_json (Array.map P.pack evals)))
+        ok
+          (json_body
+             (Protocol.with_trace_echo (echo ())
+                (Protocol.results_to_json (Array.map P.pack evals))))
       | exception Failure msg -> bad_request msg)
   end
 
 let eval t body =
   match Json.of_string body with
   | Error msg -> bad_request msg
-  | Ok j -> (
-    match Json.get_string "problem" j with
-    | Error msg -> bad_request msg
-    | Ok "mc" -> (
-      match Protocol.mc_request_of_json j with
-      | Ok req -> run_mc t req
-      | Error msg -> bad_request msg)
-    | Ok _ -> (
-      match Protocol.eval_request_of_json j with
-      | Ok req -> run_eval t req
-      | Error msg -> bad_request msg))
+  | Ok j ->
+    (* propagated trace context: tag this worker's span with the
+       coordinator's trace/parent ids and echo wall-clock
+       receive/reply stamps so the merge step can estimate the clock
+       offset.  [t_recv] is taken before any evaluation work. *)
+    let ctx = Protocol.trace_ctx_of_json j in
+    let t_recv = Unix.gettimeofday () in
+    let echo () =
+      Option.map
+        (fun (_ : Protocol.trace_ctx) ->
+          {
+            Protocol.span =
+              Option.value ~default:(-1) (Repro_obs.Trace.current_span ());
+            t_recv;
+            t_replied = Unix.gettimeofday ();
+          })
+        ctx
+    in
+    let dispatch () =
+      match Json.get_string "problem" j with
+      | Error msg -> bad_request msg
+      | Ok "mc" -> (
+        match Protocol.mc_request_of_json j with
+        | Ok req -> run_mc t ~echo req
+        | Error msg -> bad_request msg)
+      | Ok _ -> (
+        match Protocol.eval_request_of_json j with
+        | Ok req -> run_eval t ~echo req
+        | Error msg -> bad_request msg)
+    in
+    (match ctx with
+    | Some c ->
+      (* a negative parent means "traced coordinator, no open span":
+         keep the trace tag but omit the parent link *)
+      let args =
+        ("trace", c.Protocol.trace)
+        ::
+        (if c.Protocol.parent >= 0 then
+           [ ("parent", string_of_int c.Protocol.parent) ]
+         else [])
+      in
+      Repro_obs.Trace.span "dist.work" ~args dispatch
+    | None -> dispatch ())
 
 (* ---- the shared-cache protocol ------------------------------------ *)
 
@@ -224,8 +260,23 @@ let split_version (req : Http.request) =
 let endpoint_of_path = function
   | [ "healthz" ] -> "healthz"
   | [ "eval" ] -> "eval"
+  | [ "metrics" ] -> "metrics"
   | "cache" :: _ -> "cache"
   | _ -> "other"
+
+(* same surface as the model server's /v1/metrics: JSON by default,
+   Prometheus text with ?format=prom *)
+let metrics (req : Http.request) =
+  match
+    Option.value ~default:"json" (Repro_serve.Api.query_param req "format")
+  with
+  | "json" -> ok (json_body (Repro_serve.Api.metrics_json ()))
+  | "prom" | "prometheus" ->
+    ( 200,
+      [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ],
+      Repro_prof.Prom.render () )
+  | other ->
+    bad_request (Printf.sprintf "format: expected json or prom, got %S" other)
 
 let handler t (req : Http.request) =
   E.Telemetry.incr "dist.requests";
@@ -240,11 +291,12 @@ let handler t (req : Http.request) =
   match
     match (req.Http.meth, path) with
     | "GET", [ "healthz" ] -> healthz t
+    | "GET", [ "metrics" ] -> metrics req
     | "POST", [ "eval" ] -> eval t req.Http.body
     | "GET", [ "cache"; id ] -> cache_get t id
     | "PUT", [ "cache"; id ] -> cache_put t id req.Http.body
     | "PUT", [ "cache" ] -> cache_put_bulk t req.Http.body
-    | _, [ "healthz" ] -> method_not_allowed "GET"
+    | _, [ "healthz" ] | _, [ "metrics" ] -> method_not_allowed "GET"
     | _, [ "eval" ] -> method_not_allowed "POST"
     | _, [ "cache" ] | _, [ "cache"; _ ] -> method_not_allowed "GET, PUT"
     | _ -> not_found ()

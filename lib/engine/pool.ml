@@ -53,7 +53,18 @@ let create ?size () =
 
 let size t = t.size
 
+(* time-in-queue between [submit] and a worker picking the task up —
+   the pool-level starvation signal (always-on: histograms never touch
+   evaluation state, matching dist/serve latency instrumentation) *)
+let queue_wait = lazy (Repro_obs.Histogram.get "pool.queue_wait")
+
 let submit t task =
+  let enqueued = Unix.gettimeofday () in
+  let task () =
+    Repro_obs.Histogram.observe (Lazy.force queue_wait)
+      (Unix.gettimeofday () -. enqueued);
+    task ()
+  in
   Mutex.lock t.mutex;
   if not t.live then begin
     Mutex.unlock t.mutex;
@@ -90,6 +101,11 @@ let get_default () =
     default_pool := Some t;
     t
 
+(* How many domains are inside a chunk right now; sampled into a Chrome
+   counter track so a trace shows utilization (and starvation) over
+   time.  Only touched while tracing is on. *)
+let busy = Atomic.make 0
+
 (* Chunked index dispatch: every participating domain repeatedly claims a
    contiguous index range from a shared counter and runs [body] on it.
    [body] must not raise (callers wrap exceptions themselves) and writes
@@ -121,6 +137,12 @@ let run_items ?chunk t n body =
           if start >= n then continue := false
           else begin
             let stop = min n (start + chunk) in
+            (* [traced] sampled once so the counter track stays balanced
+               even if tracing stops mid-chunk *)
+            let traced = Repro_obs.Trace.enabled () in
+            if traced then
+              Repro_obs.Trace.counter "pool.busy_domains"
+                (Atomic.fetch_and_add busy 1 + 1);
             Repro_obs.Trace.span "pool.chunk"
               ~args:
                 [
@@ -131,6 +153,9 @@ let run_items ?chunk t n body =
                 for i = start to stop - 1 do
                   body i
                 done);
+            if traced then
+              Repro_obs.Trace.counter "pool.busy_domains"
+                (Atomic.fetch_and_add busy (-1) - 1);
             let done_now =
               Atomic.fetch_and_add completed (stop - start) + (stop - start)
             in

@@ -1,27 +1,32 @@
 type event = {
   name : string;
-  ph : char; (* 'B' begin | 'E' end | 'i' instant *)
+  ph : char; (* 'B' begin | 'E' end | 'i' instant | 'C' counter *)
   ts : float; (* microseconds since the trace epoch *)
   tid : int;
   seq : int;
   args : (string * string) list;
 }
 
-(* Per-domain sink: a domain only ever touches its own event list, so
-   the common emit path contends on nothing shared except the global
-   sequence counter (an atomic).  The sink mutex exists solely for the
-   rare cross-domain readers ([start]'s reset and [export]). *)
+(* Per-domain sink: a domain only ever touches its own event list and
+   span stack, so the common emit path contends on nothing shared
+   except the global sequence counter (an atomic).  The sink mutex
+   exists solely for the rare cross-domain readers ([start]'s reset and
+   [export]). *)
 type sink = {
   tid : int;
   mutex : Mutex.t;
   mutable events : event list; (* newest first *)
+  mutable stack : int list; (* open span ids (seq of their 'B'), innermost first *)
 }
 
 let sinks_mutex = Mutex.create ()
 let sinks : sink list ref = ref []
 let enabled_flag = Atomic.make false
+let gc_flag = Atomic.make false
 let epoch = Atomic.make 0.0
 let seq = Atomic.make 0
+let trace_id = ref ""
+let process_label = ref None
 
 let sink_key =
   Domain.DLS.new_key (fun () ->
@@ -30,6 +35,7 @@ let sink_key =
           tid = (Domain.self () :> int);
           mutex = Mutex.create ();
           events = [];
+          stack = [];
         }
       in
       Mutex.lock sinks_mutex;
@@ -38,6 +44,10 @@ let sink_key =
       s)
 
 let enabled () = Atomic.get enabled_flag
+let gc_capture () = Atomic.get gc_flag
+let set_gc_capture on = Atomic.set gc_flag on
+let id () = !trace_id
+let set_process_label label = process_label := Some label
 
 let all_sinks () =
   Mutex.lock sinks_mutex;
@@ -45,8 +55,7 @@ let all_sinks () =
   Mutex.unlock sinks_mutex;
   all
 
-let emit ph name args =
-  let s = Domain.DLS.get sink_key in
+let emit_to s ph name args =
   let e =
     {
       name;
@@ -59,22 +68,59 @@ let emit ph name args =
   in
   Mutex.lock s.mutex;
   s.events <- e :: s.events;
-  Mutex.unlock s.mutex
+  Mutex.unlock s.mutex;
+  e.seq
 
-let start () =
+let emit ph name args =
+  ignore (emit_to (Domain.DLS.get sink_key) ph name args)
+
+let start ?(gc = false) () =
   List.iter
     (fun s ->
       Mutex.lock s.mutex;
       s.events <- [];
+      s.stack <- [];
       Mutex.unlock s.mutex)
     (all_sinks ());
   Atomic.set seq 0;
-  Atomic.set epoch (Unix.gettimeofday ());
+  let now = Unix.gettimeofday () in
+  Atomic.set epoch now;
+  (* the id only names the trace (propagation, merged files); it never
+     feeds any computation, so wall-clock + pid uniqueness is enough *)
+  trace_id :=
+    Printf.sprintf "%x-%d"
+      (Int64.to_int (Int64.logand (Int64.bits_of_float now) 0xffffffffL))
+      (Unix.getpid ());
+  Atomic.set gc_flag gc;
   Atomic.set enabled_flag true
 
 let stop () = Atomic.set enabled_flag false
 
 let instant ?(args = []) name = if enabled () then emit 'i' name args
+
+let counter name value =
+  if enabled () then emit 'C' name [ (name, string_of_int value) ]
+
+let current_span () =
+  let s = Domain.DLS.get sink_key in
+  match s.stack with [] -> None | id :: _ -> Some id
+
+(* GC deltas ride as 'E'-event args; word counts are integral floats so
+   %.0f renders them losslessly and compactly.  [Gc.quick_stat]'s
+   minor_words excludes the current domain's allocations since its last
+   minor collection, so minor words come from the dedicated
+   [Gc.minor_words] counter instead. *)
+let gc_args (mw1, (g1 : Gc.stat)) (mw0, (g0 : Gc.stat)) =
+  [
+    ("gc.minor_w", Printf.sprintf "%.0f" (mw1 -. mw0));
+    ("gc.major_w", Printf.sprintf "%.0f" (g1.major_words -. g0.major_words));
+    ( "gc.promoted_w",
+      Printf.sprintf "%.0f" (g1.promoted_words -. g0.promoted_words) );
+    ("gc.minor_c", string_of_int (g1.minor_collections - g0.minor_collections));
+    ("gc.major_c", string_of_int (g1.major_collections - g0.major_collections));
+  ]
+
+let gc_sample () = (Gc.minor_words (), Gc.quick_stat ())
 
 let span ?(args = []) name f =
   (* [enabled] is sampled once: a span that emitted its 'B' always emits
@@ -82,8 +128,20 @@ let span ?(args = []) name f =
      started disabled emits nothing, so exports stay balanced *)
   if not (enabled ()) then f ()
   else begin
-    emit 'B' name args;
-    Fun.protect ~finally:(fun () -> emit 'E' name []) f
+    let s = Domain.DLS.get sink_key in
+    let g0 = if gc_capture () then Some (gc_sample ()) else None in
+    let id = emit_to s 'B' name args in
+    s.stack <- id :: s.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match s.stack with _ :: rest -> s.stack <- rest | [] -> ());
+        let gargs =
+          match g0 with
+          | Some g0 -> gc_args (gc_sample ()) g0
+          | None -> []
+        in
+        ignore (emit_to s 'E' name gargs))
+      f
   end
 
 let events () =
@@ -114,6 +172,10 @@ let render_event pid e =
       ("ts", Jfmt.F e.ts);
       ("pid", Jfmt.I pid);
       ("tid", Jfmt.I e.tid);
+      (* not part of the trace_event spec (viewers ignore it): keeps
+         span identity across export/parse so propagated parent ids
+         stay resolvable in merged traces *)
+      ("seq", Jfmt.I e.seq);
     ]
   in
   (* instants need a scope; "t" = thread-scoped tick mark *)
@@ -121,7 +183,18 @@ let render_event pid e =
   match e.args with
   | [] -> Jfmt.obj fields
   | args ->
-    let rendered = Jfmt.obj (List.map (fun (k, v) -> (k, Jfmt.S v)) args) in
+    (* counter-series values must be JSON numbers for the viewer to
+       draw the track; every other arg is an opaque string *)
+    let arg_value v =
+      if e.ph = 'C' then v
+      else Jfmt.quote v
+    in
+    let rendered =
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Jfmt.quote k ^ ":" ^ arg_value v) args)
+      ^ "}"
+    in
     let body = Jfmt.obj fields in
     (* splice the args object in by hand: Jfmt.obj only takes scalars *)
     String.sub body 0 (String.length body - 1)
@@ -134,7 +207,25 @@ let export path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+      output_string oc "{\"displayTimeUnit\":\"ms\",";
+      (* process metadata for the merge step: which process this is,
+         and where its microsecond clock sits on the wall clock *)
+      output_string oc
+        (Printf.sprintf "\"meta\":{\"pid\":%d,\"epoch\":%s,\"trace\":%s%s},"
+           pid
+           (Jfmt.float_repr (Atomic.get epoch))
+           (Jfmt.quote !trace_id)
+           (match !process_label with
+           | Some l -> ",\"label\":" ^ Jfmt.quote l
+           | None -> ""));
+      output_string oc "\"traceEvents\":[";
+      (match !process_label with
+      | Some l ->
+        output_string oc
+          (Printf.sprintf
+             "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}},"
+             pid (Jfmt.quote l))
+      | None -> ());
       List.iteri
         (fun i e ->
           if i > 0 then output_char oc ',';

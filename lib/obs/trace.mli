@@ -13,22 +13,60 @@
     change results: nothing here touches PRNG state or evaluation
     outputs (the zero-perturbation contract, enforced by test). *)
 
-val start : unit -> unit
-(** Drop any buffered events, restart the clock/sequence, and enable
-    collection. *)
+type event = {
+  name : string;
+  ph : char;  (** 'B' begin | 'E' end | 'i' instant | 'C' counter *)
+  ts : float;  (** microseconds since the trace epoch *)
+  tid : int;
+  seq : int;
+  args : (string * string) list;
+}
+
+val start : ?gc:bool -> unit -> unit
+(** Drop any buffered events, restart the clock/sequence, mint a fresh
+    trace id, and enable collection.  [~gc:true] additionally captures
+    [Gc.quick_stat] deltas (minor/major/promoted words, collection
+    counts) at every span boundary and attaches them as args on the
+    span's end event. *)
 
 val stop : unit -> unit
 (** Disable collection; buffered events stay available for [export]. *)
 
 val enabled : unit -> bool
 
+val gc_capture : unit -> bool
+val set_gc_capture : bool -> unit
+
+val id : unit -> string
+(** The current trace id (minted by {!start}; [""] before the first
+    start).  Carried across processes by the dist protocol and HTTP
+    headers so a merge step can stitch per-process traces together. *)
+
+val set_process_label : string -> unit
+(** Human-readable name for this process ("coordinator",
+    "worker:9401", …), written into the export metadata and as a
+    Chrome [process_name] metadata event. *)
+
 val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], bracketing it with begin/end events when
     tracing is enabled (the end event is emitted even when [f] raises).
     When disabled this is just [f ()]. *)
 
+val current_span : unit -> int option
+(** Id (the begin event's [seq]) of the innermost open span on this
+    domain, if any.  This is what gets propagated as the remote parent
+    span id. *)
+
 val instant : ?args:(string * string) list -> string -> unit
 (** A zero-duration marker event (cache-hit ratios, one-off facts). *)
+
+val counter : string -> int -> unit
+(** [counter name v] records a Chrome counter sample ('C' event): the
+    viewer renders these as a stacked value track over time (e.g. busy
+    domains). *)
+
+val events : unit -> event list
+(** All buffered events in sequence order (analysis, tests). *)
 
 val event_count : unit -> int
 (** Number of buffered events (tests, report sizing). *)
@@ -36,4 +74,6 @@ val event_count : unit -> int
 val export : string -> int
 (** Write all buffered events (sequence order) to [path] as a Chrome
     [trace_event] JSON document; returns the event count.  Timestamps
-    are microseconds since {!start}. *)
+    are microseconds since {!start}.  A top-level ["meta"] object
+    records this process's pid, wall-clock epoch, trace id and label so
+    that [trace merge] can place several processes on one timeline. *)

@@ -1,0 +1,126 @@
+type t = {
+  name : string;
+  ph : char;
+  ts : float; (* microseconds on the owning process's timeline *)
+  pid : int;
+  tid : int;
+  seq : int;
+  args : (string * string) list;
+}
+
+type span = {
+  name : string;
+  pid : int;
+  tid : int;
+  id : int; (* seq of the begin event — what remote children reference *)
+  t0 : float;
+  mutable t1 : float;
+  args : (string * string) list; (* begin-event args *)
+  mutable gc : (string * string) list; (* end-event args (gc.* deltas) *)
+  depth : int;
+  mutable children : span list; (* chronological *)
+}
+
+let dur s = s.t1 -. s.t0
+
+let arg key (args : (string * string) list) = List.assoc_opt key args
+
+let gc_field s key =
+  match arg key s.gc with
+  | Some v -> ( try float_of_string v with _ -> 0.0)
+  | None -> 0.0
+
+(* Pair begin/end events into span trees, per (pid, tid) stack.  Events
+   within one (pid, tid) are ordered by (ts, seq): seq is authoritative
+   within a process and survives merge unchanged, while merged
+   timestamps are shifted uniformly per process so the relative order
+   still holds. *)
+let spans events =
+  let groups : (int * int, t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | 'B' | 'E' -> (
+        let key = (e.pid, e.tid) in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := e :: !l
+        | None -> Hashtbl.add groups key (ref [ e ]))
+      | _ -> ())
+    events;
+  let roots = ref [] in
+  Hashtbl.iter
+    (fun _ l ->
+      let evs =
+        List.sort
+          (fun a b -> compare (a.ts, a.seq) (b.ts, b.seq))
+          !l
+      in
+      let stack = ref [] in
+      List.iter
+        (fun e ->
+          match e.ph with
+          | 'B' ->
+            let s =
+              {
+                name = e.name;
+                pid = e.pid;
+                tid = e.tid;
+                id = e.seq;
+                t0 = e.ts;
+                t1 = e.ts;
+                args = e.args;
+                gc = [];
+                depth = List.length !stack;
+                children = [];
+              }
+            in
+            stack := s :: !stack
+          | 'E' -> (
+            match !stack with
+            | top :: rest ->
+              top.t1 <- e.ts;
+              top.gc <- e.args;
+              top.children <- List.rev top.children;
+              (match rest with
+              | parent :: _ -> parent.children <- top :: parent.children
+              | [] -> roots := top :: !roots);
+              stack := rest
+            | [] -> (* stray end: drop *) ())
+          | _ -> ())
+        evs)
+    groups;
+  List.sort (fun a b -> compare (a.t0, a.id) (b.t0, b.id)) !roots
+
+(* preorder walk of a span forest *)
+let rec flatten sl =
+  List.concat_map (fun s -> s :: flatten s.children) sl
+
+(* number of begin/end events with no partner, over all (pid, tid)
+   stacks — 0 for any well-formed trace *)
+let unbalanced events =
+  let groups : (int * int, t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | 'B' | 'E' -> (
+        let key = (e.pid, e.tid) in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := e :: !l
+        | None -> Hashtbl.add groups key (ref [ e ]))
+      | _ -> ())
+    events;
+  Hashtbl.fold
+    (fun _ l acc ->
+      let evs =
+        List.sort (fun a b -> compare (a.ts, a.seq) (b.ts, b.seq)) !l
+      in
+      let depth = ref 0 and stray = ref 0 in
+      List.iter
+        (fun e ->
+          match e.ph with
+          | 'B' -> Stdlib.incr depth
+          | 'E' -> if !depth > 0 then Stdlib.decr depth else Stdlib.incr stray
+          | _ -> ())
+        evs;
+      acc + !depth + !stray)
+    groups 0

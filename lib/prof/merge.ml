@@ -1,0 +1,192 @@
+type process = {
+  label : string option;
+  pid : int;
+  epoch : float; (* wall-clock seconds at this process's ts = 0 *)
+  trace : string; (* trace id (the coordinator's id propagates) *)
+  events : Event.t list;
+}
+
+(* NTP-style offset from one request/response envelope: all four stamps
+   are wall-clock seconds; [t_send]/[t_reply_recv] on the local clock,
+   [t_recv]/[t_reply_sent] on the remote one.  Assuming symmetric
+   network delay, the remote clock leads the local one by the mean of
+   the two one-way discrepancies. *)
+let offset ~t_send ~t_recv ~t_reply_sent ~t_reply_recv =
+  ((t_recv -. t_send) +. (t_reply_sent -. t_reply_recv)) /. 2.0
+
+let median = function
+  | [] -> 0.0
+  | l ->
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* per-endpoint median clock delta from the coordinator's dist.clock
+   instant events (one per remote round trip) *)
+let endpoint_offsets events =
+  let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.name = "dist.clock" && e.ph = 'i' then
+        match (Event.arg "endpoint" e.args, Event.arg "delta_s" e.args) with
+        | Some ep, Some d -> (
+          match float_of_string_opt d with
+          | Some d -> (
+            match Hashtbl.find_opt tbl ep with
+            | Some l -> l := d :: !l
+            | None -> Hashtbl.add tbl ep (ref [ d ]))
+          | None -> ())
+        | _ -> ())
+    events;
+  Hashtbl.fold (fun ep l acc -> (ep, median !l) :: acc) tbl []
+  |> List.sort compare
+
+let port_of s =
+  match String.rindex_opt s ':' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+(* A worker only knows its own port ("worker:9401"); the coordinator
+   keys offsets by the endpoint it dialled ("127.0.0.1:9401").  Match
+   on the port suffix; an unmatched worker gets offset 0 (same host,
+   same clock — the common case). *)
+let worker_offset ~endpoints w =
+  match w.label with
+  | None -> 0.0
+  | Some label -> (
+    let port = port_of label in
+    match
+      List.find_opt (fun (ep, _) -> port_of ep = port) endpoints
+    with
+    | Some (_, d) -> d
+    | None -> 0.0)
+
+(* Merge worker traces onto the coordinator's timeline.  Workers get
+   deterministic fresh pids (base + 1 + index) so same-host pid reuse
+   can never collide; their timestamps move by the epoch difference
+   minus the estimated clock offset.  Returns the merged events plus
+   the pid → label table for rendering. *)
+let merge ~base ~workers =
+  let endpoints = endpoint_offsets base.events in
+  let labels =
+    ref [ (base.pid, Option.value ~default:"coordinator" base.label) ]
+  in
+  let merged =
+    List.concat
+      (List.map (fun (e : Event.t) -> { e with pid = base.pid }) base.events
+      :: List.mapi
+           (fun i w ->
+             let pid = base.pid + 1 + i in
+             labels :=
+               ( pid,
+                 Option.value ~default:(Printf.sprintf "worker%d" (i + 1))
+                   w.label )
+               :: !labels;
+             let delta = worker_offset ~endpoints w in
+             let shift = (w.epoch -. delta -. base.epoch) *. 1e6 in
+             List.filter_map
+               (fun (e : Event.t) ->
+                 if e.ph = 'M' then None
+                 else Some { e with pid; ts = e.ts +. shift })
+               w.events)
+           workers)
+  in
+  (merged, List.rev !labels)
+
+(* Sanity checks on a merged trace: balanced begin/ends everywhere, no
+   remote span referencing a parent id the coordinator never emitted,
+   and every remote child temporally contained in its parent (within
+   [slack_us], absorbing clock-estimate error). *)
+let validate ?(slack_us = 50_000.0) ~coordinator_pid events =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let n = Event.unbalanced events in
+  if n > 0 then err "%d unbalanced begin/end events" n;
+  let coord_spans : (int, Event.span) Hashtbl.t = Hashtbl.create 64 in
+  let all = Event.flatten (Event.spans events) in
+  List.iter
+    (fun (s : Event.span) ->
+      if s.pid = coordinator_pid then Hashtbl.replace coord_spans s.id s)
+    all;
+  List.iter
+    (fun (s : Event.span) ->
+      if s.pid <> coordinator_pid then
+        match Event.arg "parent" s.args with
+        | None -> ()
+        | Some p -> (
+          match int_of_string_opt p with
+          | None -> err "span %s: unparseable parent id %S" s.name p
+          | Some p -> (
+            match Hashtbl.find_opt coord_spans p with
+            | None -> err "span %s: orphan parent id %d" s.name p
+            | Some parent ->
+              if
+                s.t0 < parent.t0 -. slack_us
+                || s.t1 > parent.t1 +. slack_us
+              then
+                err
+                  "span %s [%.0f,%.0f] escapes parent %s [%.0f,%.0f]"
+                  s.name s.t0 s.t1 parent.name parent.t0 parent.t1)))
+    all;
+  List.rev !errors
+
+let render_event (e : Event.t) =
+  let fields =
+    [
+      ("name", Repro_obs.Jfmt.S e.name);
+      ("cat", Repro_obs.Jfmt.S "hieropt");
+      ("ph", Repro_obs.Jfmt.S (String.make 1 e.ph));
+      ("ts", Repro_obs.Jfmt.F e.ts);
+      ("pid", Repro_obs.Jfmt.I e.pid);
+      ("tid", Repro_obs.Jfmt.I e.tid);
+      ("seq", Repro_obs.Jfmt.I e.seq);
+    ]
+  in
+  let fields =
+    if e.ph = 'i' then fields @ [ ("s", Repro_obs.Jfmt.S "t") ] else fields
+  in
+  match e.args with
+  | [] -> Repro_obs.Jfmt.obj fields
+  | args ->
+    let arg_value v = if e.ph = 'C' then v else Repro_obs.Jfmt.quote v in
+    let rendered =
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Repro_obs.Jfmt.quote k ^ ":" ^ arg_value v)
+             args)
+      ^ "}"
+    in
+    let body = Repro_obs.Jfmt.obj fields in
+    String.sub body 0 (String.length body - 1) ^ ",\"args\":" ^ rendered ^ "}"
+
+let export ~path ?(labels = []) events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+      let first = ref true in
+      let emit line =
+        if !first then first := false else output_char oc ',';
+        output_char oc '\n';
+        output_string oc line
+      in
+      List.iter
+        (fun (pid, label) ->
+          emit
+            (Printf.sprintf
+               "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}"
+               pid
+               (Repro_obs.Jfmt.quote label)))
+        labels;
+      let sorted =
+        List.sort
+          (fun (a : Event.t) (b : Event.t) ->
+            compare (a.ts, a.pid, a.seq) (b.ts, b.pid, b.seq))
+          events
+      in
+      List.iter (fun e -> emit (render_event e)) sorted;
+      output_string oc "\n]}\n");
+  List.length events

@@ -1,0 +1,19 @@
+(** Prometheus text exposition (format 0.0.4) of the live telemetry
+    surface: counters as [counter] metrics, timers as [_seconds]
+    gauges, histograms as summaries (p50/p90/p99 quantile gauges plus
+    [_sum]/[_count]).  Metric names are sanitized
+    ([hieropt_<name with non-alphanumerics as _>]) and the data comes
+    from the same snapshot the JSON [/v1/metrics] renders. *)
+
+val metric : string -> string
+(** Sanitized, prefixed metric name. *)
+
+val render_parts :
+  (string * int) list ->
+  (string * float) list ->
+  (string * Repro_obs.Histogram.stats) list ->
+  string
+(** Render explicit counter / timer / histogram snapshots (tests). *)
+
+val render : unit -> string
+(** Render the live Telemetry and Histogram registries. *)

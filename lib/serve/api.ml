@@ -165,7 +165,36 @@ let metrics_json () =
       ("histograms", Json.Obj (List.map histogram (Histogram.all ())));
     ]
 
-let metrics () = ok (json_body (metrics_json ()))
+(* minimal query-string accessor over the raw target — the API's only
+   query parameters are format selectors, so there is no percent
+   decoding here (format values are plain tokens) *)
+let query_param (req : Http.request) name =
+  match String.index_opt req.Http.target '?' with
+  | None -> None
+  | Some i ->
+    let qs =
+      String.sub req.Http.target (i + 1)
+        (String.length req.Http.target - i - 1)
+    in
+    List.find_map
+      (fun pair ->
+        match String.index_opt pair '=' with
+        | Some j when String.sub pair 0 j = name ->
+          Some (String.sub pair (j + 1) (String.length pair - j - 1))
+        | _ -> None)
+      (String.split_on_char '&' qs)
+
+let prom_content_type =
+  [ ("Content-Type", "text/plain; version=0.0.4; charset=utf-8") ]
+
+(* JSON is the default; ?format=prom renders the same snapshot surface
+   as Prometheus text exposition *)
+let metrics req =
+  match Option.value ~default:"json" (query_param req "format") with
+  | "json" -> ok (json_body (metrics_json ()))
+  | "prom" | "prometheus" -> (200, prom_content_type, Repro_prof.Prom.render ())
+  | other ->
+    bad_request (Printf.sprintf "format: expected json or prom, got %S" other)
 
 let models t =
   let infos = Registry.list t.registry in
@@ -267,25 +296,6 @@ let query t id body =
       Telemetry.incr ~by:(Array.length points) "serve.points_queried";
       ok (render_query_response sc ~id results))
 
-(* minimal query-string accessor over the raw target — the API's only
-   query parameter is export's ?format=..., so there is no percent
-   decoding here (format values are plain tokens) *)
-let query_param (req : Http.request) name =
-  match String.index_opt req.Http.target '?' with
-  | None -> None
-  | Some i ->
-    let qs =
-      String.sub req.Http.target (i + 1)
-        (String.length req.Http.target - i - 1)
-    in
-    List.find_map
-      (fun pair ->
-        match String.index_opt pair '=' with
-        | Some j when String.sub pair 0 j = name ->
-          Some (String.sub pair (j + 1) (String.length pair - j - 1))
-        | _ -> None)
-      (String.split_on_char '&' qs)
-
 (* renderers are pure functions of the table, so the body is
    byte-identical to `hieropt export` over the same model directory *)
 let export t (req : Http.request) id =
@@ -345,13 +355,23 @@ let handle t (req : Http.request) =
     Telemetry.incr "serve.legacy_requests";
   let latency = Repro_obs.Histogram.get ("serve.latency." ^ endpoint) in
   Repro_obs.Histogram.time latency @@ fun () ->
-  Repro_obs.Trace.span ("http." ^ endpoint)
-    ~args:[ ("method", req.meth) ]
+  (* propagated trace context (clients send X-Trace-Id/X-Parent-Span
+     while tracing): tagging the handler span lets a merged trace nest
+     this request under the caller's span *)
+  let targs =
+    let hdr name key acc =
+      match Http.header name req.headers with
+      | Some v -> (key, v) :: acc
+      | None -> acc
+    in
+    hdr "x-trace-id" "trace" (hdr "x-parent-span" "parent" [ ("method", req.meth) ])
+  in
+  Repro_obs.Trace.span ("http." ^ endpoint) ~args:targs
   @@ fun () ->
   match
     match (req.meth, path) with
     | "GET", [ "healthz" ] -> healthz t
-    | "GET", [ "metrics" ] -> metrics ()
+    | "GET", [ "metrics" ] -> metrics req
     | "GET", [ "models" ] -> models t
     | "POST", [ "models"; id; "query" ] -> query t id req.body
     | "POST", [ "models"; id; "verify" ] -> verify t id req.body

@@ -10,7 +10,9 @@
       counters and timers plus every registered
       {!Repro_obs.Histogram} as count/sum/min/max/p50/p90/p99 (notably
       the per-endpoint [serve.latency.*] request-latency histograms
-      recorded by [handle]);
+      recorded by [handle]).  [?format=prom] renders the same snapshot
+      as Prometheus text exposition ({!Repro_prof.Prom}); JSON stays
+      the default;
     - [GET /v1/models] — servable ids with load state;
     - [POST /v1/models/:id/query] — batched
       {!Hieropt.Perf_table.eval_points} over
@@ -46,6 +48,11 @@ val registry : t -> Registry.t
 val metrics_json : unit -> Json.t
 (** The [GET /metrics] document (also printed by the CLI's local
     [query --metrics]). *)
+
+val query_param : Http.request -> string -> string option
+(** Value of a query-string parameter in the raw target (no percent
+    decoding — parameters are plain tokens).  Shared with the
+    eval-worker's routing. *)
 
 val handle : t -> Http.request -> int * (string * string) list * string
 (** [status, extra headers, body] for one parsed request. *)

@@ -84,7 +84,7 @@ let response_keeps_alive (resp : Http.response) =
    turns out dead (idled out server-side between our calls) is retried
    once on a fresh connection before the failure counts — that retry is
    free, not one of the caller's transient retries. *)
-let round_trip t ~meth ~target ~body =
+let round_trip t ~headers ~meth ~target ~body =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) @@ fun () ->
   let once () =
@@ -93,7 +93,8 @@ let round_trip t ~meth ~target ~body =
     | fd, reused -> (
       match
         Http.write_request
-          ~headers:[ ("Host", Printf.sprintf "%s:%d" t.host t.port) ]
+          ~headers:
+            (("Host", Printf.sprintf "%s:%d" t.host t.port) :: headers)
           ~meth ~target ~body fd;
         Http.read_response (Http.Reader.of_fd fd)
       with
@@ -146,7 +147,21 @@ let backoff_delay n =
   Mutex.unlock jitter_mutex;
   d
 
-let request t ~meth ~target ~body =
+(* When this process is tracing, every outgoing request carries the
+   trace id and the innermost open span, so a traced server can tag its
+   handler spans with the caller's context.  Untraced processes send
+   nothing; servers that don't understand the headers ignore them —
+   propagation never changes behaviour. *)
+let trace_headers () =
+  if not (Repro_obs.Trace.enabled ()) then []
+  else
+    let base = [ ("X-Trace-Id", Repro_obs.Trace.id ()) ] in
+    match Repro_obs.Trace.current_span () with
+    | Some s -> ("X-Parent-Span", string_of_int s) :: base
+    | None -> base
+
+let request ?(headers = []) t ~meth ~target ~body =
+  let headers = headers @ trace_headers () in
   let rec attempt n =
     let retry msg =
       if n < t.retries then begin
@@ -156,7 +171,7 @@ let request t ~meth ~target ~body =
       end
       else Error (Connect_failure msg)
     in
-    match round_trip t ~meth ~target ~body with
+    match round_trip t ~headers ~meth ~target ~body with
     | Ok resp -> Ok resp
     | Error (`Timeout | `Eof) -> retry "timed out"
     | Error ((`Bad_request _ | `Too_large _) as e) ->
@@ -174,9 +189,9 @@ let shutdown t =
   drop_connection t;
   Mutex.unlock t.mutex
 
-let get t target = request t ~meth:"GET" ~target ~body:""
-let post t target ~body = request t ~meth:"POST" ~target ~body
-let put t target ~body = request t ~meth:"PUT" ~target ~body
+let get ?headers t target = request ?headers t ~meth:"GET" ~target ~body:""
+let post ?headers t target ~body = request ?headers t ~meth:"POST" ~target ~body
+let put ?headers t target ~body = request ?headers t ~meth:"PUT" ~target ~body
 
 let expect_json resp =
   match resp with

@@ -38,9 +38,21 @@ val shutdown : t -> unit
     remains usable — the next call reconnects.  Call it when a client
     is done, to release the socket promptly. *)
 
-val get : t -> string -> (Http.response, error) result
-val post : t -> string -> body:string -> (Http.response, error) result
-val put : t -> string -> body:string -> (Http.response, error) result
+val get :
+  ?headers:(string * string) list -> t -> string ->
+  (Http.response, error) result
+
+val post :
+  ?headers:(string * string) list -> t -> string -> body:string ->
+  (Http.response, error) result
+
+val put :
+  ?headers:(string * string) list -> t -> string -> body:string ->
+  (Http.response, error) result
+(** Extra request headers ride alongside Host.  When this process is
+    tracing, every call additionally carries [X-Trace-Id] and
+    [X-Parent-Span] (the innermost open span) so traced servers can tag
+    their handler spans with the caller's context. *)
 
 val get_json : t -> string -> (Json.t, error) result
 (** GET expecting a 200 with a JSON body. *)

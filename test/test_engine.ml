@@ -294,6 +294,25 @@ let test_telemetry_concurrent_snapshot () =
   | _ -> Alcotest.fail "snapshot disagrees with counter accessor");
   E.Telemetry.reset ()
 
+let test_telemetry_sharded_set () =
+  (* counters shard per domain; [set] is absolute, so increments that
+     landed in other domains' shards must not resurface after it *)
+  E.Telemetry.reset ();
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> E.Telemetry.incr "shard.set" ~by:100))
+  in
+  List.iter Domain.join writers;
+  Alcotest.(check int) "incrs merged across shards" 400
+    (E.Telemetry.counter "shard.set");
+  E.Telemetry.set "shard.set" 7;
+  Alcotest.(check int) "set is absolute" 7 (E.Telemetry.counter "shard.set");
+  let d = Domain.spawn (fun () -> E.Telemetry.incr "shard.set") in
+  Domain.join d;
+  Alcotest.(check int) "accumulation resumes after set" 8
+    (E.Telemetry.counter "shard.set");
+  E.Telemetry.reset ()
+
 (* ---- cross-stack determinism: 1 worker vs 4 workers -------------- *)
 
 let zdt1 =
@@ -446,6 +465,8 @@ let suite =
       test_telemetry_warn_atomic_lines;
     Alcotest.test_case "telemetry snapshot under concurrency" `Quick
       test_telemetry_concurrent_snapshot;
+    Alcotest.test_case "telemetry sharded set semantics" `Quick
+      test_telemetry_sharded_set;
     Alcotest.test_case "nsga2/spea2 identical at 1 vs 4 workers" `Quick
       test_nsga2_deterministic_under_parallelism;
     Alcotest.test_case "monte-carlo identical at 1 vs 4 workers" `Quick

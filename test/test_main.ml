@@ -22,5 +22,6 @@ let () =
       ("netlist", Test_netlist.suite);
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
+      ("prof", Test_prof.suite);
       ("dist", Test_dist.suite);
     ]

@@ -380,12 +380,12 @@ let test_zero_perturbation () =
       zdt1 (Repro_util.Prng.create 2009)
   in
   let bare = run () in
-  (* the same run under full observability: tracing on, a journal
-     current, histograms recording *)
+  (* the same run under full observability: tracing on with GC-delta
+     capture, a journal current, histograms recording *)
   with_dir @@ fun dir ->
   let j = Obs.Journal.create ~run_id:"zp" ~dir () in
   Obs.Journal.set_current j;
-  Obs.Trace.start ();
+  Obs.Trace.start ~gc:true ();
   let observed =
     Fun.protect
       ~finally:(fun () ->
