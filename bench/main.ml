@@ -510,6 +510,127 @@ let dist_bench () =
     (identical local r_kill)
 
 (* ------------------------------------------------------------------ *)
+(* moo section: optimiser portfolio + surrogate pre-screen             *)
+(* ------------------------------------------------------------------ *)
+
+(* the standard two-objective ZDT1 kernel: cheap, convex true front,
+   so hypervolume at a small fixed budget separates the portfolio
+   members cleanly *)
+let zdt1_problem () =
+  Repro_moo.Problem.create ~name:"zdt1"
+    ~bounds:(Array.make 10 (0.0, 1.0))
+    ~objective_names:[| "f1"; "f2" |]
+    (fun v ->
+      let f1 = v.(0) in
+      let s = ref 0.0 in
+      for i = 1 to 9 do
+        s := !s +. v.(i)
+      done;
+      let g = 1.0 +. !s in
+      {
+        Repro_moo.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
+        constraint_violation = 0.0;
+      })
+
+(* Portfolio shoot-out at one identical evaluation budget on ZDT1,
+   scored by the exact 2-D hypervolume (the CI portfolio-smoke HV
+   floor), then the surrogate pre-screen on the flow's own
+   circuit-level GA: the avoided/paid split from the telemetry
+   counters and whether the screened front still agrees with the
+   exhaustive one. *)
+let moo_bench () =
+  let module O = Repro_moo.Optimiser in
+  let zdt1 = zdt1_problem () in
+  let pop = 24 and gens = 30 in
+  let options = { O.population = pop; generations = gens } in
+  let reference = [| 1.1; 1.1 |] in
+  Printf.printf "ZDT1 at an identical budget (%d evaluations each):\n"
+    (pop * (gens + 1));
+  List.iter
+    (fun name ->
+      let opt = Option.get (O.of_name name) in
+      let t0 = Unix.gettimeofday () in
+      let final =
+        O.optimise opt ~options zdt1 (Repro_util.Prng.create 29)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let front = Repro_moo.Nsga2.pareto_front final in
+      let hv =
+        Repro_moo.Pareto.hypervolume_2d ~reference
+          (Repro_moo.Nsga2.evaluations front)
+      in
+      metric "moo" (Printf.sprintf "hv_at_budget_%s" name) hv;
+      Printf.printf
+        "  %-8s %2d front designs, hypervolume %.4f   (%.2f s)\n" name
+        (Array.length front) hv dt)
+    [ "nsga2"; "de"; "mopso" ];
+  (* surrogate leg: the reference flow's circuit-level problem (tiny
+     spec), same seed with screening off then on.  A fresh cold cache
+     per leg keeps the wall times comparable and the avoided/paid
+     split purely the surrogate's.  The screened member is DE: its
+     differential mutation keeps proposing trials in dominated or
+     infeasible territory deep into the run, so the screen has real
+     work (NSGA-II's tournament+SBX offspring hug the front and leave
+     it little to reject), and the tighter guard matches DE's
+     sentinel-free trial distribution. *)
+  let cfg =
+    H.Hierarchy.make_config ~scale:H.Hierarchy.tiny_scale
+      ~spec:H.Hierarchy.tiny_spec ()
+  in
+  let problem = H.Hierarchy.circuit_problem cfg in
+  let ga_pop = 16 and ga_gens = 14 in
+  let ga_options = { O.population = ga_pop; generations = ga_gens } in
+  let de = Option.get (O.of_name "de") in
+  let sur_options =
+    { Repro_moo.Surrogate.default_options with Repro_moo.Surrogate.guard = 0.05 }
+  in
+  let counter = E.Telemetry.counter in
+  let leg ~surrogate =
+    let evaluator =
+      Repro_moo.Problem.parallel_evaluator ~cache:(E.Cache.create ()) ()
+    in
+    let evaluator =
+      if surrogate then
+        Repro_moo.Surrogate.wrap
+          (Repro_moo.Surrogate.create ~options:sur_options ())
+          evaluator
+      else evaluator
+    in
+    let avoided0 = counter "eval.avoided" in
+    let t0 = Unix.gettimeofday () in
+    let final =
+      O.optimise de ~options:ga_options ~evaluator problem
+        (Repro_util.Prng.create cfg.H.Hierarchy.seed)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let avoided = counter "eval.avoided" - avoided0 in
+    let hv =
+      Repro_moo.Hypervolume.of_front ~dims:H.Hierarchy.circuit_hv_dims
+        ~reference:H.Hierarchy.circuit_hv_reference
+        (Repro_moo.Nsga2.evaluations (Repro_moo.Nsga2.pareto_front final))
+    in
+    (wall, avoided, hv)
+  in
+  let requested = ga_pop * (ga_gens + 1) in
+  let wall_off, _, hv_off = leg ~surrogate:false in
+  let wall_on, avoided, hv_on = leg ~surrogate:true in
+  let ratio = float_of_int avoided /. float_of_int requested in
+  (* front agreement: the screened run's hypervolume as a fraction of
+     the exhaustive run's — 1.0 means screening lost nothing *)
+  let agreement = if hv_off > 0.0 then hv_on /. hv_off else 0.0 in
+  metric "moo" "surrogate.eval_avoided_ratio" ratio;
+  metric "moo" "surrogate.front_agreement" agreement;
+  metric "moo" "flow.wall_s" wall_on;
+  Printf.printf
+    "circuit-level DE (%dx%d, tiny spec), surrogate pre-screen off vs on:\n"
+    ga_pop ga_gens;
+  Printf.printf "  off  %7.2f s   hypervolume %.4g\n" wall_off hv_off;
+  Printf.printf
+    "  on   %7.2f s   hypervolume %.4g   avoided %d/%d exact evals \
+     (%.0f%%)   front agreement %.3f\n"
+    wall_on hv_on avoided requested (100.0 *. ratio) agreement
+
+(* ------------------------------------------------------------------ *)
 (* solver shoot-out: dense vs sparse on the reference VCO              *)
 (* ------------------------------------------------------------------ *)
 
@@ -655,6 +776,9 @@ let run_experiments ~scale ~spec () =
   section "Ablation — optimiser choice at the system level (equal budget)";
   print_string (optimiser_ablation result);
   telemetry_line ();
+  section "Moo — optimiser portfolio + surrogate pre-screen";
+  moo_bench ();
+  telemetry_line ();
   section "Solver — dense vs sparse MNA kernels (reference VCO)";
   solver_bench ();
   telemetry_line ();
@@ -774,22 +898,7 @@ let timing_tests (result : H.Hierarchy.result) =
     Test.make ~name:"substrate/cubic-spline-eval"
       (Staged.stage (fun () -> ignore (Repro_interp.Spline.eval spline 4.321)))
   in
-  let zdt1 =
-    Repro_moo.Problem.create ~name:"zdt1"
-      ~bounds:(Array.make 10 (0.0, 1.0))
-      ~objective_names:[| "f1"; "f2" |]
-      (fun v ->
-        let f1 = v.(0) in
-        let s = ref 0.0 in
-        for i = 1 to 9 do
-          s := !s +. v.(i)
-        done;
-        let g = 1.0 +. !s in
-        {
-          Repro_moo.Problem.objectives = [| f1; g *. (1.0 -. sqrt (f1 /. g)) |];
-          constraint_violation = 0.0;
-        })
-  in
+  let zdt1 = zdt1_problem () in
   let nsga_prng = Repro_util.Prng.create 9 in
   let nsga =
     Test.make ~name:"substrate/nsga2-40x5-zdt1"
@@ -851,20 +960,26 @@ let run_timings result =
 
 let usage () =
   prerr_endline
-    "usage: bench [--scale tiny|bench|paper] [--write-baseline]\n\
+    "usage: bench [--scale tiny|bench|paper] [--moo-only] [--write-baseline]\n\
      \n\
      --scale           workload scale (default: HIEROPT_FULL / bench)\n\
+     --moo-only        run only the optimiser-portfolio / surrogate\n\
+     \                  section (the CI portfolio-smoke workload)\n\
      --write-baseline  also write bench/BASELINE.json, the reference the\n\
      \                  CI bench-regression job compares BENCH.json against";
   exit 2
 
 let () =
   let write_baseline = ref false in
+  let moo_only = ref false in
   let scale = ref None in
   let rec parse = function
     | [] -> ()
     | "--write-baseline" :: rest ->
       write_baseline := true;
+      parse rest
+    | "--moo-only" :: rest ->
+      moo_only := true;
       parse rest
     | "--scale" :: v :: rest ->
       (match v with
@@ -886,8 +1001,16 @@ let () =
     | Some (s, spec) -> (s, spec)
     | None -> (H.Hierarchy.scale_of_env (), None)
   in
-  let result = run_experiments ~scale ~spec () in
-  run_timings result;
-  write_bench_json "BENCH.json";
-  if !write_baseline then write_bench_json "bench/BASELINE.json";
+  if !moo_only then begin
+    section "Moo — optimiser portfolio + surrogate pre-screen";
+    moo_bench ();
+    telemetry_line ();
+    write_bench_json "BENCH.json"
+  end
+  else begin
+    let result = run_experiments ~scale ~spec () in
+    run_timings result;
+    write_bench_json "BENCH.json";
+    if !write_baseline then write_bench_json "bench/BASELINE.json"
+  end;
   print_newline ()

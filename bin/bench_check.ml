@@ -45,6 +45,16 @@ let watched =
     ("dist/reassign_s", Bound 30.0);
     ("timings/substrate/mna-assemble_ns", Lower_is_better);
     ("timings/substrate/lu-solve_ns", Lower_is_better);
+    (* optimiser portfolio: front quality at a fixed ZDT1 eval budget
+       must not erode, the surrogate must keep avoiding exact evals
+       without losing the front, and its screened circuit-level GA leg
+       gates on an absolute wall ceiling (shared-runner noise) *)
+    ("moo/hv_at_budget_nsga2", Higher_is_better);
+    ("moo/hv_at_budget_de", Higher_is_better);
+    ("moo/hv_at_budget_mopso", Higher_is_better);
+    ("moo/surrogate.eval_avoided_ratio", Higher_is_better);
+    ("moo/surrogate.front_agreement", Higher_is_better);
+    ("moo/flow.wall_s", Bound 300.0);
   ]
 
 let read_file path =

@@ -131,6 +131,38 @@ let solver_t =
 
 let setup_solver solver = Repro_engine.Config.set_solver solver
 
+(* ---- optimiser-portfolio flags ---- *)
+
+let optimiser_t =
+  let choices =
+    List.map (fun n -> (n, n)) Repro_moo.Optimiser.names
+  in
+  Arg.(
+    value
+    & opt (enum choices) "nsga2"
+    & info [ "optimiser" ] ~docv:"ALGO"
+        ~doc:
+          "Portfolio member running both GA levels: $(b,nsga2), \
+           $(b,spea2), $(b,de) (differential evolution with \
+           Pareto-domination selection) or $(b,mopso) (multi-objective \
+           particle swarm).  All four share the evaluation engine, \
+           checkpointing and telemetry; the choice is salted into eval \
+           cache keys and snapshot fingerprints, so switching never \
+           aliases a previous run's artefacts.")
+
+let surrogate_t =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) false
+    & info [ "surrogate" ] ~docv:"on|off"
+        ~doc:
+          "Surrogate pre-screening: fit RBF models to the evaluated \
+           archive each generation and skip exact evaluation of \
+           candidates predicted (with a guard band) to be dominated by \
+           the current front.  Avoided/paid counts land in telemetry, \
+           the run journal and $(b,hieropt report).  Salted into cache \
+           keys and snapshot fingerprints like --optimiser.")
+
 (* ---- run-lifecycle flags ---- *)
 
 let checkpoint_every_t =
@@ -458,16 +490,16 @@ let flow_cmd =
              (the method of the paper's reference [10]); for the ablation \
              comparison.")
   in
-  let run seed full scale jobs solver nominal_only netlist model_dir workers
-      checkpoint_every resume interrupt_after trace verbose =
+  let run seed full scale jobs solver nominal_only optimiser surrogate netlist
+      model_dir workers checkpoint_every resume interrupt_after trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
     let scale, spec = resolve_scale full scale in
     let make ?circuit () =
       Hieropt.Hierarchy.make_config ~seed ~scale ?spec
-        ~use_variation:(not nominal_only) ~model_dir ?checkpoint_every ~resume
-        ?circuit ()
+        ~use_variation:(not nominal_only) ~optimiser ~surrogate ~model_dir
+        ?checkpoint_every ~resume ?circuit ()
     in
     let cfg = make () in
     let cfg =
@@ -516,8 +548,9 @@ let flow_cmd =
   Cmd.v info
     Term.(
       const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ ablation_t
-      $ netlist_t $ model_dir_t $ workers_t $ checkpoint_every_t $ resume_t
-      $ interrupt_after_t $ trace_t $ verbose_t)
+      $ optimiser_t $ surrogate_t $ netlist_t $ model_dir_t $ workers_t
+      $ checkpoint_every_t $ resume_t $ interrupt_after_t $ trace_t
+      $ verbose_t)
 
 (* ---- system ---- *)
 
@@ -547,8 +580,8 @@ let pll_query_of_remote ~fallback remote =
       Some (Repro_serve.Remote.model_query ~fallback ~client ~model ()))
 
 let system_cmd =
-  let run seed full scale jobs solver model_dir remote workers checkpoint_every
-      resume trace verbose =
+  let run seed full scale jobs solver optimiser surrogate model_dir remote
+      workers checkpoint_every resume trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -556,8 +589,8 @@ let system_cmd =
     let pll_query = pll_query_of_remote ~fallback:model remote in
     let scale, spec = resolve_scale full scale in
     let cfg =
-      Hieropt.Hierarchy.make_config ~seed ~scale ?spec ~model_dir
-        ?checkpoint_every ~resume ()
+      Hieropt.Hierarchy.make_config ~seed ~scale ?spec ~optimiser ~surrogate
+        ~model_dir ?checkpoint_every ~resume ()
     in
     (* both ends load the model from disk, so PLL shards distribute to
        workers started with --model-dir on the same artefacts *)
@@ -583,9 +616,9 @@ let system_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ model_dir_t
-      $ remote_t $ workers_t $ checkpoint_every_t $ resume_t $ trace_t
-      $ verbose_t)
+      const run $ seed_t $ full_t $ scale_t $ jobs_t $ solver_t $ optimiser_t
+      $ surrogate_t $ model_dir_t $ remote_t $ workers_t $ checkpoint_every_t
+      $ resume_t $ trace_t $ verbose_t)
 
 (* ---- yield ---- *)
 
@@ -795,8 +828,8 @@ let worker_cmd =
              system-level (PLL) shards for $(b,hieropt system \
              --workers) runs over the same model.")
   in
-  let run full scale jobs solver nominal_only netlist model_dir addr port
-      reactors request_timeout trace verbose =
+  let run full scale jobs solver nominal_only optimiser surrogate netlist
+      model_dir addr port reactors request_timeout trace verbose =
     setup_logging verbose;
     setup_jobs jobs;
     setup_solver solver;
@@ -804,13 +837,14 @@ let worker_cmd =
     (* the worker's evaluation closures must capture the same ambient
        configuration as the coordinator's run — the config salt checks
        exactly the fields that matter (spec, measure, process,
-       variation flag, solver mode, circuit tag); seed and model_dir do
-       not.  A --netlist deck must match the coordinator's (same deck →
-       same fingerprint tag → same salt); a builtin-equivalent deck
-       canonicalises away exactly as it does in the flow. *)
+       variation flag, optimiser/surrogate choice, solver mode, circuit
+       tag); seed and model_dir do not.  A --netlist deck must match
+       the coordinator's (same deck → same fingerprint tag → same
+       salt); a builtin-equivalent deck canonicalises away exactly as
+       it does in the flow. *)
     let make ?circuit () =
       Hieropt.Hierarchy.make_config ~scale ?spec
-        ~use_variation:(not nominal_only) ?circuit ()
+        ~use_variation:(not nominal_only) ~optimiser ~surrogate ?circuit ()
     in
     let cfg = make () in
     let cfg =
@@ -861,8 +895,8 @@ let worker_cmd =
   Cmd.v info
     Term.(
       const run $ full_t $ scale_t $ jobs_t $ solver_t $ nominal_only_t
-      $ netlist_t $ worker_model_dir_t $ addr_t $ port_t $ reactors_t
-      $ timeout_t $ trace_t $ verbose_t)
+      $ optimiser_t $ surrogate_t $ netlist_t $ worker_model_dir_t $ addr_t
+      $ port_t $ reactors_t $ timeout_t $ trace_t $ verbose_t)
 
 (* ---- query ---- *)
 
@@ -1474,10 +1508,47 @@ let report_cmd =
             (Option.value ~default:"" (jstr "message" j)))
         warnings
     end;
+    (* per-label surrogate pre-screen outcomes (one "evals" event per
+       screened GA run) ... *)
+    let evals = of_event "evals" in
+    if evals <> [] then begin
+      Fmt.pr "@.surrogate pre-screen:@.";
+      Fmt.pr "  %-8s %8s %8s %8s@." "label" "avoided" "paid" "ratio";
+      List.iter
+        (fun j ->
+          let avoided = Option.value ~default:0.0 (jnum "avoided" j) in
+          let paid = Option.value ~default:0.0 (jnum "paid" j) in
+          let total = avoided +. paid in
+          Fmt.pr "  %-8s %8.0f %8.0f %7.1f%%@."
+            (Option.value ~default:"?" (jstr "label" j))
+            avoided paid
+            (if total > 0.0 then 100.0 *. avoided /. total else 0.0))
+        evals
+    end;
     match of_event "run.finish" with
     | finish :: _ ->
-      Fmt.pr "@.run finished in %.3f s@."
-        (Option.value ~default:0.0 (jnum "seconds" finish))
+      let f name = Option.value ~default:0.0 (jnum name finish) in
+      (* ... and the run-wide avoided/cached/simulated split carried on
+         the finish event — one table covering both the surrogate and
+         the eval cache, so the whole evaluation budget is readable in
+         one place *)
+      let avoided = f "eval_avoided" in
+      let hits = f "eval_cache_hits" in
+      let runs = f "eval_runs" in
+      let requested = avoided +. hits +. runs in
+      if requested > 0.0 then begin
+        let pct x =
+          if requested > 0.0 then 100.0 *. x /. requested else 0.0
+        in
+        Fmt.pr "@.evals:@.";
+        Fmt.pr "  %-10s %8.0f@." "requested" requested;
+        Fmt.pr "  %-10s %8.0f  %5.1f%%  (surrogate pre-screen)@." "avoided"
+          avoided (pct avoided);
+        Fmt.pr "  %-10s %8.0f  %5.1f%%  (eval cache)@." "cached" hits
+          (pct hits);
+        Fmt.pr "  %-10s %8.0f  %5.1f%%@." "simulated" runs (pct runs)
+      end;
+      Fmt.pr "@.run finished in %.3f s@." (f "seconds")
     | [] -> Fmt.pr "@.run did not record a finish event (still running or killed)@."
   in
   let report_trace path top =

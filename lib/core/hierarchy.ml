@@ -84,6 +84,8 @@ type config = {
   checkpoint_every : int option;
   resume : bool;
   circuit : circuit option;
+  optimiser : string;
+  surrogate : bool;
 }
 
 let default_config ?(scale = bench_scale) () =
@@ -98,6 +100,8 @@ let default_config ?(scale = bench_scale) () =
     checkpoint_every = None;
     resume = false;
     circuit = None;
+    optimiser = "nsga2";
+    surrogate = false;
   }
 
 let validate_scale s =
@@ -136,10 +140,15 @@ let validate_circuit c =
 let make_config ?(seed = 2009) ?(scale = bench_scale) ?(spec = Spec.default)
     ?(measure = V.default_options) ?(process = Repro_circuit.Process.default)
     ?(use_variation = true) ?model_dir ?checkpoint_every ?(resume = false)
-    ?circuit () =
+    ?circuit ?(optimiser = "nsga2") ?(surrogate = false) () =
   validate_scale scale;
   Spec.validate spec;
   Option.iter validate_circuit circuit;
+  if Repro_moo.Optimiser.of_name optimiser = None then
+    Printf.ksprintf invalid_arg
+      "Hierarchy.make_config: unknown optimiser %S (expected one of %s)"
+      optimiser
+      (String.concat ", " Repro_moo.Optimiser.names);
   (match checkpoint_every with
   | Some n when n < 1 ->
     Printf.ksprintf invalid_arg
@@ -150,7 +159,7 @@ let make_config ?(seed = 2009) ?(scale = bench_scale) ?(spec = Spec.default)
       "Hierarchy.make_config: resume/checkpointing requires a model_dir to \
        hold the snapshot";
   { seed; scale; spec; measure; process; use_variation; model_dir;
-    checkpoint_every; resume; circuit }
+    checkpoint_every; resume; circuit; optimiser; surrogate }
 
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 
@@ -240,10 +249,27 @@ let open_journal ?(meta = []) ~fingerprint cfg =
       Some j
     with Sys_error _ | Unix.Unix_error _ -> None)
 
-let close_journal t0 = function
+(* the avoided / paid / cached / run split of this process's evaluation
+   counters — [close_journal] records per-run deltas against a baseline
+   taken at run start, [report] renders them as one table *)
+let eval_counters () =
+  ( E.Telemetry.counter "eval.avoided",
+    E.Telemetry.counter "eval.paid",
+    E.Telemetry.counter "eval.cache_hits",
+    E.Telemetry.counter "eval.runs" )
+
+let close_journal t0 c0 = function
   | None -> ()
   | Some j ->
-    Obs.Journal.run_finish j ~seconds:(Unix.gettimeofday () -. t0);
+    let a0, p0, h0, r0 = c0 and a1, p1, h1, r1 = eval_counters () in
+    Obs.Journal.run_finish j
+      ~seconds:(Unix.gettimeofday () -. t0)
+      [
+        ("eval_avoided", Obs.Jfmt.I (a1 - a0));
+        ("eval_paid", Obs.Jfmt.I (p1 - p0));
+        ("eval_cache_hits", Obs.Jfmt.I (h1 - h0));
+        ("eval_runs", Obs.Jfmt.I (r1 - r0));
+      ];
     Obs.Journal.clear_current ();
     Obs.Journal.close j
 
@@ -267,6 +293,9 @@ let config_salt cfg =
          cfg.process,
          cfg.use_variation,
          circuit_tag cfg,
+         (* optimiser choice and screening are salted so a screened
+            run's cache can never alias an exhaustive run's *)
+         (cfg.optimiser, cfg.surrogate),
          (* dense and sparse solves agree only to rounding, so cached
             entries must not leak across solver modes *)
          E.Config.solver_mode_name (E.Config.solver ()) ))
@@ -290,6 +319,24 @@ let save_cache cfg cache progress =
 
 let evaluator_of cfg cache =
   Repro_moo.Problem.parallel_evaluator ~cache ~salt:(config_salt cfg) ()
+
+let portfolio_of cfg =
+  match Repro_moo.Optimiser.of_name cfg.optimiser with
+  | Some m -> m
+  | None ->
+    (* reachable only through hand-built config records; [make_config]
+       validates the name *)
+    invalid_arg ("Hierarchy: unknown optimiser " ^ cfg.optimiser)
+
+(* the human-facing algorithm label for progress lines *)
+let optimiser_label cfg =
+  (match cfg.optimiser with
+  | "nsga2" -> "NSGA-II"
+  | "spea2" -> "SPEA2"
+  | "de" -> "DE"
+  | "mopso" -> "MOPSO"
+  | other -> other)
+  ^ if cfg.surrogate then "+surrogate" else ""
 
 (* ---- remote (distributed) evaluation hooks ----------------------- *)
 
@@ -356,6 +403,7 @@ let fingerprint ?(extra = "") cfg =
          cfg.process,
          cfg.use_variation,
          circuit_tag cfg,
+         (cfg.optimiser, cfg.surrogate),
          E.Config.solver_mode_name (E.Config.solver ()) ))
     extra
 
@@ -398,10 +446,24 @@ let maybe_stop_after ~interrupt_after ck phase =
     raise E.Checkpoint.Interrupted
   | _ -> ()
 
-(* one checkpointable NSGA-II run: restore a paused generation loop when
-   the snapshot has one under [key], then step to completion, saving
-   state each generation and flushing every [every] *)
-let run_ga ~progress ~label ~key ~options ~evaluator ~hv_of ~ck problem prng =
+(* one checkpointable optimiser run: restore a paused generation loop
+   when the snapshot has one under [key], then step to completion,
+   saving state each generation and flushing every [every].  The
+   algorithm is any portfolio member; with [surrogate] its evaluator is
+   wrapped in a pre-screen whose archive rides along in the snapshot
+   (under [key ^ ".surrogate"]) so post-resume screening decisions are
+   identical to the uninterrupted run's. *)
+let run_ga ~progress ~label ~key ~optimiser ~options ~evaluator ~surrogate
+    ~hv_of ~ck problem prng =
+  let module O = (val (optimiser : Repro_moo.Optimiser.t)) in
+  let skey = key ^ ".surrogate" in
+  let with_screen sur =
+    match sur with
+    | None -> evaluator
+    | Some s -> Repro_moo.Surrogate.wrap s evaluator
+  in
+  let a0 = E.Telemetry.counter "eval.avoided"
+  and p0 = E.Telemetry.counter "eval.paid" in
   (* per-generation convergence entry for the journal: front size,
      objective-space spread, and the exact hypervolume indicator.
      Pure functions of the population — skipped entirely (not even
@@ -409,40 +471,67 @@ let run_ga ~progress ~label ~key ~options ~evaluator ~hv_of ~ck problem prng =
      either way. *)
   let record st =
     if Obs.Journal.active () then begin
-      let front = Nsga2.pareto_front (Nsga2.population st) in
+      let front = Nsga2.pareto_front (O.population st) in
       let evals = Nsga2.evaluations front in
       Obs.Journal.record_ga_generation ~label
-        ~generation:(Nsga2.generation st)
+        ~generation:(O.generation st)
         ~front_size:(Array.length front)
         ~spread:(Repro_moo.Pareto.spread_2d evals)
         ~hypervolume:(hv_of evals)
     end
   in
-  let st =
-    match
-      Option.bind (snapshot_of ck) (fun snap ->
-          Nsga2.restore_state ~options problem snap ~key)
-    with
-    | Some st ->
-      say progress "%s level: resumed GA at generation %d/%d" label
-        (Nsga2.generation st) options.Nsga2.generations;
-      st
-    | None -> Nsga2.init ~options ~evaluator problem prng
+  (* a resumable pair is optimiser state plus (when screening) the
+     surrogate archive: one without the other would replay a different
+     trajectory, so either restores both or the run cold-starts *)
+  let restored =
+    Option.bind (snapshot_of ck) (fun snap ->
+        match O.restore_state ~options problem snap ~key with
+        | None -> None
+        | Some st ->
+          if not surrogate then Some (st, None)
+          else
+            Option.map
+              (fun s -> (st, Some s))
+              (Repro_moo.Surrogate.restore_state problem snap ~key:skey))
   in
+  let st, sur =
+    match restored with
+    | Some (st, sur) ->
+      say progress "%s level: resumed %s at generation %d/%d" label O.name
+        (O.generation st) options.Repro_moo.Optimiser.generations;
+      (st, sur)
+    | None ->
+      let sur =
+        if surrogate then Some (Repro_moo.Surrogate.create ()) else None
+      in
+      (O.init ~options ~evaluator:(with_screen sur) problem prng, sur)
+  in
+  let evaluator = with_screen sur in
   record st;
-  while Nsga2.generation st < options.Nsga2.generations do
-    Nsga2.step ~evaluator problem st;
+  while O.generation st < options.Repro_moo.Optimiser.generations do
+    O.step ~evaluator problem st;
     record st;
     match ck with
     | None -> ()
     | Some c ->
-      Nsga2.save_state st (E.Checkpoint.snapshot c) ~key;
-      if Nsga2.generation st mod E.Checkpoint.every c = 0
-         || Nsga2.generation st = options.Nsga2.generations
+      let snap = E.Checkpoint.snapshot c in
+      O.save_state st snap ~key;
+      Option.iter
+        (fun s -> Repro_moo.Surrogate.save_state s snap ~key:skey)
+        sur;
+      if O.generation st mod E.Checkpoint.every c = 0
+         || O.generation st = options.Repro_moo.Optimiser.generations
       then E.Checkpoint.flush c;
       E.Checkpoint.guard (Some c)
   done;
-  Nsga2.population st
+  if surrogate then begin
+    let avoided = E.Telemetry.counter "eval.avoided" - a0
+    and paid = E.Telemetry.counter "eval.paid" - p0 in
+    say progress "%s level: surrogate screen avoided %d/%d exact evals"
+      label avoided (avoided + paid);
+    Obs.Journal.record_evals ~label ~avoided ~paid
+  end;
+  O.population st
 
 (* ---- phase persistence ------------------------------------------- *)
 
@@ -519,8 +608,8 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
     ?interrupt_after ?pll_query cfg ~model ~front ~entries =
   let scale = cfg.scale in
   let pll_cfg = pll_config_of ?pll_query cfg model in
-  say progress "system level: NSGA-II %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
-    scale.pll_population scale.pll_generations
+  say progress "system level: %s %dx%d over (Kvco, Ivco, C1, C2, R1)%s"
+    (optimiser_label cfg) scale.pll_population scale.pll_generations
     (if cfg.use_variation then " with variation model"
      else " (nominal-only ablation)");
   let prng = Prng.create (cfg.seed + 77) in
@@ -528,13 +617,14 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
   let pll_pop =
     timed_phase "system-ga" @@ fun () ->
     run_ga ~progress ~label:"system" ~key:"ga.system"
+      ~optimiser:(portfolio_of cfg)
       ~options:
         {
-          Nsga2.default_options with
-          population = scale.pll_population;
+          Repro_moo.Optimiser.population = scale.pll_population;
           generations = scale.pll_generations;
         }
       ~evaluator:(Option.value evaluator ~default:Repro_moo.Problem.serial_evaluator)
+      ~surrogate:cfg.surrogate
       ~hv_of:(Repro_moo.Hypervolume.of_front ~reference:system_hv_reference)
       ~ck pll_problem prng
   in
@@ -574,6 +664,7 @@ let run_system_level_inner ?(progress = fun _ -> ()) ?evaluator ?ck
 
 let run_system_level ?(progress = fun _ -> ()) ?remote ?pll_query cfg ~model =
   let t_run = Unix.gettimeofday () in
+  let c_run = eval_counters () in
   let cache = load_cache cfg in
   (* bind the snapshot to the input model too: the same config re-run
      over a different saved model must not resume from stale state.
@@ -603,7 +694,7 @@ let run_system_level ?(progress = fun _ -> ()) ?remote ?pll_query cfg ~model =
     result
   in
   Fun.protect
-    ~finally:(fun () -> close_journal t_run journal)
+    ~finally:(fun () -> close_journal t_run c_run journal)
     (fun () ->
       try finish ()
       with E.Checkpoint.Interrupted as e ->
@@ -612,6 +703,7 @@ let run_system_level ?(progress = fun _ -> ()) ?remote ?pll_query cfg ~model =
 
 let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
   let t_run = Unix.gettimeofday () in
+  let c_run = eval_counters () in
   let scale = cfg.scale in
   let cache = load_cache cfg in
   let evaluator = evaluator_for ?remote cfg cache in
@@ -636,20 +728,20 @@ let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
           (Array.length front);
         front
       | None ->
-        say progress "circuit level: NSGA-II %dx%d over 7 W/L parameters"
-          scale.vco_population scale.vco_generations;
+        say progress "circuit level: %s %dx%d over 7 W/L parameters"
+          (optimiser_label cfg) scale.vco_population scale.vco_generations;
         let prng = Prng.create cfg.seed in
         let vco_problem = circuit_problem cfg in
         let pop =
           timed_phase "circuit-ga" @@ fun () ->
           run_ga ~progress ~label:"circuit" ~key:"ga.circuit"
+            ~optimiser:(portfolio_of cfg)
             ~options:
               {
-                Nsga2.default_options with
-                population = scale.vco_population;
+                Repro_moo.Optimiser.population = scale.vco_population;
                 generations = scale.vco_generations;
               }
-            ~evaluator
+            ~evaluator ~surrogate:cfg.surrogate
             ~hv_of:
               (Repro_moo.Hypervolume.of_front ~dims:circuit_hv_dims
                  ~reference:circuit_hv_reference)
@@ -675,7 +767,9 @@ let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
           let s = E.Checkpoint.snapshot c in
           store_front s front;
           (* GA state is superseded by the stored front *)
-          Nsga2.clear_state s ~key:"ga.circuit";
+          let module O = (val portfolio_of cfg) in
+          O.clear_state s ~key:"ga.circuit";
+          Repro_moo.Surrogate.clear_state s ~key:"ga.circuit.surrogate";
           E.Checkpoint.flush c
         | None -> ());
         front
@@ -758,7 +852,7 @@ let run ?(progress = fun _ -> ()) ?remote ?interrupt_after cfg =
     result
   in
   Fun.protect
-    ~finally:(fun () -> close_journal t_run journal)
+    ~finally:(fun () -> close_journal t_run c_run journal)
     (fun () ->
       try body ()
       with E.Checkpoint.Interrupted as e ->

@@ -92,6 +92,15 @@ type config = {
   resume : bool;  (** restart from [model_dir]'s snapshot if compatible *)
   circuit : circuit option;
       (** custom circuit front end; [None] is the built-in ring VCO *)
+  optimiser : string;
+      (** portfolio member running both GA levels: one of
+          {!Repro_moo.Optimiser.names} (["nsga2"], ["spea2"], ["de"],
+          ["mopso"]).  Salted into cache keys and snapshot
+          fingerprints. *)
+  surrogate : bool;
+      (** surrogate pre-screening ({!Repro_moo.Surrogate}): skip exact
+          evaluation of candidates predicted dominated by the current
+          front.  Also salted into cache keys and fingerprints. *)
 }
 
 val default_config : ?scale:scale -> unit -> config
@@ -107,14 +116,17 @@ val make_config :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?circuit:circuit ->
+  ?optimiser:string ->
+  ?surrogate:bool ->
   unit ->
   config
 (** Validating constructor — prefer this over record literals.
     @raise Invalid_argument when a count is non-positive, a population
     is odd or < 4, [front_max < 2], [checkpoint_every < 1], the spec is
     inconsistent (see {!Spec.validate}), resume/checkpointing is
-    requested without a [model_dir] to hold the snapshot, or [circuit]
-    has an empty tag, the wrong number of bounds, or an empty bound. *)
+    requested without a [model_dir] to hold the snapshot, [circuit]
+    has an empty tag, the wrong number of bounds, or an empty bound, or
+    [optimiser] is not a registered portfolio member. *)
 
 exception Degenerate_front of { stage : string; found : int; minimum : int }
 (** The named Pareto front has too few designs to build a model from. *)

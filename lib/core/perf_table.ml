@@ -30,7 +30,20 @@ let build entries =
   let fmins = get (fun p -> p.V.fmin) in
   let fmaxs = get (fun p -> p.V.fmax) in
   let deltas f = Array.map f entries in
-  let t1 xs ys = I.Table1d.build ~control:"3E" xs ys in
+  (* a small or heavily-screened front can collapse onto a single value
+     along one performance axis; with no spread to resolve, the delta
+     along that axis degrades to a constant (mean) table instead of
+     refusing to build the whole model *)
+  let t1 xs ys =
+    let x0 = xs.(0) in
+    if Array.exists (fun x -> x <> x0) xs then
+      I.Table1d.build ~control:"3E" xs ys
+    else begin
+      let y = Array.fold_left ( +. ) 0.0 ys /. float_of_int (Array.length ys) in
+      let w = 1e-9 +. (Float.abs x0 *. 1e-6) in
+      I.Table1d.build ~control:"3E" [| x0 -. w; x0 +. w |] [| y; y |]
+    end
+  in
   let ki = Array.map2 (fun k i -> [| k; i |]) kvcos ivcos in
   let full =
     Array.init (Array.length entries) (fun r ->

@@ -1,0 +1,258 @@
+module Prng = Repro_util.Prng
+
+type options = {
+  population : int;
+  generations : int;
+  archive : int;
+  inertia : float;
+  c_personal : float;
+  c_global : float;
+  mutation_prob : float;
+  eta_mutation : float;
+}
+
+let default_options =
+  {
+    population = 50;
+    generations = 30;
+    archive = 50;
+    inertia = 0.4;
+    c_personal = 1.5;
+    c_global = 1.5;
+    mutation_prob = 0.0;
+    eta_mutation = 20.0;
+  }
+
+type state = {
+  options : options;
+  prng : Prng.t;
+  mutable generation : int;
+  mutable swarm : Nsga2.individual array;
+  mutable velocities : float array array;
+  mutable pbest : Nsga2.individual array;
+  mutable archive : Nsga2.individual array;
+}
+
+let generation st = st.generation
+
+(* the reporting population: the external archive (the front under
+   construction) plus the personal bests, so front extraction works even
+   before the archive has filled *)
+let population st = Array.append st.archive st.pbest
+
+let validate (options : options) =
+  if options.population < 2 then
+    invalid_arg "Mopso: population must be >= 2";
+  if options.archive < 2 then invalid_arg "Mopso: archive must be >= 2";
+  if not (options.inertia >= 0.0 && options.inertia < 1.0) then
+    invalid_arg "Mopso: inertia must be in [0, 1)";
+  if options.c_personal < 0.0 || options.c_global < 0.0 then
+    invalid_arg "Mopso: acceleration coefficients must be >= 0"
+
+(* keep the [target] least-crowded members (boundary points carry
+   infinite crowding distance, so the extremes always survive) *)
+let truncate_archive target arch =
+  if Array.length arch <= target then arch
+  else begin
+    let evals = Nsga2.evaluations arch in
+    let idx = Array.init (Array.length arch) Fun.id in
+    let d = Pareto.crowding_distance evals idx in
+    let order = Array.init (Array.length arch) Fun.id in
+    Array.sort
+      (fun a b ->
+        if d.(a) <> d.(b) then compare d.(b) d.(a) else compare a b)
+      order;
+    let keep = Array.sub order 0 target in
+    Array.sort compare keep;
+    Array.map (fun i -> arch.(i)) keep
+  end
+
+let update_archive (options : options) arch candidates =
+  let front = Nsga2.pareto_front (Array.append arch candidates) in
+  truncate_archive options.archive front
+
+let init ?(options = default_options) ?(evaluator = Problem.serial_evaluator)
+    problem prng =
+  validate options;
+  (* positions are drawn serially (PRNG order is part of the
+     reproducibility contract); only the pure evaluations are batched *)
+  let initial = Array.make options.population [||] in
+  for i = 0 to options.population - 1 do
+    initial.(i) <- Problem.random_point problem prng
+  done;
+  let swarm = Nsga2.eval_batch evaluator problem initial in
+  let n = Problem.n_vars problem in
+  {
+    options;
+    prng;
+    generation = 0;
+    swarm;
+    velocities = Array.init options.population (fun _ -> Array.make n 0.0);
+    pbest = Array.copy swarm;
+    archive = update_archive options [||] swarm;
+  }
+
+(* binary tournament on crowding distance: leaders come preferentially
+   from sparse regions of the archive *)
+let pick_leader prng crowd =
+  let n = Array.length crowd in
+  if n = 1 then 0
+  else begin
+    let a = Prng.int prng n and b = Prng.int prng n in
+    if crowd.(a) > crowd.(b) then a else b
+  end
+
+let step ?(evaluator = Problem.serial_evaluator) problem st =
+  Repro_obs.Trace.span "mopso.generation"
+    ~args:
+      [
+        ("problem", problem.Problem.name);
+        ("generation", string_of_int (st.generation + 1));
+      ]
+  @@ fun () ->
+  let options = st.options and prng = st.prng in
+  let np = options.population in
+  let n = Problem.n_vars problem in
+  let bounds = problem.Problem.bounds in
+  let pm =
+    if options.mutation_prob > 0.0 then options.mutation_prob
+    else 1.0 /. float_of_int n
+  in
+  let arch = st.archive in
+  let crowd =
+    if Array.length arch = 0 then [||]
+    else
+      Pareto.crowding_distance (Nsga2.evaluations arch)
+        (Array.init (Array.length arch) Fun.id)
+  in
+  let moved = Array.make np [||] in
+  for i = 0 to np - 1 do
+    let leader =
+      if Array.length arch = 0 then st.pbest.(i).Nsga2.x
+      else arch.(pick_leader prng crowd).Nsga2.x
+    in
+    let v = st.velocities.(i) in
+    let x = st.swarm.(i).Nsga2.x in
+    let pb = st.pbest.(i).Nsga2.x in
+    let x' = Array.make n 0.0 in
+    for j = 0 to n - 1 do
+      let r1 = Prng.float prng 1.0 and r2 = Prng.float prng 1.0 in
+      v.(j) <-
+        (options.inertia *. v.(j))
+        +. (options.c_personal *. r1 *. (pb.(j) -. x.(j)))
+        +. (options.c_global *. r2 *. (leader.(j) -. x.(j)));
+      let lo, hi = bounds.(j) in
+      let xj = x.(j) +. v.(j) in
+      (* clamp to the box and reverse the velocity component so the
+         particle flies back in (Coello et al. 2004) *)
+      if xj < lo then begin
+        x'.(j) <- lo;
+        v.(j) <- -.v.(j)
+      end
+      else if xj > hi then begin
+        x'.(j) <- hi;
+        v.(j) <- -.v.(j)
+      end
+      else x'.(j) <- xj
+    done;
+    (* turbulence: polynomial mutation keeps the swarm exploring *)
+    Variation.mutate_in_place prng ~bounds ~mutation_prob:pm
+      ~eta_mutation:options.eta_mutation x';
+    moved.(i) <- x'
+  done;
+  let evaluated = Nsga2.eval_batch evaluator problem moved in
+  (* personal bests: dominance update, random winner when incomparable.
+     These draws come after the batch, but the batch is bit-identical
+     for any worker count, so the sequence is still deterministic. *)
+  for i = 0 to np - 1 do
+    match
+      Pareto.compare_dominance evaluated.(i).Nsga2.evaluation
+        st.pbest.(i).Nsga2.evaluation
+    with
+    | Pareto.Dominates -> st.pbest.(i) <- evaluated.(i)
+    | Pareto.Dominated -> ()
+    | Pareto.Incomparable ->
+      if Prng.float prng 1.0 < 0.5 then st.pbest.(i) <- evaluated.(i)
+  done;
+  st.swarm <- evaluated;
+  st.archive <- update_archive options st.archive evaluated;
+  st.generation <- st.generation + 1
+
+let optimise ?options ?evaluator ?on_generation problem prng =
+  let st = init ?options ?evaluator problem prng in
+  (match on_generation with Some f -> f 0 (population st) | None -> ());
+  while st.generation < st.options.generations do
+    step ?evaluator problem st;
+    match on_generation with
+    | Some f -> f st.generation (population st)
+    | None -> ()
+  done;
+  population st
+
+module Snapshot = Repro_engine.Snapshot
+
+let save_state st snap ~key =
+  Snapshot.set_int snap (key ^ ".generation") st.generation;
+  Snapshot.set_bits snap (key ^ ".prng") (Prng.to_bits st.prng);
+  Snapshot.set_rows snap (key ^ ".swarm")
+    (Array.map Nsga2.encode_individual st.swarm);
+  Snapshot.set_rows snap (key ^ ".velocity") st.velocities;
+  Snapshot.set_rows snap (key ^ ".pbest")
+    (Array.map Nsga2.encode_individual st.pbest);
+  Snapshot.set_rows snap (key ^ ".archive")
+    (Array.map Nsga2.encode_individual st.archive)
+
+let clear_state snap ~key =
+  Snapshot.remove snap (key ^ ".generation");
+  Snapshot.remove snap (key ^ ".prng");
+  Snapshot.remove snap (key ^ ".swarm");
+  Snapshot.remove snap (key ^ ".velocity");
+  Snapshot.remove snap (key ^ ".pbest");
+  Snapshot.remove snap (key ^ ".archive")
+
+let restore_state ~options problem snap ~key =
+  match
+    ( Snapshot.get_int snap (key ^ ".generation"),
+      Snapshot.get_bits snap (key ^ ".prng"),
+      Snapshot.get_rows snap (key ^ ".swarm"),
+      Snapshot.get_rows snap (key ^ ".velocity"),
+      Snapshot.get_rows snap (key ^ ".pbest"),
+      Snapshot.get_rows snap (key ^ ".archive") )
+  with
+  | ( Some generation,
+      Some bits,
+      Some swarm_rows,
+      Some velocities,
+      Some pbest_rows,
+      Some archive_rows ) -> (
+    match Prng.of_bits bits with
+    | None -> None
+    | Some prng ->
+      let n_vars = Problem.n_vars problem in
+      let decode rows = Array.map (Nsga2.decode_individual ~n_vars) rows in
+      let swarm = decode swarm_rows in
+      let pbest = decode pbest_rows in
+      let archive = decode archive_rows in
+      let bad inds = Array.exists Option.is_none inds in
+      if
+        generation < 0
+        || generation > options.generations
+        || Array.length swarm <> options.population
+        || Array.length pbest <> options.population
+        || Array.length velocities <> options.population
+        || Array.exists (fun v -> Array.length v <> n_vars) velocities
+        || Array.length archive > options.archive
+        || bad swarm || bad pbest || bad archive
+      then None
+      else
+        Some
+          {
+            options;
+            prng;
+            generation;
+            swarm = Array.map Option.get swarm;
+            velocities = Array.map Array.copy velocities;
+            pbest = Array.map Option.get pbest;
+            archive = Array.map Option.get archive;
+          })
+  | _ -> None

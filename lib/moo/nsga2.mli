@@ -89,3 +89,23 @@ val pareto_front : individual array -> individual array
     vectors. *)
 
 val evaluations : individual array -> Problem.evaluation array
+
+(* ---- building blocks shared by the optimiser portfolio ---- *)
+
+val eval_batch :
+  Problem.evaluator -> Problem.t -> float array array -> individual array
+(** Batch-evaluate raw decision vectors into individuals through the
+    injected evaluation strategy — the one evaluation seam every
+    portfolio optimiser ({!De}, {!Mopso}, {!Spea2}) shares. *)
+
+val select_best : int -> individual array -> individual array
+(** NSGA-II environmental selection: the best [target] individuals by
+    (non-domination rank, crowding distance).  Reused as the truncation
+    operator by {!De}. *)
+
+val encode_individual : individual -> float array
+(** One flat snapshot row: x | constraint_violation | objectives. *)
+
+val decode_individual : n_vars:int -> float array -> individual option
+(** Inverse of {!encode_individual}; [None] when the row is too short
+    for [n_vars]. *)

@@ -62,8 +62,8 @@ let with_current f = match Atomic.get current with None -> () | Some t -> f t
 let run_start t ~fingerprint fields =
   event t "run.start" (("fingerprint", Jfmt.S fingerprint) :: fields)
 
-let run_finish t ~seconds =
-  event t "run.finish" [ ("seconds", Jfmt.F seconds) ]
+let run_finish t ~seconds fields =
+  event t "run.finish" (("seconds", Jfmt.F seconds) :: fields)
 
 let record_phase_start name =
   with_current (fun t -> event t "phase.start" [ ("phase", Jfmt.S name) ])
@@ -82,6 +82,15 @@ let record_ga_generation ~label ~generation ~front_size ~spread ~hypervolume =
           ("front_size", Jfmt.I front_size);
           ("spread", Jfmt.F spread);
           ("hypervolume", Jfmt.F hypervolume);
+        ])
+
+let record_evals ~label ~avoided ~paid =
+  with_current (fun t ->
+      event t "evals"
+        [
+          ("label", Jfmt.S label);
+          ("avoided", Jfmt.I avoided);
+          ("paid", Jfmt.I paid);
         ])
 
 let record_checkpoint ~action ~path =

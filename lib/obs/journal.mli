@@ -39,7 +39,11 @@ val active : unit -> bool
 (** {2 Typed events} *)
 
 val run_start : t -> fingerprint:string -> (string * Jfmt.value) list -> unit
-val run_finish : t -> seconds:float -> unit
+
+val run_finish : t -> seconds:float -> (string * Jfmt.value) list -> unit
+(** The extra fields carry run-level summary numbers (e.g. the
+    avoided/paid/cached evaluation split) into the finish event, where
+    [hieropt report] renders them. *)
 
 (* the [record_*] family writes to the current journal, or nowhere *)
 
@@ -53,6 +57,10 @@ val record_ga_generation :
   spread:float ->
   hypervolume:float ->
   unit
+
+val record_evals : label:string -> avoided:int -> paid:int -> unit
+(** Surrogate pre-screen outcome of one GA run: how many exact
+    evaluations were avoided vs paid under [label]. *)
 
 val record_checkpoint : action:string -> path:string -> unit
 val record_warning : key:string -> string -> unit

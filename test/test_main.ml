@@ -15,6 +15,7 @@ let () =
       ("ac", Test_ac.suite);
       ("moo", Test_moo.suite);
       ("moo-extra", Test_moo_extra.suite);
+      ("portfolio", Test_portfolio.suite);
       ("behave", Test_behave.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);

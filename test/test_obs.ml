@@ -222,7 +222,7 @@ let test_journal_roundtrip () =
   Obs.Journal.record_phase_finish "circuit-ga" ~seconds:1.5;
   Obs.Journal.record_checkpoint ~action:"flush" ~path:"snap";
   Repro_engine.Telemetry.warn ~key:"obs.test.warn" "journal %s" "mirror";
-  Obs.Journal.run_finish j ~seconds:2.5;
+  Obs.Journal.run_finish j ~seconds:2.5 [];
   Obs.Journal.clear_current ();
   Alcotest.(check bool) "inactive" false (Obs.Journal.active ());
   Obs.Journal.close j;
